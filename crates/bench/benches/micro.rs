@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the simulator itself: core stepping
+//! throughput, cache access, SPL scheduling, and assembler speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remap::{CoreKind, SystemBuilder};
+use remap_isa::{Asm, Reg::*};
+use remap_mem::{Hierarchy, HierarchyConfig};
+use remap_spl::{Dest, Spl, SplConfig, SplFunction};
+use std::hint::black_box;
+
+fn loop_program(n: i32) -> remap_isa::Program {
+    let mut a = Asm::new("bench");
+    a.li(R1, 0);
+    a.li(R2, n);
+    a.label("loop");
+    a.addi(R1, R1, 1);
+    a.bne(R1, R2, "loop");
+    a.halt();
+    a.assemble().unwrap()
+}
+
+fn bench_core_step(c: &mut Criterion) {
+    c.bench_function("core_10k_cycles", |b| {
+        b.iter(|| {
+            let mut sys = SystemBuilder::new();
+            sys.add_core(CoreKind::Ooo1, loop_program(2000));
+            let mut sys = sys.build();
+            black_box(sys.run(1_000_000).unwrap().cycles)
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("hierarchy_10k_loads", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(2, HierarchyConfig::default());
+            let mut total = 0u64;
+            for i in 0..10_000u64 {
+                let (_, lat) = h.load(((i / 64) % 2) as usize, (i * 12) % 65536, 4);
+                total += lat as u64;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_spl(c: &mut Criterion) {
+    c.bench_function("spl_1k_ops", |b| {
+        b.iter(|| {
+            let mut spl = Spl::new(SplConfig::paper(4));
+            spl.register(1, SplFunction::compute("f", 8, Dest::SelfCore, |e| e.u32(0) as u64));
+            let mut done = 0u64;
+            let mut t = 0u64;
+            let mut issued = 0u64;
+            while done < 1000 {
+                t += 1;
+                let core = (t % 4) as usize;
+                if issued < 1000 && spl.input_pending(core) < 4 {
+                    spl.stage(core, 0, 4, t);
+                    if spl.request(core, 1, core).is_ok() {
+                        issued += 1;
+                    }
+                }
+                spl.tick(t);
+                for c0 in 0..4 {
+                    if spl.pop_output(c0).is_some() {
+                        done += 1;
+                    }
+                }
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    c.bench_function("assemble_1k_insts", |b| {
+        b.iter(|| {
+            let mut a = Asm::new("big");
+            for i in 0..250 {
+                a.label(format!("l{i}"));
+                a.addi(R1, R1, 1);
+                a.lw(R2, R3, i);
+                a.bne(R1, R2, format!("l{i}"));
+                a.nop();
+            }
+            a.halt();
+            black_box(a.assemble().unwrap().len())
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_core_step, bench_cache, bench_spl, bench_assembler
+);
+criterion_main!(micro);

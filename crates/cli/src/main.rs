@@ -1,0 +1,253 @@
+//! `remap` — command-line driver for the ReMAP reproduction.
+//!
+//! ```text
+//! remap list                         # benchmarks and modes
+//! remap run hmmer compcomm 2048      # one validated run with stats
+//! remap run dijkstra barrier+comp:8 120
+//! remap sweep ll3 barrier:8 32 64 128 256
+//! remap table1                       # Table I
+//! ```
+
+use remap_power::{table1, EnergyParams};
+use remap_workloads::barriers::{BarrierBench, BarrierMode};
+use remap_workloads::comm::CommBench;
+use remap_workloads::comp::CompBench;
+use remap_workloads::{CommMode, CompMode, Measurement};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("table1") => cmd_table1(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `remap help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!("remap — cycle-level simulator of the ReMAP architecture (MICRO 2010)");
+    println!();
+    println!("usage:");
+    println!("  remap list                          list benchmarks and modes");
+    println!("  remap table1                        print Table I (relative area/power)");
+    println!("  remap run <bench> <mode> [size]     run one validated workload");
+    println!("  remap sweep <bench> <mode> [sizes]  sweep a barrier workload");
+    println!();
+    println!("modes (computation benchmarks): seq, seq2, spl");
+    println!("modes (communication benchmarks): seq, seq2, comp, comm, compcomm, ooo2comm, swq");
+    println!("modes (barrier benchmarks): seq, sw:<p>, barrier:<p>, barrier+comp:<p>, hwnet:<p>");
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("computation-only benchmarks (modes: seq seq2 spl):");
+    for b in CompBench::ALL {
+        println!("  {:<12} ({:.0}% of program execution)", b.name(), b.exec_fraction() * 100.0);
+    }
+    println!("communication benchmarks (modes: seq seq2 comp comm compcomm ooo2comm swq):");
+    for b in CommBench::ALL {
+        println!("  {:<12} ({:.0}% of program execution)", b.name(), b.exec_fraction() * 100.0);
+    }
+    println!("barrier benchmarks (modes: seq sw:<p> barrier:<p> barrier+comp:<p> hwnet:<p>):");
+    for b in BarrierBench::ALL {
+        let comp = if b.supports_comp() { " (+comp variant)" } else { "" };
+        println!("  {}{comp}", b.name());
+    }
+    Ok(())
+}
+
+fn cmd_table1() -> Result<(), String> {
+    let t = table1(&EnergyParams::default());
+    println!("4-way shared SPL vs four OOO1 cores (paper: 0.51 / 0.14 / 0.67):");
+    println!("  area          {:.2}", t.spl_rel_area);
+    println!("  peak dynamic  {:.2}", t.spl_rel_peak_dynamic);
+    println!("  leakage       {:.2}", t.spl_rel_leakage);
+    Ok(())
+}
+
+fn parse_threads(mode: &str, prefix: &str) -> Result<usize, String> {
+    let p = mode
+        .strip_prefix(prefix)
+        .and_then(|s| s.strip_prefix(':'))
+        .ok_or_else(|| format!("mode `{mode}` needs `:<threads>`"))?;
+    p.parse::<usize>().map_err(|_| format!("bad thread count in `{mode}`"))
+}
+
+fn parse_barrier_mode(mode: &str) -> Result<BarrierMode, String> {
+    if mode == "seq" {
+        return Ok(BarrierMode::Seq);
+    }
+    if mode.starts_with("sw") {
+        return Ok(BarrierMode::Sw(parse_threads(mode, "sw")?));
+    }
+    if mode.starts_with("barrier+comp") {
+        return Ok(BarrierMode::RemapComp(parse_threads(mode, "barrier+comp")?));
+    }
+    if mode.starts_with("barrier") {
+        return Ok(BarrierMode::Remap(parse_threads(mode, "barrier")?));
+    }
+    if mode.starts_with("hwnet") {
+        return Ok(BarrierMode::HwIdeal(parse_threads(mode, "hwnet")?));
+    }
+    Err(format!("unknown barrier mode `{mode}`"))
+}
+
+fn report(name: &str, mode: &str, n: usize, m: &Measurement) {
+    println!("{name} [{mode}] n={n}: validated OK");
+    println!("  cycles       {}", m.cycles);
+    println!("  instructions {}", m.committed);
+    println!("  IPC          {:.3}", m.committed as f64 / m.cycles as f64);
+    println!("  energy       {:.3} uJ", m.energy_pj / 1e6);
+    println!("  energy*delay {:.3e} pJ*cycles", m.ed());
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let [bench, mode, rest @ ..] = args else {
+        return Err("usage: remap run <bench> <mode> [size]".into());
+    };
+    let n: Option<usize> = match rest {
+        [] => None,
+        [s] => Some(s.parse().map_err(|_| format!("bad size `{s}`"))?),
+        _ => return Err("too many arguments".into()),
+    };
+    if let Some(b) = CompBench::ALL.iter().find(|b| b.name() == bench) {
+        let m = match mode.as_str() {
+            "seq" => CompMode::SeqOoo1,
+            "seq2" => CompMode::SeqOoo2,
+            "spl" => CompMode::Spl,
+            other => return Err(format!("unknown computation mode `{other}`")),
+        };
+        let n = n.unwrap_or(2048);
+        let meas = b.run(m, n)?;
+        report(b.name(), mode, n, &meas);
+        return Ok(());
+    }
+    if let Some(b) = CommBench::ALL.iter().find(|b| b.name() == bench) {
+        let m = match mode.as_str() {
+            "seq" => CommMode::SeqOoo1,
+            "seq2" => CommMode::SeqOoo2,
+            "comp" => CommMode::Comp1T,
+            "comm" => CommMode::Comm2T,
+            "compcomm" => CommMode::CompComm2T,
+            "ooo2comm" => CommMode::Ooo2Comm,
+            "swq" => CommMode::SwQueue2T,
+            other => return Err(format!("unknown communication mode `{other}`")),
+        };
+        let n = n.unwrap_or(2048);
+        let meas = b.run(m, n)?;
+        report(b.name(), mode, n, &meas);
+        return Ok(());
+    }
+    if let Some(b) = BarrierBench::ALL.iter().find(|b| b.name().eq_ignore_ascii_case(bench)) {
+        let m = parse_barrier_mode(mode)?;
+        let n = n.unwrap_or(match b {
+            BarrierBench::Dijkstra => 120,
+            _ => 128,
+        });
+        let meas = b.run(m, n)?;
+        report(b.name(), mode, n, &meas);
+        println!(
+            "  per-iteration {:.0} cycles ({} iterations)",
+            meas.cycles as f64 / b.iterations(n) as f64,
+            b.iterations(n)
+        );
+        return Ok(());
+    }
+    Err(format!("unknown benchmark `{bench}` (try `remap list`)"))
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let [bench, mode, sizes @ ..] = args else {
+        return Err("usage: remap sweep <barrier-bench> <mode> [sizes...]".into());
+    };
+    let b = BarrierBench::ALL
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(bench))
+        .ok_or_else(|| format!("unknown barrier benchmark `{bench}`"))?;
+    let m = parse_barrier_mode(mode)?;
+    let sizes: Vec<usize> = if sizes.is_empty() {
+        match b {
+            BarrierBench::Dijkstra => vec![20, 40, 80, 120, 160, 200],
+            BarrierBench::Ll6 => vec![8, 16, 32, 64, 128, 256],
+            BarrierBench::Ll3 => vec![32, 64, 128, 256, 512, 1024],
+            BarrierBench::Ll2 => vec![8, 16, 32, 64, 128, 256, 512],
+        }
+    } else {
+        sizes
+            .iter()
+            .map(|s| s.parse().map_err(|_| format!("bad size `{s}`")))
+            .collect::<Result<_, _>>()?
+    };
+    println!("{} [{}]:", b.name(), mode);
+    println!("{:<10} {:>12} {:>14} {:>14}", "size", "cycles", "cycles/iter", "ED (pJ*cyc)");
+    for n in sizes {
+        let meas = b.run(m, n)?;
+        println!(
+            "{:<10} {:>12} {:>14.0} {:>14.3e}",
+            n,
+            meas.cycles,
+            meas.cycles as f64 / b.iterations(n) as f64,
+            meas.ed()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_mode_parsing() {
+        assert_eq!(parse_barrier_mode("seq").unwrap(), BarrierMode::Seq);
+        assert_eq!(parse_barrier_mode("sw:8").unwrap(), BarrierMode::Sw(8));
+        assert_eq!(parse_barrier_mode("barrier:4").unwrap(), BarrierMode::Remap(4));
+        assert_eq!(
+            parse_barrier_mode("barrier+comp:16").unwrap(),
+            BarrierMode::RemapComp(16)
+        );
+        assert_eq!(parse_barrier_mode("hwnet:6").unwrap(), BarrierMode::HwIdeal(6));
+        assert!(parse_barrier_mode("barrier").is_err(), "missing thread count");
+        assert!(parse_barrier_mode("sw:x").is_err(), "bad thread count");
+        assert!(parse_barrier_mode("bogus:2").is_err());
+    }
+
+    #[test]
+    fn run_command_rejects_unknown_benchmark() {
+        let args: Vec<String> =
+            vec!["nope".into(), "seq".into()];
+        assert!(cmd_run(&args).is_err());
+    }
+
+    #[test]
+    fn run_command_executes_small_workload() {
+        let args: Vec<String> = vec!["wc".into(), "seq".into(), "64".into()];
+        cmd_run(&args).expect("wc seq runs and validates");
+    }
+
+    #[test]
+    fn sweep_command_executes() {
+        let args: Vec<String> =
+            vec!["ll3".into(), "barrier:2".into(), "32".into()];
+        cmd_sweep(&args).expect("ll3 sweep runs");
+    }
+
+    #[test]
+    fn table1_and_list_do_not_error() {
+        cmd_table1().unwrap();
+        cmd_list().unwrap();
+    }
+}

@@ -1,0 +1,140 @@
+//! Idealized dedicated hardware barrier network (homogeneous baseline,
+//! §V-C.2).
+//!
+//! Models dedicated-interconnect barrier proposals (Beckmann &
+//! Polychronopoulos; Shang & Hwang): cores announce arrival over a private
+//! network with no cost, and all participants release the cycle after the
+//! last arrival. Reusable across barrier instances via generation counters
+//! (sense reversal).
+
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Default)]
+struct BarState {
+    total: u32,
+    count: u32,
+    generation: u64,
+    /// Generation at which each waiting core arrived.
+    waiting: HashMap<usize, u64>,
+}
+
+/// An ideal hardware barrier network.
+///
+/// Cores poll [`HwBarrierNet::poll`] each cycle while blocked at a `hwbar`
+/// instruction; the first poll registers arrival, subsequent polls check for
+/// release.
+#[derive(Debug, Clone, Default)]
+pub struct HwBarrierNet {
+    barriers: HashMap<u8, BarState>,
+    /// Barrier episodes completed.
+    pub completions: u64,
+}
+
+impl HwBarrierNet {
+    /// Creates an empty network.
+    pub fn new() -> HwBarrierNet {
+        HwBarrierNet::default()
+    }
+
+    /// Declares barrier `id` to synchronize `total` cores. Must be called
+    /// before any participant polls.
+    pub fn configure(&mut self, id: u8, total: u32) {
+        self.barriers.entry(id).or_default().total = total;
+    }
+
+    /// Polls barrier `id` from `core`. The first poll of an episode arrives;
+    /// returns `true` once the episode has released this core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier was not configured.
+    pub fn poll(&mut self, core: usize, id: u8) -> bool {
+        let b = self.barriers.get_mut(&id).expect("barrier not configured");
+        match b.waiting.get(&core).copied() {
+            None => {
+                // Arrival.
+                b.count += 1;
+                if b.count == b.total {
+                    // Last arrival: release everyone.
+                    b.generation += 1;
+                    b.count = 0;
+                    b.waiting.remove(&core);
+                    self.completions += 1;
+                    true
+                } else {
+                    b.waiting.insert(core, b.generation);
+                    false
+                }
+            }
+            Some(gen) => {
+                if b.generation > gen {
+                    b.waiting.remove(&core);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_core_barrier_releases_both() {
+        let mut net = HwBarrierNet::new();
+        net.configure(0, 2);
+        assert!(!net.poll(0, 0), "first core waits");
+        assert!(!net.poll(0, 0), "still waiting");
+        assert!(net.poll(1, 0), "last arrival releases immediately");
+        assert!(net.poll(0, 0), "waiter observes release");
+        assert_eq!(net.completions, 1);
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let mut net = HwBarrierNet::new();
+        net.configure(3, 2);
+        for _ in 0..5 {
+            assert!(!net.poll(0, 3));
+            assert!(net.poll(1, 3));
+            assert!(net.poll(0, 3));
+        }
+        assert_eq!(net.completions, 5);
+    }
+
+    #[test]
+    fn interleaved_episodes_do_not_confuse_generations() {
+        let mut net = HwBarrierNet::new();
+        net.configure(0, 2);
+        assert!(!net.poll(0, 0));
+        assert!(net.poll(1, 0));
+        // Core 1 races ahead into the next episode before core 0 noticed.
+        assert!(!net.poll(1, 0), "core 1 arrives at episode 2");
+        assert!(net.poll(0, 0), "core 0 releases from episode 1");
+        assert!(!net.poll(1, 0), "episode 2 still waiting for core 0");
+        assert!(net.poll(0, 0), "core 0's arrival completes episode 2");
+        assert!(net.poll(1, 0));
+        assert_eq!(net.completions, 2);
+    }
+
+    #[test]
+    fn independent_ids() {
+        let mut net = HwBarrierNet::new();
+        net.configure(0, 2);
+        net.configure(1, 2);
+        assert!(!net.poll(0, 0));
+        assert!(!net.poll(0, 1));
+        assert!(net.poll(1, 1));
+        assert!(net.poll(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not configured")]
+    fn unconfigured_panics() {
+        let mut net = HwBarrierNet::new();
+        net.poll(0, 9);
+    }
+}

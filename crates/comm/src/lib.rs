@@ -1,0 +1,28 @@
+//! # remap-comm
+//!
+//! Communication state for the ReMAP reproduction:
+//!
+//! * the **Thread-to-Core table** (§II-B.1): a small per-SPL CAM mapping
+//!   threads to cores, with in-flight instruction counters that virtualize
+//!   destination selection and gate thread switch-out;
+//! * the **Barrier table** (§II-B.2): per-cluster tracking of active
+//!   barriers (IDs, arrived/total thread counts, participating cores,
+//!   active bits);
+//! * the **inter-cluster barrier bus** (16 data lines + control) used when a
+//!   barrier spans multiple SPL clusters;
+//! * the two baseline devices the paper compares against: an idealized
+//!   dedicated hardware queue network (the OOO2+Comm configuration) and an
+//!   idealized dedicated hardware barrier network (the homogeneous-cluster
+//!   comparison of §V-C.2).
+
+mod barrier;
+mod bus;
+mod hwbarrier;
+mod hwqueue;
+mod t2c;
+
+pub use barrier::{ArriveOutcome, BarrierTable};
+pub use bus::{BarrierBus, BusMessage};
+pub use hwbarrier::HwBarrierNet;
+pub use hwqueue::HwQueueNet;
+pub use t2c::{T2cError, ThreadToCoreTable};

@@ -1,0 +1,217 @@
+//! Whole-program composition for the heterogeneous-CMP experiments
+//! (Figures 8 and 9).
+//!
+//! The paper runs entire SPEC/MediaBench programs in which only the
+//! functions of Table III (a known fraction `f` of baseline execution time)
+//! are optimized; the rest of the program runs on an OOO2 core, and moving
+//! between clusters drains in-flight instructions and stalls 500 cycles.
+//!
+//! We simulate the optimized regions cycle-accurately and compose
+//! whole-program performance and energy with the published fractions — the
+//! standard Amdahl-style region accounting:
+//!
+//! * `T_base = T_region_base / f` (whole program on one OOO1 core),
+//! * `T_cfg = T_region_cfg + (T_base − T_region_base) / s₂ + 2·m·500`,
+//!   where `s₂` is the measured OOO2 speedup on non-region code and `m` the
+//!   number of region entries (migration round trips; zero for OOO2+Comm,
+//!   which never migrates),
+//! * energy composes the same way with the measured OOO2 energy ratio.
+
+/// Cycles and energy measured for one code region under one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionMeasurement {
+    /// Simulated cycles.
+    pub cycles: f64,
+    /// Simulated total energy in picojoules.
+    pub energy_pj: f64,
+}
+
+impl RegionMeasurement {
+    /// Convenience constructor from a run.
+    pub fn new(cycles: u64, energy_pj: f64) -> RegionMeasurement {
+        RegionMeasurement { cycles: cycles as f64, energy_pj }
+    }
+}
+
+/// Measured relationship between the OOO2 and OOO1 cores on generic
+/// (non-region) code, used to scale the unoptimized remainder of each
+/// program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreCalibration {
+    /// OOO1 cycles / OOO2 cycles on the calibration mix (> 1).
+    pub ooo2_speedup: f64,
+    /// OOO2 energy / OOO1 energy for the same work (> 1).
+    pub ooo2_energy_ratio: f64,
+}
+
+impl CoreCalibration {
+    /// Identity calibration: the remainder runs on the same OOO1 core.
+    pub fn identity() -> CoreCalibration {
+        CoreCalibration { ooo2_speedup: 1.0, ooo2_energy_ratio: 1.0 }
+    }
+
+    /// Builds a calibration from baseline (OOO1) and OOO2 measurements of
+    /// the same kernel.
+    pub fn from_runs(ooo1: RegionMeasurement, ooo2: RegionMeasurement) -> CoreCalibration {
+        CoreCalibration {
+            ooo2_speedup: ooo1.cycles / ooo2.cycles,
+            ooo2_energy_ratio: ooo2.energy_pj / ooo1.energy_pj,
+        }
+    }
+}
+
+/// Whole-program parameters for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WholeProgram {
+    /// Fraction of baseline execution time spent in the optimized functions
+    /// (Table III's "% Exec Time").
+    pub region_fraction: f64,
+    /// Times the program enters an optimized region (each entry/exit pair
+    /// costs two migrations in the ReMAP configuration).
+    pub region_entries: f64,
+    /// Stall cycles per migration (500 in the paper).
+    pub migration_cycles: f64,
+}
+
+impl WholeProgram {
+    /// Creates the parameter set; `region_fraction` must be in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_fraction` is outside `(0, 1]`.
+    pub fn new(region_fraction: f64, region_entries: u64) -> WholeProgram {
+        assert!(
+            region_fraction > 0.0 && region_fraction <= 1.0,
+            "region fraction must be in (0,1], got {region_fraction}"
+        );
+        WholeProgram {
+            region_fraction,
+            region_entries: region_entries as f64,
+            migration_cycles: 500.0,
+        }
+    }
+
+    /// Composes whole-program speedup and relative energy×delay for a
+    /// configuration whose optimized region was measured as `optimized`,
+    /// with the program remainder running on a core described by `calib`.
+    /// Set `migrates` for configurations that move between clusters around
+    /// each region (the ReMAP heterogeneous configuration).
+    pub fn compose(
+        &self,
+        baseline_region: RegionMeasurement,
+        optimized_region: RegionMeasurement,
+        calib: CoreCalibration,
+        migrates: bool,
+    ) -> WholeProgramResult {
+        let f = self.region_fraction;
+        let t_reg_base = baseline_region.cycles;
+        let t_base = t_reg_base / f;
+        let t_other = t_base - t_reg_base;
+        // Baseline power density extends to the remainder of the program.
+        let p_base = baseline_region.energy_pj / t_reg_base.max(1.0);
+        let e_other_base = p_base * t_other;
+        let e_base = p_base * t_base;
+
+        let migration = if migrates {
+            2.0 * self.region_entries * self.migration_cycles
+        } else {
+            0.0
+        };
+        let t_cfg = optimized_region.cycles + t_other / calib.ooo2_speedup + migration;
+        let e_cfg = optimized_region.energy_pj
+            + e_other_base * calib.ooo2_energy_ratio
+            + migration * p_base; // migrating cores still burn baseline power
+
+        WholeProgramResult {
+            speedup: t_base / t_cfg,
+            rel_energy: e_cfg / e_base,
+            rel_ed: (e_cfg * t_cfg) / (e_base * t_base),
+            total_cycles: t_cfg,
+            total_energy_pj: e_cfg,
+        }
+    }
+}
+
+/// Whole-program outcome of one configuration, relative to the
+/// single-threaded OOO1 baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WholeProgramResult {
+    /// Baseline time / configuration time.
+    pub speedup: f64,
+    /// Configuration energy / baseline energy.
+    pub rel_energy: f64,
+    /// Configuration ED / baseline ED (Figure 9's metric).
+    pub rel_ed: f64,
+    /// Absolute composed cycles.
+    pub total_cycles: f64,
+    /// Absolute composed energy.
+    pub total_energy_pj: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> RegionMeasurement {
+        RegionMeasurement::new(1_000_000, 1e9)
+    }
+
+    #[test]
+    fn no_optimization_is_identity() {
+        let wp = WholeProgram::new(0.5, 0);
+        let r = wp.compose(base(), base(), CoreCalibration::identity(), false);
+        assert!((r.speedup - 1.0).abs() < 1e-9);
+        assert!((r.rel_ed - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amdahl_limit() {
+        // Infinite region speedup with f = 0.5 caps whole-program speedup
+        // at 2x.
+        let wp = WholeProgram::new(0.5, 0);
+        let opt = RegionMeasurement::new(1, 1.0);
+        let r = wp.compose(base(), opt, CoreCalibration::identity(), false);
+        assert!(r.speedup < 2.0);
+        assert!(r.speedup > 1.99);
+    }
+
+    #[test]
+    fn migration_cost_hurts_short_regions() {
+        let wp_few = WholeProgram::new(0.5, 10);
+        let wp_many = WholeProgram::new(0.5, 100_000);
+        let opt = RegionMeasurement::new(500_000, 5e8);
+        let r_few = wp_few.compose(base(), opt, CoreCalibration::identity(), true);
+        let r_many = wp_many.compose(base(), opt, CoreCalibration::identity(), true);
+        assert!(r_few.speedup > r_many.speedup);
+        // 100k entries × 1000 cycles of migration swamp the benefit: this is
+        // the twolf effect from the paper.
+        assert!(r_many.speedup < 1.0);
+    }
+
+    #[test]
+    fn faster_remainder_core_helps() {
+        let wp = WholeProgram::new(0.3, 0);
+        let opt = RegionMeasurement::new(150_000, 2e8);
+        let calib = CoreCalibration { ooo2_speedup: 1.4, ooo2_energy_ratio: 1.5 };
+        let with_ooo2 = wp.compose(base(), opt, calib, false);
+        let with_ooo1 = wp.compose(base(), opt, CoreCalibration::identity(), false);
+        assert!(with_ooo2.speedup > with_ooo1.speedup);
+        assert!(with_ooo2.rel_energy > with_ooo1.rel_energy, "OOO2 spends more energy");
+    }
+
+    #[test]
+    fn calibration_from_runs() {
+        let c = CoreCalibration::from_runs(
+            RegionMeasurement::new(1000, 1e6),
+            RegionMeasurement::new(800, 1.2e6),
+        );
+        assert!((c.ooo2_speedup - 1.25).abs() < 1e-9);
+        assert!((c.ooo2_energy_ratio - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "region fraction")]
+    fn bad_fraction_panics() {
+        let _ = WholeProgram::new(0.0, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # remap
+//!
+//! The core library of the ReMAP reproduction: a heterogeneous CMP in which
+//! clusters of out-of-order cores share a Specialized Programmable Logic
+//! (SPL) fabric that accelerates computation, fine-grained producer→consumer
+//! communication with integrated computation, and fine-grained barrier
+//! synchronization with integrated computation (Watkins & Albonesi,
+//! MICRO 2010).
+//!
+//! A [`System`] is assembled with [`SystemBuilder`]: cores (OOO1/OOO2 per
+//! Table II) each running a [`Program`](remap_isa::Program), zero or more
+//! SPL clusters with registered [`SplFunction`](remap_spl::SplFunction)s,
+//! and optionally the two baseline devices the paper compares against
+//! (idealized hardware queues for OOO2+Comm and an idealized hardware
+//! barrier network for the homogeneous-cluster comparison). The system steps
+//! all cores cycle by cycle, ticking each SPL fabric at one quarter of the
+//! core clock, maintaining the Thread-to-Core and Barrier tables, and
+//! brokering inter-cluster barrier traffic over the dedicated bus.
+//!
+//! ```
+//! use remap::{SystemBuilder, CoreKind};
+//! use remap_isa::{Asm, Reg::*};
+//! use remap_spl::{Dest, SplConfig, SplFunction};
+//!
+//! // One core + SPL: compute 3*x + 1 in the fabric.
+//! let mut a = Asm::new("affine");
+//! a.li(R1, 14);
+//! a.spl_load(R1, 0, 4);
+//! a.spl_init(1);
+//! a.spl_store(R2);
+//! a.halt();
+//!
+//! let mut b = SystemBuilder::new();
+//! b.add_core(CoreKind::Ooo1, a.assemble()?);
+//! b.add_spl_cluster(SplConfig::paper(1), vec![0]);
+//! b.register_spl(1, SplFunction::compute("3x+1", 3, Dest::SelfCore, |e| {
+//!     (3 * e.u32(0) + 1) as u64
+//! }));
+//! let mut sys = b.build();
+//! let report = sys.run(100_000)?;
+//! assert_eq!(sys.reg(0, R2), 43);
+//! assert!(report.cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod hetero;
+mod report;
+mod system;
+
+pub use hetero::{CoreCalibration, RegionMeasurement, WholeProgram, WholeProgramResult};
+pub use remap_power::CoreKind;
+pub use report::{RunError, RunReport};
+pub use system::{BarrierSpec, System, SystemBuilder, SPL_CLOCK_DIVISOR};

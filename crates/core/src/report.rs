@@ -1,0 +1,87 @@
+//! Run outcomes and aggregate reports.
+
+use remap_cpu::CoreStats;
+use std::error::Error;
+use std::fmt;
+
+/// Why a [`System::run`](crate::System::run) did not finish cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The cycle limit elapsed before every core halted.
+    Timeout {
+        /// The limit that elapsed.
+        max_cycles: u64,
+        /// Cores that had not halted.
+        running: Vec<usize>,
+    },
+    /// No core made forward progress (committed an instruction) for a long
+    /// window — a lost wakeup, queue deadlock, or barrier mismatch.
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        cycle: u64,
+        /// Cores that had not halted.
+        running: Vec<usize>,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Timeout { max_cycles, running } => {
+                write!(f, "timeout after {max_cycles} cycles; cores {running:?} still running")
+            }
+            RunError::Deadlock { cycle, running } => {
+                write!(f, "no forward progress by cycle {cycle}; cores {running:?} stuck")
+            }
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Cycles until the last core halted.
+    pub cycles: u64,
+    /// Per-core statistics snapshot at completion.
+    pub core_stats: Vec<CoreStats>,
+}
+
+impl RunReport {
+    /// Total instructions retired across all cores.
+    pub fn total_committed(&self) -> u64 {
+        self.core_stats.iter().map(|s| s.committed).sum()
+    }
+
+    /// Aggregate IPC over all cores (committed / cycles).
+    pub fn aggregate_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_committed() as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates() {
+        let a = CoreStats { committed: 10, ..Default::default() };
+        let b = CoreStats { committed: 30, ..Default::default() };
+        let r = RunReport { cycles: 20, core_stats: vec![a, b] };
+        assert_eq!(r.total_committed(), 40);
+        assert_eq!(r.aggregate_ipc(), 2.0);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = RunError::Deadlock { cycle: 5, running: vec![1] };
+        assert!(e.to_string().contains("cycle 5"));
+        let t = RunError::Timeout { max_cycles: 9, running: vec![] };
+        assert!(t.to_string().contains('9'));
+    }
+}

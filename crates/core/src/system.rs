@@ -1,0 +1,904 @@
+//! System assembly and the cycle loop.
+
+use crate::report::{RunError, RunReport};
+use remap_comm::{ArriveOutcome, BarrierBus, BarrierTable, HwBarrierNet, HwQueueNet, ThreadToCoreTable};
+use remap_cpu::{Core, CoreConfig, CorePorts, PortPush};
+use remap_isa::{Program, Reg};
+use remap_mem::{FlatMem, Hierarchy, HierarchyConfig};
+use remap_power::{CoreKind, EnergyBreakdown, PowerModel};
+use remap_spl::{Dest, FunctionKind, RequestError, Spl, SplConfig, SplFunction, SplStats};
+use std::collections::HashMap;
+
+/// The SPL runs at one quarter of the core clock (500 MHz vs 2 GHz).
+pub const SPL_CLOCK_DIVISOR: u64 = 4;
+
+/// Architectural identity of a barrier-type SPL configuration: which barrier
+/// it implements and how many threads synchronize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierSpec {
+    /// Barrier ID written into the Barrier table.
+    pub barrier_id: u32,
+    /// Total participating threads (across all clusters).
+    pub total: u32,
+}
+
+struct SplCluster {
+    spl: Spl,
+    /// Global core IDs attached, in local-index order.
+    cores: Vec<usize>,
+}
+
+struct PendingRelease {
+    cfg: u16,
+    cluster: usize,
+    at: u64,
+    local_cores: Vec<usize>,
+}
+
+/// Everything outside the cores; implements [`CorePorts`].
+struct Env {
+    hier: Hierarchy,
+    clusters: Vec<SplCluster>,
+    /// Global core → (cluster, local index).
+    core_cluster: Vec<Option<(usize, usize)>>,
+    t2c: ThreadToCoreTable,
+    btable: BarrierTable,
+    hwq: HwQueueNet,
+    hwbar: HwBarrierNet,
+    bus: BarrierBus,
+    specs: HashMap<u16, BarrierSpec>,
+    pending_releases: Vec<PendingRelease>,
+    core_thread: Vec<u32>,
+    app_id: u32,
+    cycle: u64,
+}
+
+impl Env {
+    fn cluster_of(&self, core: usize) -> (usize, usize) {
+        self.core_cluster[core]
+            .unwrap_or_else(|| panic!("core {core} is not attached to an SPL cluster"))
+    }
+}
+
+impl CorePorts for Env {
+    fn inst_fetch(&mut self, core: usize, addr: u64) -> u32 {
+        self.hier.inst_fetch(core, addr)
+    }
+    fn load(&mut self, core: usize, addr: u64, size: u8) -> (u64, u32) {
+        self.hier.load(core, addr, size)
+    }
+    fn store(&mut self, core: usize, addr: u64, size: u8, value: u64) -> u32 {
+        self.hier.store(core, addr, size, value)
+    }
+    fn amo_add(&mut self, core: usize, addr: u64, delta: i64) -> (i64, u32) {
+        self.hier.amo_add(core, addr, delta)
+    }
+
+    fn spl_load(&mut self, core: usize, offset: u8, nbytes: u8, value: u64) -> PortPush {
+        let (ci, local) = self.cluster_of(core);
+        self.clusters[ci].spl.stage(local, offset, nbytes, value);
+        PortPush::Accepted
+    }
+
+    fn spl_init(&mut self, core: usize, cfg: u16) -> PortPush {
+        let (ci, local) = self.cluster_of(core);
+        let is_barrier;
+        let dest_thread;
+        {
+            let func = self.clusters[ci]
+                .spl
+                .function(cfg)
+                .unwrap_or_else(|| panic!("spl_init of unregistered configuration {cfg}"));
+            is_barrier = func.is_barrier();
+            dest_thread = match func.kind() {
+                FunctionKind::Compute { dest: Dest::Thread(t), .. } => Some(*t),
+                _ => None,
+            };
+        }
+        if is_barrier {
+            match self.clusters[ci].spl.request(local, cfg, usize::MAX) {
+                Ok(()) => {
+                    self.barrier_arrive(cfg, ci, core);
+                    PortPush::Accepted
+                }
+                Err(RequestError::QueueFull) => PortPush::Stall,
+                Err(e @ RequestError::UnknownConfig(_)) => panic!("{e}"),
+            }
+        } else {
+            // Resolve the destination core. A missing consumer thread stalls
+            // issue (§II-B.1: "instructions will not issue to the fabric if
+            // the destination thread is not available").
+            let dest_global = match dest_thread {
+                None => core,
+                Some(t) => match self.t2c.lookup(t) {
+                    Some(c) => c,
+                    None => return PortPush::Stall,
+                },
+            };
+            let (dci, dlocal) = self.cluster_of(dest_global);
+            assert_eq!(
+                dci, ci,
+                "producer and consumer must share an SPL cluster (cores {core} -> {dest_global})"
+            );
+            // In-flight limit toward the destination core (max 24).
+            if !self.t2c.inc_in_flight(dest_global) {
+                return PortPush::Stall;
+            }
+            match self.clusters[ci].spl.request(local, cfg, dlocal) {
+                Ok(()) => PortPush::Accepted,
+                Err(RequestError::QueueFull) => {
+                    self.t2c.dec_in_flight(dest_global);
+                    PortPush::Stall
+                }
+                Err(e @ RequestError::UnknownConfig(_)) => panic!("{e}"),
+            }
+        }
+    }
+
+    fn spl_store(&mut self, core: usize) -> Option<u64> {
+        let (ci, local) = self.cluster_of(core);
+        self.clusters[ci].spl.pop_output(local)
+    }
+
+    fn hwq_send(&mut self, _core: usize, q: u8, value: u64) -> PortPush {
+        if self.hwq.send(q as usize, value) {
+            PortPush::Accepted
+        } else {
+            PortPush::Stall
+        }
+    }
+    fn hwq_recv(&mut self, _core: usize, q: u8) -> Option<u64> {
+        self.hwq.recv(q as usize)
+    }
+    fn hwbar(&mut self, core: usize, id: u8) -> bool {
+        self.hwbar.poll(core, id)
+    }
+}
+
+impl Env {
+    /// Handles a barrier arrival: updates the Barrier table and, on global
+    /// completion, schedules per-cluster fabric releases (immediate locally,
+    /// after the dedicated-bus latency for remote clusters).
+    fn barrier_arrive(&mut self, cfg: u16, cluster: usize, core: usize) {
+        let spec = *self
+            .specs
+            .get(&cfg)
+            .unwrap_or_else(|| panic!("barrier configuration {cfg} has no BarrierSpec"));
+        let thread = self.core_thread[core];
+        // Multi-cluster systems broadcast every arrival on the barrier bus.
+        let multi = self.clusters.len() > 1;
+        if multi {
+            self.bus.send(spec.barrier_id, self.app_id, cluster, self.cycle);
+        }
+        match self.btable.arrive(spec.barrier_id, self.app_id, spec.total, core, thread) {
+            ArriveOutcome::Waiting { .. } => {}
+            ArriveOutcome::Release(cores) => {
+                // Group participants by cluster; the last arrival's cluster
+                // releases immediately, remote clusters after the bus delay.
+                let mut by_cluster: HashMap<usize, Vec<usize>> = HashMap::new();
+                for c in cores {
+                    let (ci, local) = self.cluster_of(c);
+                    by_cluster.entry(ci).or_default().push(local);
+                }
+                let remote_at = self.cycle + if multi { 8 } else { 0 };
+                for (ci, locals) in by_cluster {
+                    let at = if ci == cluster { self.cycle } else { remote_at };
+                    self.pending_releases.push(PendingRelease {
+                        cfg,
+                        cluster: ci,
+                        at,
+                        local_cores: locals,
+                    });
+                }
+            }
+            ArriveOutcome::MissingThreads(missing) => {
+                // The controller would raise an exception to switch the
+                // threads back in; our experiments never switch threads out
+                // mid-barrier.
+                panic!("barrier {cfg} complete but threads {missing:?} are inactive");
+            }
+        }
+    }
+
+    fn process_releases(&mut self) {
+        let now = self.cycle;
+        let due: Vec<PendingRelease> = {
+            let (d, rest): (Vec<_>, Vec<_>) =
+                self.pending_releases.drain(..).partition(|p| p.at <= now);
+            self.pending_releases = rest;
+            d
+        };
+        for p in due {
+            self.clusters[p.cluster].spl.release_barrier(p.cfg, p.local_cores);
+        }
+    }
+}
+
+/// Builds a [`System`].
+///
+/// See the crate-level example. Cores are added first (their insertion order
+/// is their global ID), then SPL clusters attach to explicit core lists,
+/// functions and barrier specs are registered, and [`SystemBuilder::build`]
+/// produces the runnable system.
+pub struct SystemBuilder {
+    cores: Vec<(CoreKind, CoreConfig, Program)>,
+    init_regs: Vec<(usize, Reg, i64)>,
+    clusters: Vec<(SplConfig, Vec<usize>)>,
+    fns: Vec<(u16, SplFunction)>,
+    specs: HashMap<u16, BarrierSpec>,
+    hwq_queues: usize,
+    hwq_capacity: usize,
+    hwbars: Vec<(u8, u32)>,
+    hier_cfg: HierarchyConfig,
+    thread_binds: Vec<(usize, u32)>,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder {
+            cores: Vec::new(),
+            init_regs: Vec::new(),
+            clusters: Vec::new(),
+            fns: Vec::new(),
+            specs: HashMap::new(),
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            hwbars: Vec::new(),
+            hier_cfg: HierarchyConfig::default(),
+            thread_binds: Vec::new(),
+        }
+    }
+}
+
+impl SystemBuilder {
+    /// Creates an empty builder with the Table II memory hierarchy.
+    pub fn new() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// Adds a core of the given kind running `program`; returns its ID.
+    /// By default the core runs thread `id` (bind another with
+    /// [`SystemBuilder::bind_thread`]).
+    pub fn add_core(&mut self, kind: CoreKind, program: Program) -> usize {
+        let cfg = match kind {
+            CoreKind::Ooo1 => CoreConfig::ooo1(),
+            CoreKind::Ooo2 => CoreConfig::ooo2(),
+        };
+        self.add_core_with_config(kind, cfg, program)
+    }
+
+    /// Adds a core with an explicit configuration (for ablations).
+    pub fn add_core_with_config(
+        &mut self,
+        kind: CoreKind,
+        cfg: CoreConfig,
+        program: Program,
+    ) -> usize {
+        self.cores.push((kind, cfg, program));
+        self.cores.len() - 1
+    }
+
+    /// Seeds an architectural register before the program starts (argument
+    /// passing: thread IDs, array base pointers).
+    pub fn set_reg(&mut self, core: usize, r: Reg, v: i64) {
+        self.init_regs.push((core, r, v));
+    }
+
+    /// Attaches an SPL cluster to the given cores. `cfg.n_cores` must equal
+    /// `cores.len()`; local SPL indices follow the list order.
+    pub fn add_spl_cluster(&mut self, cfg: SplConfig, cores: Vec<usize>) {
+        self.clusters.push((cfg, cores));
+    }
+
+    /// Registers an SPL function configuration (on every cluster).
+    pub fn register_spl(&mut self, id: u16, func: SplFunction) {
+        self.fns.push((id, func));
+    }
+
+    /// Declares a barrier-type configuration's identity: barrier ID and
+    /// total participating threads.
+    pub fn barrier_spec(&mut self, cfg: u16, barrier_id: u32, total: u32) {
+        self.specs.insert(cfg, BarrierSpec { barrier_id, total });
+    }
+
+    /// Configures an idealized hardware barrier (homogeneous baseline).
+    pub fn hwbar(&mut self, id: u8, total: u32) {
+        self.hwbars.push((id, total));
+    }
+
+    /// Overrides the hardware-queue bank geometry (OOO2+Comm baseline).
+    pub fn hwq(&mut self, queues: usize, capacity: usize) {
+        self.hwq_queues = queues;
+        self.hwq_capacity = capacity;
+    }
+
+    /// Overrides the memory-hierarchy configuration.
+    pub fn memory(&mut self, cfg: HierarchyConfig) {
+        self.hier_cfg = cfg;
+    }
+
+    /// Binds thread `thread` to `core` (default: thread ID = core ID).
+    pub fn bind_thread(&mut self, core: usize, thread: u32) {
+        self.thread_binds.push((core, thread));
+    }
+
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent topology: a cluster whose core list length
+    /// differs from its `n_cores`, out-of-range core IDs, or a core attached
+    /// to two clusters.
+    pub fn build(self) -> System {
+        let n = self.cores.len();
+        let mut core_cluster: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut clusters = Vec::new();
+        for (ci, (cfg, cores)) in self.clusters.into_iter().enumerate() {
+            assert_eq!(cfg.n_cores, cores.len(), "cluster {ci}: n_cores mismatch");
+            let mut spl = Spl::new(cfg);
+            for (id, f) in &self.fns {
+                spl.register(*id, f.clone());
+            }
+            for (local, &g) in cores.iter().enumerate() {
+                assert!(g < n, "cluster {ci}: core {g} out of range");
+                assert!(core_cluster[g].is_none(), "core {g} attached to two clusters");
+                core_cluster[g] = Some((ci, local));
+            }
+            clusters.push(SplCluster { spl, cores });
+        }
+        let mut core_thread: Vec<u32> = (0..n as u32).collect();
+        for (c, t) in self.thread_binds {
+            core_thread[c] = t;
+        }
+        let mut t2c = ThreadToCoreTable::new(n);
+        for (c, &t) in core_thread.iter().enumerate() {
+            t2c.bind(c, t, 0);
+        }
+        let mut hwbar = HwBarrierNet::new();
+        for (id, total) in self.hwbars {
+            hwbar.configure(id, total);
+        }
+        let mut cores = Vec::with_capacity(n);
+        let mut kinds = Vec::with_capacity(n);
+        for (i, (kind, cfg, prog)) in self.cores.into_iter().enumerate() {
+            cores.push(Core::new(i, cfg, prog));
+            kinds.push(kind);
+        }
+        for (c, r, v) in self.init_regs {
+            cores[c].set_reg(r, v);
+        }
+        System {
+            cores,
+            kinds,
+            env: Env {
+                hier: Hierarchy::new(n, self.hier_cfg),
+                clusters,
+                core_cluster,
+                t2c,
+                btable: BarrierTable::new(n.max(1)),
+                hwq: HwQueueNet::new(self.hwq_queues, self.hwq_capacity),
+                hwbar,
+                bus: BarrierBus::new(8),
+                specs: self.specs,
+                pending_releases: Vec::new(),
+                core_thread,
+                app_id: 0,
+                cycle: 0,
+            },
+        }
+    }
+}
+
+/// A runnable ReMAP system: cores plus their shared environment.
+pub struct System {
+    cores: Vec<Core>,
+    kinds: Vec<CoreKind>,
+    env: Env,
+}
+
+impl System {
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.env.cycle
+    }
+
+    /// Whether every core has halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(|c| c.halted())
+    }
+
+    /// Shared functional memory (workload setup and result inspection).
+    pub fn mem(&self) -> &FlatMem {
+        self.env.hier.mem()
+    }
+
+    /// Mutable shared memory; use before running to initialize workloads.
+    pub fn mem_mut(&mut self) -> &mut FlatMem {
+        self.env.hier.mem_mut()
+    }
+
+    /// Architectural register value of a core.
+    pub fn reg(&self, core: usize, r: Reg) -> i64 {
+        self.cores[core].reg(r)
+    }
+
+    /// A core's statistics.
+    pub fn core_stats(&self, core: usize) -> &remap_cpu::CoreStats {
+        self.cores[core].stats()
+    }
+
+    /// A cluster's SPL statistics.
+    pub fn spl_stats(&self, cluster: usize) -> &SplStats {
+        self.env.clusters[cluster].spl.stats()
+    }
+
+    /// The memory hierarchy (cache/bus statistics).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.env.hier
+    }
+
+    /// Advances the whole system by one core cycle. Returns `false` once
+    /// every core has halted.
+    pub fn step(&mut self) -> bool {
+        self.env.cycle += 1;
+        if self.env.cycle.is_multiple_of(SPL_CLOCK_DIVISOR) {
+            self.env.process_releases();
+            let spl_cycle = self.env.cycle / SPL_CLOCK_DIVISOR;
+            // Drain bus deliveries (energy accounting happens via counters).
+            let _ = self.env.bus.deliver(self.env.cycle);
+            for ci in 0..self.env.clusters.len() {
+                let events = self.env.clusters[ci].spl.tick(spl_cycle);
+                for e in events {
+                    if e.from_core != usize::MAX {
+                        let dest_global = self.env.clusters[ci].cores[e.dest_core];
+                        self.env.t2c.dec_in_flight(dest_global);
+                    }
+                }
+            }
+        }
+        let mut any = false;
+        for core in &mut self.cores {
+            if core.step(&mut self.env) {
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Runs until every core halts or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Timeout`] at the cycle limit; [`RunError::Deadlock`] when
+    /// no core commits an instruction for 200 000 consecutive cycles.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, RunError> {
+        const STALL_WINDOW: u64 = 200_000;
+        let mut last_progress = self.env.cycle;
+        let mut last_committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+        while !self.all_halted() {
+            if self.env.cycle >= max_cycles {
+                return Err(RunError::Timeout { max_cycles, running: self.running_cores() });
+            }
+            self.step();
+            let committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+            if committed != last_committed {
+                last_committed = committed;
+                last_progress = self.env.cycle;
+            } else if self.env.cycle - last_progress > STALL_WINDOW {
+                return Err(RunError::Deadlock {
+                    cycle: self.env.cycle,
+                    running: self.running_cores(),
+                });
+            }
+        }
+        Ok(RunReport {
+            cycles: self.env.cycle,
+            core_stats: self.cores.iter().map(|c| c.stats().clone()).collect(),
+        })
+    }
+
+    fn running_cores(&self) -> Vec<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.halted())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// SPL results currently in flight toward `core` (the Thread-to-Core
+    /// table's counter of §II-B.1).
+    pub fn spl_in_flight(&self, core: usize) -> u8 {
+        self.env.t2c.in_flight(core)
+    }
+
+    /// Attempts to switch the thread off `core`, per §II-B.1: the request
+    /// is refused while SPL results are still in flight toward the core
+    /// (the thread must keep running until the counter drains), and the
+    /// thread is marked inactive in the Barrier table so a completing
+    /// barrier can detect the missing participant.
+    ///
+    /// # Errors
+    ///
+    /// [`remap_comm::T2cError::InFlight`] while results are outstanding;
+    /// [`remap_comm::T2cError::NotBound`] if the core is idle.
+    pub fn try_switch_out(&mut self, core: usize) -> Result<(), remap_comm::T2cError> {
+        let thread = self.env.core_thread[core];
+        self.env.t2c.unbind(core)?;
+        self.env.btable.set_active(thread, false);
+        Ok(())
+    }
+
+    /// Switches `thread` back in on `core` (rebinds the Thread-to-Core
+    /// entry and reactivates it in the Barrier table).
+    pub fn switch_in(&mut self, core: usize, thread: u32) {
+        self.env.core_thread[core] = thread;
+        self.env.t2c.bind(core, thread, self.env.app_id);
+        self.env.btable.set_active(thread, true);
+    }
+
+    /// Total energy of the run so far under the given power model: core
+    /// pipelines, caches, bus/DRAM, SPL fabrics, and the barrier bus.
+    pub fn energy(&self, model: &PowerModel) -> EnergyBreakdown {
+        let mut total = EnergyBreakdown::default();
+        for (i, core) in self.cores.iter().enumerate() {
+            total.add(model.core_energy(self.kinds[i], core.stats(), core.pred_stats()));
+            let (l1i, l1d, l2) = self.env.hier.cache_stats(i);
+            total.add(model.cache_energy(&l1i, &l1d, &l2));
+        }
+        total.add(model.bus_energy(self.env.hier.bus_stats()));
+        for cl in &self.env.clusters {
+            total.add(model.spl_energy(cl.spl.stats(), cl.spl.config().rows, self.env.cycle));
+        }
+        total.add(model.barrier_bus_energy(self.env.bus.messages));
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remap_isa::{Asm, Reg::*};
+
+    #[test]
+    fn single_core_no_spl() {
+        let mut a = Asm::new("t");
+        a.li(R1, 11);
+        a.muli(R2, R1, 3);
+        a.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
+        let mut sys = b.build();
+        let report = sys.run(10_000).unwrap();
+        assert_eq!(sys.reg(0, R2), 33);
+        assert_eq!(report.core_stats.len(), 1);
+        assert!(report.total_committed() >= 3);
+    }
+
+    #[test]
+    fn spl_individual_computation() {
+        // Figure 1(a): a thread computing f in the fabric.
+        let mut a = Asm::new("t");
+        a.li(R1, 5);
+        a.spl_load(R1, 0, 4);
+        a.spl_init(1);
+        a.spl_store(R2);
+        a.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
+        b.add_spl_cluster(SplConfig::paper(1), vec![0]);
+        b.register_spl(1, SplFunction::compute("sq", 4, Dest::SelfCore, |e| {
+            let x = e.u32(0) as u64;
+            x * x
+        }));
+        let mut sys = b.build();
+        sys.run(100_000).unwrap();
+        assert_eq!(sys.reg(0, R2), 25);
+        assert_eq!(sys.spl_stats(0).compute_ops, 1);
+    }
+
+    #[test]
+    fn spl_producer_consumer() {
+        // Figure 1(b): core 0 produces through the fabric to core 1.
+        let mut p = Asm::new("producer");
+        p.li(R1, 0);
+        p.li(R2, 10);
+        p.label("loop");
+        p.spl_load(R1, 0, 4);
+        p.spl_init(1);
+        p.addi(R1, R1, 1);
+        p.bne(R1, R2, "loop");
+        p.halt();
+
+        let mut c = Asm::new("consumer");
+        c.li(R1, 0);
+        c.li(R2, 10);
+        c.li(R5, 0);
+        c.label("loop");
+        c.spl_store(R3);
+        c.add(R5, R5, R3);
+        c.addi(R1, R1, 1);
+        c.bne(R1, R2, "loop");
+        c.halt();
+
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, p.assemble().unwrap());
+        b.add_core(CoreKind::Ooo1, c.assemble().unwrap());
+        b.add_spl_cluster(SplConfig::paper(2), vec![0, 1]);
+        // Send 2x+1 to the consumer thread (thread 1 = core 1).
+        b.register_spl(1, SplFunction::compute("2x+1", 5, Dest::Thread(1), |e| {
+            (2 * e.u32(0) + 1) as u64
+        }));
+        let mut sys = b.build();
+        sys.run(200_000).unwrap();
+        // sum of 2i+1 for i in 0..10 = 100.
+        assert_eq!(sys.reg(1, R5), 100);
+        assert_eq!(sys.spl_stats(0).compute_ops, 10);
+    }
+
+    #[test]
+    fn spl_barrier_with_computation() {
+        // Figure 1(c): four threads synchronize; fabric computes global min.
+        let mk = |seed: i32| {
+            let mut a = Asm::new("bar");
+            a.li(R1, seed);
+            a.spl_load(R1, 0, 4);
+            a.spl_init(2);
+            a.spl_store(R2);
+            a.fence();
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let mut b = SystemBuilder::new();
+        for i in 0..4 {
+            b.add_core(CoreKind::Ooo1, mk(40 - 10 * i));
+        }
+        b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
+        b.register_spl(2, SplFunction::barrier("gmin", 6, |es| {
+            es.iter().map(|e| e.u32(0)).min().unwrap_or(0) as u64
+        }));
+        b.barrier_spec(2, 1, 4);
+        let mut sys = b.build();
+        sys.run(200_000).unwrap();
+        for i in 0..4 {
+            assert_eq!(sys.reg(i, R2), 10, "every thread receives the global min");
+        }
+        assert_eq!(sys.spl_stats(0).barrier_ops, 1);
+    }
+
+    #[test]
+    fn barrier_across_two_clusters() {
+        // Eight threads on two SPL clusters: regional barrier+min per
+        // cluster happens in the fabric; arrivals cross the dedicated bus.
+        let mk = |v: i32| {
+            let mut a = Asm::new("bar2");
+            a.li(R1, v);
+            a.spl_load(R1, 0, 4);
+            a.spl_init(3);
+            a.spl_store(R2);
+            a.fence();
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let mut b = SystemBuilder::new();
+        for i in 0..8 {
+            b.add_core(CoreKind::Ooo1, mk(100 + i));
+        }
+        b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
+        b.add_spl_cluster(SplConfig::paper(4), vec![4, 5, 6, 7]);
+        b.register_spl(3, SplFunction::barrier("rmin", 6, |es| {
+            es.iter().map(|e| e.u32(0)).min().unwrap_or(0) as u64
+        }));
+        b.barrier_spec(3, 7, 8);
+        let mut sys = b.build();
+        sys.run(400_000).unwrap();
+        // Each cluster computes its *regional* minimum.
+        for i in 0..4 {
+            assert_eq!(sys.reg(i, R2), 100);
+        }
+        for i in 4..8 {
+            assert_eq!(sys.reg(i, R2), 104);
+        }
+    }
+
+    #[test]
+    fn hwq_baseline_pair() {
+        let mut p = Asm::new("p");
+        p.li(R1, 0);
+        p.li(R2, 20);
+        p.label("loop");
+        p.hwq_send(R1, 0);
+        p.addi(R1, R1, 1);
+        p.bne(R1, R2, "loop");
+        p.halt();
+        let mut c = Asm::new("c");
+        c.li(R1, 0);
+        c.li(R2, 20);
+        c.li(R5, 0);
+        c.label("loop");
+        c.hwq_recv(R3, 0);
+        c.add(R5, R5, R3);
+        c.addi(R1, R1, 1);
+        c.bne(R1, R2, "loop");
+        c.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo2, p.assemble().unwrap());
+        b.add_core(CoreKind::Ooo2, c.assemble().unwrap());
+        let mut sys = b.build();
+        sys.run(100_000).unwrap();
+        assert_eq!(sys.reg(1, R5), 190);
+    }
+
+    #[test]
+    fn hwbar_baseline() {
+        let mk = || {
+            let mut a = Asm::new("hb");
+            a.li(R1, 0);
+            a.li(R2, 5);
+            a.label("loop");
+            a.hwbar(0);
+            a.addi(R1, R1, 1);
+            a.bne(R1, R2, "loop");
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let mut b = SystemBuilder::new();
+        for _ in 0..4 {
+            b.add_core(CoreKind::Ooo1, mk());
+        }
+        b.hwbar(0, 4);
+        let mut sys = b.build();
+        sys.run(200_000).unwrap();
+        for i in 0..4 {
+            assert_eq!(sys.reg(i, R1), 5);
+        }
+    }
+
+    #[test]
+    fn shared_memory_spin_flag() {
+        // Core 0 stores a flag; core 1 spins on it (MESI-coherent).
+        let mut w = Asm::new("writer");
+        w.li(R1, 0x100);
+        w.li(R2, 123);
+        w.sw(R2, R1, 0);
+        w.li(R3, 0x104);
+        w.li(R4, 1);
+        w.sw(R4, R3, 0);
+        w.fence();
+        w.halt();
+        let mut r = Asm::new("reader");
+        r.li(R3, 0x104);
+        r.label("spin");
+        r.lw(R4, R3, 0);
+        r.beq(R4, R0, "spin");
+        r.li(R1, 0x100);
+        r.lw(R5, R1, 0);
+        r.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, w.assemble().unwrap());
+        b.add_core(CoreKind::Ooo1, r.assemble().unwrap());
+        let mut sys = b.build();
+        sys.run(100_000).unwrap();
+        assert_eq!(sys.reg(1, R5), 123);
+    }
+
+    #[test]
+    fn deadlock_detected_on_empty_queue() {
+        let mut a = Asm::new("stuck");
+        a.spl_store(R1); // nothing will ever arrive
+        a.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
+        b.add_spl_cluster(SplConfig::paper(1), vec![0]);
+        let mut sys = b.build();
+        match sys.run(2_000_000) {
+            Err(RunError::Deadlock { running, .. }) => assert_eq!(running, vec![0]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn energy_is_positive_and_grows_with_work() {
+        let mk = |n: i32| {
+            let mut a = Asm::new("w");
+            a.li(R1, 0);
+            a.li(R2, n);
+            a.label("loop");
+            a.addi(R1, R1, 1);
+            a.bne(R1, R2, "loop");
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let model = PowerModel::new();
+        let run = |n: i32| {
+            let mut b = SystemBuilder::new();
+            b.add_core(CoreKind::Ooo1, mk(n));
+            let mut sys = b.build();
+            sys.run(1_000_000).unwrap();
+            sys.energy(&model).total_pj()
+        };
+        let e_small = run(100);
+        let e_big = run(1000);
+        assert!(e_small > 0.0);
+        assert!(e_big > 2.0 * e_small);
+    }
+
+    #[test]
+    fn switch_out_blocked_while_results_in_flight() {
+        // A producer fills the fabric with results bound for the consumer;
+        // §II-B.1: the consumer thread may not switch out until the
+        // in-flight counter drains.
+        let mut p = Asm::new("p");
+        p.li(R1, 5);
+        for _ in 0..4 {
+            p.spl_load(R1, 0, 4);
+            p.spl_init(1);
+        }
+        p.halt();
+        let mut c = Asm::new("c");
+        c.li(R2, 0);
+        for _ in 0..4 {
+            c.spl_store(R3);
+            c.add(R2, R2, R3);
+        }
+        c.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, p.assemble().unwrap());
+        b.add_core(CoreKind::Ooo1, c.assemble().unwrap());
+        b.add_spl_cluster(SplConfig::paper(2), vec![0, 1]);
+        b.register_spl(1, SplFunction::compute("slow", 24, Dest::Thread(1), |e| {
+            e.u32(0) as u64 * 3
+        }));
+        let mut sys = b.build();
+        // Step until something is in flight toward the consumer.
+        let mut saw_in_flight = false;
+        for _ in 0..100_000 {
+            sys.step();
+            if sys.spl_in_flight(1) > 0 {
+                saw_in_flight = true;
+                assert!(
+                    matches!(
+                        sys.try_switch_out(1),
+                        Err(remap_comm::T2cError::InFlight(_))
+                    ),
+                    "switch-out must be refused while results are in flight"
+                );
+                break;
+            }
+        }
+        assert!(saw_in_flight, "producer never got a result in flight");
+        // Let everything drain; now the consumer can switch out and back in.
+        sys.run(1_000_000).unwrap();
+        assert_eq!(sys.spl_in_flight(1), 0);
+        assert_eq!(sys.reg(1, R2), 4 * 15);
+        sys.try_switch_out(1).unwrap();
+        sys.switch_in(1, 1);
+    }
+
+    #[test]
+    fn in_flight_counter_drains() {
+        let mut a = Asm::new("t");
+        for _ in 0..3 {
+            a.li(R1, 1);
+            a.spl_load(R1, 0, 4);
+            a.spl_init(1);
+        }
+        for _ in 0..3 {
+            a.spl_store(R2);
+        }
+        a.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
+        b.add_spl_cluster(SplConfig::paper(1), vec![0]);
+        b.register_spl(1, SplFunction::compute("id", 2, Dest::SelfCore, |e| e.u32(0) as u64));
+        let mut sys = b.build();
+        sys.run(100_000).unwrap();
+        // All results consumed: nothing in flight afterwards.
+        assert_eq!(sys.env.t2c.in_flight(0), 0);
+    }
+}

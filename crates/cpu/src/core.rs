@@ -1,0 +1,1253 @@
+//! The cycle-level out-of-order core.
+//!
+//! Pipeline structure (modeled after the SESC-style cores of Table II):
+//!
+//! * **Fetch** — one instruction group per L1I access, up to `fetch_width`
+//!   instructions; conditional branches consult the hybrid predictor and the
+//!   BTB, calls/returns use the RAS; fetch groups end at taken transfers.
+//! * **Dispatch/Rename** — up to `fetch_width` per cycle into the ROB, with
+//!   ROB-based renaming (the map table points at in-flight producers) and
+//!   issue-queue occupancy limits (32 int / 16 FP).
+//! * **Issue/Execute** — oldest-first select of up to `issue_width` ready
+//!   instructions per cycle, constrained by functional-unit counts; loads
+//!   obey conservative memory disambiguation with exact-match store-to-load
+//!   forwarding.
+//! * **Writeback** — completed values broadcast to waiting consumers;
+//!   mispredicted branches squash all younger work and redirect fetch.
+//! * **Commit** — up to `retire_width` per cycle, in order. Stores drain
+//!   through a post-commit store buffer. ReMAP queue operations take effect
+//!   at commit (`spl_load`/`spl_init` push with back-pressure) or execute
+//!   non-speculatively at the ROB head (`spl_store`, `hwq_recv`, atomics,
+//!   fences, hardware barriers), which models the paper's decoupled
+//!   queue-based SPL interface.
+
+use crate::bpred::{Prediction, Predictor};
+use crate::config::CoreConfig;
+use crate::ports::{CorePorts, PortPush};
+use crate::stats::{class_index, CoreStats};
+use remap_isa::{Inst, InstClass, Program, Reg};
+
+/// Byte address where code is mapped for I-cache indexing; keeps code
+/// addresses disjoint from any data the workloads use.
+pub const CODE_BASE: u64 = 0x4000_0000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Ready(i64),
+    Wait(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Waiting for operands / functional unit (or for the ROB head, for
+    /// at-head-only operations).
+    Waiting,
+    /// In a functional unit; completes at the contained cycle.
+    Executing(u64),
+    /// Result available.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    pc: u32,
+    inst: Inst,
+    src: [Src; 2],
+    status: Status,
+    value: i64,
+    /// Effective address and size for memory operations (set at execute).
+    mem_addr: Option<u64>,
+    mem_size: u8,
+    /// Whether this entry still holds an issue-queue slot.
+    in_iq: bool,
+    /// Prediction snapshot for control transfers.
+    pred: Option<Prediction>,
+    /// Predicted next PC decided at fetch.
+    pred_next: u32,
+    /// Actual next PC (set at execute for control transfers).
+    actual_next: u32,
+    mispredicted: bool,
+    /// For at-head multi-cycle operations: busy until this cycle.
+    head_busy_until: u64,
+    /// For at-head operations: has the port action been performed?
+    head_done: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    pc: u32,
+    inst: Inst,
+    pred: Option<Prediction>,
+    pred_next: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StoreBufEntry {
+    addr: u64,
+    size: u8,
+    value: u64,
+}
+
+/// A single out-of-order core executing one [`Program`].
+///
+/// The core is stepped one cycle at a time with [`Core::step`]; all
+/// interaction with memory and the SPL/communication devices goes through
+/// the [`CorePorts`] implementation supplied to `step`, so the same core
+/// model serves every system configuration in the paper.
+#[derive(Debug, Clone)]
+pub struct Core {
+    id: usize,
+    cfg: CoreConfig,
+    program: Program,
+    pred: Predictor,
+    regs: [i64; Reg::COUNT],
+    map: [Option<u64>; Reg::COUNT],
+    rob: Vec<RobEntry>,
+    fetch_buf: Vec<Fetched>,
+    fetch_pc: u32,
+    /// In-flight I-cache access: instructions arrive at this cycle.
+    fetch_inflight: Option<(u64, Vec<Fetched>)>,
+    /// Fetch is blocked on an unpredictable indirect jump.
+    fetch_blocked: bool,
+    /// Fetch may not start a new group before this cycle (BTB-miss bubble).
+    fetch_bubble_until: u64,
+    store_buf: Vec<StoreBufEntry>,
+    store_drain_done: u64,
+    int_div_free_at: u64,
+    fp_div_free_at: u64,
+    halted: bool,
+    cycle: u64,
+    next_seq: u64,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core with the given configuration executing `program` from
+    /// instruction 0. All registers start at zero.
+    pub fn new(id: usize, cfg: CoreConfig, program: Program) -> Core {
+        Core {
+            id,
+            cfg,
+            program,
+            pred: Predictor::new(cfg.bpred_bits, cfg.btb_entries, cfg.ras),
+            regs: [0; Reg::COUNT],
+            map: [None; Reg::COUNT],
+            rob: Vec::with_capacity(cfg.rob),
+            fetch_buf: Vec::new(),
+            fetch_pc: 0,
+            fetch_inflight: None,
+            fetch_blocked: false,
+            fetch_bubble_until: 0,
+            store_buf: Vec::new(),
+            store_drain_done: 0,
+            int_div_free_at: 0,
+            fp_div_free_at: 0,
+            halted: false,
+            cycle: 0,
+            next_seq: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This core's index (used for all port calls).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Whether a `halt` instruction has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Activity statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Branch predictor statistics.
+    pub fn pred_stats(&self) -> &crate::bpred::PredStats {
+        self.pred.stats()
+    }
+
+    /// Architectural (retired) value of a register.
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    /// Sets an architectural register before the program starts (thread id,
+    /// argument pointers). Must not be called once stepping has begun.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core has already been stepped.
+    pub fn set_reg(&mut self, r: Reg, v: i64) {
+        assert_eq!(self.cycle, 0, "set_reg after execution started");
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Advances the core by one cycle against the given environment.
+    ///
+    /// Returns `true` while the core is still running (not halted).
+    pub fn step<P: CorePorts + ?Sized>(&mut self, ports: &mut P) -> bool {
+        if self.halted {
+            return false;
+        }
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        self.drain_store_buffer(ports);
+        self.commit(ports);
+        self.writeback();
+        self.issue(ports);
+        self.dispatch();
+        self.fetch(ports);
+        !self.halted
+    }
+
+    // --- fetch --------------------------------------------------------------
+
+    fn fetch<P: CorePorts + ?Sized>(&mut self, ports: &mut P) {
+        // Land a completed I-cache access.
+        if let Some((done_at, _)) = self.fetch_inflight {
+            if self.cycle >= done_at && self.fetch_buf.len() < 2 * self.cfg.fetch_width as usize {
+                let (_, group) = self.fetch_inflight.take().expect("checked above");
+                self.stats.fetched += group.len() as u64;
+                self.fetch_buf.extend(group);
+            }
+        }
+        if self.fetch_inflight.is_some()
+            || self.fetch_blocked
+            || self.halted
+            || self.cycle < self.fetch_bubble_until
+            || self.fetch_buf.len() >= 2 * self.cfg.fetch_width as usize
+        {
+            return;
+        }
+        // Assemble the next fetch group.
+        let mut group = Vec::new();
+        let mut pc = self.fetch_pc;
+        let first_pc = pc;
+        let mut blocked = false;
+        let mut bubble = false;
+        for _ in 0..self.cfg.fetch_width {
+            let inst = self.program.fetch(pc).unwrap_or(Inst::Halt);
+            let mut f = Fetched { pc, inst, pred: None, pred_next: pc + 1 };
+            match inst {
+                Inst::Branch { target, .. } => {
+                    let p = self.pred.predict(pc, true);
+                    let taken = p.taken;
+                    if taken && p.target.is_none() {
+                        // BTB miss on a predicted-taken branch: we still know
+                        // the target statically, but charge a fetch bubble.
+                        bubble = true;
+                    }
+                    f.pred = Some(p);
+                    f.pred_next = if taken { target } else { pc + 1 };
+                    group.push(f);
+                    pc = f.pred_next;
+                    if taken {
+                        break;
+                    }
+                    continue;
+                }
+                Inst::Jal { rd, target } => {
+                    if rd == Reg::R31 {
+                        self.pred.ras_push(pc + 1);
+                    }
+                    f.pred_next = target;
+                    group.push(f);
+                    pc = target;
+                    break;
+                }
+                Inst::Jalr { rd, rs1 } => {
+                    if rd == Reg::R0 && rs1 == Reg::R31 {
+                        if let Some(t) = self.pred.ras_pop() {
+                            f.pred_next = t;
+                            group.push(f);
+                            pc = t;
+                            break;
+                        }
+                    }
+                    // Unpredictable indirect jump: fetch stalls until resolve.
+                    group.push(f);
+                    blocked = true;
+                    break;
+                }
+                Inst::Halt => {
+                    group.push(f);
+                    blocked = true; // nothing useful to fetch past a halt
+                    break;
+                }
+                _ => {
+                    group.push(f);
+                    pc += 1;
+                }
+            }
+        }
+        self.fetch_pc = pc;
+        self.fetch_blocked = blocked;
+        if bubble {
+            self.fetch_bubble_until = self.cycle + 2;
+        }
+        let lat = ports.inst_fetch(self.id, CODE_BASE + 4 * first_pc as u64);
+        self.fetch_inflight = Some((self.cycle + lat as u64, group));
+    }
+
+    // --- dispatch -----------------------------------------------------------
+
+    fn iq_occupancy(&self) -> (usize, usize) {
+        let mut int = 0;
+        let mut fp = 0;
+        for e in &self.rob {
+            if e.in_iq {
+                if e.inst.class() == InstClass::Fp {
+                    fp += 1;
+                } else {
+                    int += 1;
+                }
+            }
+        }
+        (int, fp)
+    }
+
+    fn resolve_src(&self, r: Reg) -> Src {
+        if r.is_zero() {
+            return Src::Ready(0);
+        }
+        match self.map[r.index()] {
+            Some(seq) => match self.rob.iter().find(|e| e.seq == seq) {
+                Some(e) if e.status == Status::Done => Src::Ready(e.value),
+                Some(_) => Src::Wait(seq),
+                // Producer already committed: value is architectural.
+                None => Src::Ready(self.regs[r.index()]),
+            },
+            None => Src::Ready(self.regs[r.index()]),
+        }
+    }
+
+    fn dispatch(&mut self) {
+        let (mut int_occ, mut fp_occ) = self.iq_occupancy();
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_buf.is_empty() {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob {
+                self.stats.rob_full_stalls += 1;
+                break;
+            }
+            let f = self.fetch_buf[0];
+            let class = f.inst.class();
+            let needs_iq = (matches!(
+                class,
+                InstClass::IntAlu
+                    | InstClass::IntMul
+                    | InstClass::IntDiv
+                    | InstClass::Fp
+                    | InstClass::Load
+                    | InstClass::Store
+                    | InstClass::Branch
+            ) && !matches!(f.inst, Inst::Jal { .. }))
+                // Queue pushes read a register in the pipeline like stores.
+                || matches!(f.inst, Inst::SplLoad { .. } | Inst::HwqSend { .. });
+            if needs_iq {
+                if class == InstClass::Fp {
+                    if fp_occ >= self.cfg.fp_iq {
+                        self.stats.iq_full_stalls += 1;
+                        break;
+                    }
+                } else if int_occ >= self.cfg.int_iq {
+                    self.stats.iq_full_stalls += 1;
+                    break;
+                }
+            }
+            self.fetch_buf.remove(0);
+            let srcs = f.inst.sources();
+            let src = [
+                srcs[0].map_or(Src::Ready(0), |r| self.resolve_src(r)),
+                srcs[1].map_or(Src::Ready(0), |r| self.resolve_src(r)),
+            ];
+            self.stats.regfile_reads += srcs.iter().flatten().count() as u64;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            // SplLoad also stages its value at execute like an ALU op; at-head
+            // ops and pure pushes sit in the ROB without an IQ slot.
+            let status = match f.inst {
+                Inst::Nop | Inst::SplInit { .. } => Status::Done,
+                Inst::Jal { .. } => Status::Done,
+                Inst::Halt => Status::Done,
+                _ => Status::Waiting,
+            };
+            let value = match f.inst {
+                Inst::Jal { .. } => f.pc as i64 + 1,
+                _ => 0,
+            };
+            if let Some(d) = f.inst.dest() {
+                self.map[d.index()] = Some(seq);
+            }
+            let entry = RobEntry {
+                seq,
+                pc: f.pc,
+                inst: f.inst,
+                src,
+                status,
+                value,
+                mem_addr: None,
+                mem_size: 0,
+                in_iq: needs_iq,
+                pred: f.pred,
+                pred_next: f.pred_next,
+                actual_next: f.pred_next,
+                mispredicted: false,
+                head_busy_until: 0,
+                head_done: false,
+            };
+            if needs_iq {
+                if class == InstClass::Fp {
+                    fp_occ += 1;
+                } else {
+                    int_occ += 1;
+                }
+            }
+            self.rob.push(entry);
+            self.stats.dispatched += 1;
+        }
+    }
+
+    // --- issue / execute ------------------------------------------------------
+
+    fn issue<P: CorePorts + ?Sized>(&mut self, ports: &mut P) {
+        let mut issued = 0u32;
+        let mut int_alus = self.cfg.int_alus;
+        let mut fp_alus = self.cfg.fp_alus;
+        let mut branch_units = self.cfg.branch_units;
+        let mut ldst_units = self.cfg.ldst_units;
+        let lat = self.cfg.lat;
+        let cycle = self.cycle;
+
+        for i in 0..self.rob.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let e = &self.rob[i];
+            if !e.in_iq || e.status != Status::Waiting {
+                continue;
+            }
+            if e.inst.is_at_head_only() {
+                continue; // handled at commit
+            }
+            let ready = e.src.iter().all(|s| matches!(s, Src::Ready(_)));
+            if !ready {
+                continue;
+            }
+            let class = e.inst.class();
+            // Functional-unit availability.
+            let fu_ok = match class {
+                InstClass::IntAlu | InstClass::IntMul | InstClass::Spl | InstClass::Hwq => {
+                    int_alus > 0
+                }
+                InstClass::IntDiv => int_alus > 0 && self.int_div_free_at <= cycle,
+                InstClass::Fp => {
+                    if matches!(e.inst, Inst::Fp { op: remap_isa::FpOp::Div, .. }) {
+                        fp_alus > 0 && self.fp_div_free_at <= cycle
+                    } else {
+                        fp_alus > 0
+                    }
+                }
+                InstClass::Branch => branch_units > 0,
+                InstClass::Load | InstClass::Store => ldst_units > 0,
+                _ => true,
+            };
+            if !fu_ok {
+                continue;
+            }
+            // Memory ordering rules for loads.
+            if class == InstClass::Load {
+                match self.load_check(i) {
+                    LoadPath::Blocked => continue,
+                    LoadPath::Forward(raw) => {
+                        let a = self.src_val(i, 0);
+                        let (offset, size, sign) = match self.rob[i].inst {
+                            Inst::Lw { offset, .. } => (offset, 4u8, true),
+                            Inst::Lb { offset, .. } => (offset, 1u8, true),
+                            Inst::Lbu { offset, .. } => (offset, 1u8, false),
+                            _ => unreachable!("load class"),
+                        };
+                        let addr = (a + offset as i64) as u64;
+                        let v = match (size, sign) {
+                            (1, true) => raw as u8 as i8 as i64,
+                            (1, false) => raw as u8 as i64,
+                            (4, true) => raw as u32 as i32 as i64,
+                            _ => raw,
+                        };
+                        let e = &mut self.rob[i];
+                        e.mem_addr = Some(addr);
+                        e.mem_size = size;
+                        e.value = v;
+                        e.status = Status::Executing(cycle + lat.agu as u64 + 1);
+                        ldst_units -= 1;
+                        issued += 1;
+                        self.stats.issued += 1;
+                        continue;
+                    }
+                    LoadPath::Memory => {
+                        let a = self.src_val(i, 0);
+                        let (offset, size, sign) = match self.rob[i].inst {
+                            Inst::Lw { offset, .. } => (offset, 4u8, true),
+                            Inst::Lb { offset, .. } => (offset, 1u8, true),
+                            Inst::Lbu { offset, .. } => (offset, 1u8, false),
+                            _ => unreachable!("load class"),
+                        };
+                        let addr = (a + offset as i64) as u64;
+                        let (raw, mlat) = ports.load(self.id, addr, size);
+                        let v = match (size, sign) {
+                            (1, true) => raw as u8 as i8 as i64,
+                            (1, false) => raw as u8 as i64,
+                            (4, true) => raw as u32 as i32 as i64,
+                            _ => raw as i64,
+                        };
+                        let e = &mut self.rob[i];
+                        e.mem_addr = Some(addr);
+                        e.mem_size = size;
+                        e.value = v;
+                        e.status = Status::Executing(cycle + (lat.agu + mlat) as u64);
+                        ldst_units -= 1;
+                        issued += 1;
+                        self.stats.issued += 1;
+                        continue;
+                    }
+                }
+            }
+
+            // Non-load execution.
+            let a = self.src_val(i, 0);
+            let b = self.src_val(i, 1);
+            let e = &mut self.rob[i];
+            let done_at;
+            match e.inst {
+                Inst::Alu { op, .. } => {
+                    e.value = op.apply(a, b);
+                    let l = match e.inst.class() {
+                        InstClass::IntMul => lat.int_mul,
+                        InstClass::IntDiv => lat.int_div,
+                        _ => lat.int_alu,
+                    };
+                    done_at = cycle + l as u64;
+                    if e.inst.class() == InstClass::IntDiv {
+                        self.int_div_free_at = done_at;
+                    }
+                    int_alus -= 1;
+                }
+                Inst::AluImm { op, imm, .. } => {
+                    e.value = op.apply(a, imm as i64);
+                    let l = match e.inst.class() {
+                        InstClass::IntMul => lat.int_mul,
+                        InstClass::IntDiv => lat.int_div,
+                        _ => lat.int_alu,
+                    };
+                    done_at = cycle + l as u64;
+                    if e.inst.class() == InstClass::IntDiv {
+                        self.int_div_free_at = done_at;
+                    }
+                    int_alus -= 1;
+                }
+                Inst::Fp { op, .. } => {
+                    e.value = op.apply(a, b);
+                    let l = if op == remap_isa::FpOp::Div { lat.fp_div } else { lat.fp_op };
+                    done_at = cycle + l as u64;
+                    if op == remap_isa::FpOp::Div {
+                        self.fp_div_free_at = done_at;
+                    }
+                    fp_alus -= 1;
+                }
+                Inst::Branch { cond, target, .. } => {
+                    let taken = cond.eval(a, b);
+                    e.actual_next = if taken { target } else { e.pc + 1 };
+                    e.mispredicted = e.actual_next != e.pred_next;
+                    done_at = cycle + 1;
+                    branch_units -= 1;
+                }
+                Inst::Jalr { .. } => {
+                    e.value = e.pc as i64 + 1;
+                    e.actual_next = a as u32;
+                    e.mispredicted = e.actual_next != e.pred_next;
+                    done_at = cycle + 1;
+                    branch_units -= 1;
+                }
+                Inst::Sw { offset, .. } | Inst::Sb { offset, .. } => {
+                    // AGU: compute the effective address; data (src 1) rides
+                    // along. The cache access happens post-commit.
+                    let addr = (a + offset as i64) as u64;
+                    e.mem_addr = Some(addr);
+                    e.mem_size = if matches!(e.inst, Inst::Sw { .. }) { 4 } else { 1 };
+                    e.value = b;
+                    done_at = cycle + lat.agu as u64;
+                    ldst_units -= 1;
+                }
+                Inst::SplLoad { .. } | Inst::HwqSend { .. } => {
+                    // Reads its operand; the queue push happens at commit.
+                    e.value = a;
+                    done_at = cycle + lat.int_alu as u64;
+                    int_alus -= 1;
+                }
+                other => unreachable!("unexpected instruction in issue: {other}"),
+            }
+            self.rob[i].status = Status::Executing(done_at);
+            issued += 1;
+            self.stats.issued += 1;
+        }
+    }
+
+    fn src_val(&self, i: usize, s: usize) -> i64 {
+        match self.rob[i].src[s] {
+            Src::Ready(v) => v,
+            Src::Wait(_) => panic!("src not ready"),
+        }
+    }
+
+    /// Memory-disambiguation check for the load at ROB index `i`.
+    fn load_check(&self, i: usize) -> LoadPath {
+        // Address must be computable: base ready (guaranteed by caller).
+        let base = match self.rob[i].src[0] {
+            Src::Ready(v) => v,
+            Src::Wait(_) => return LoadPath::Blocked,
+        };
+        let (offset, size) = match self.rob[i].inst {
+            Inst::Lw { offset, .. } => (offset, 4u8),
+            Inst::Lb { offset, .. } | Inst::Lbu { offset, .. } => (offset, 1u8),
+            _ => unreachable!(),
+        };
+        let addr = (base + offset as i64) as u64;
+        let end = addr + size as u64;
+        // Older in-ROB stores and ordering points.
+        let mut forward: Option<i64> = None;
+        for e in self.rob[..i].iter() {
+            let is_store = matches!(e.inst, Inst::Sw { .. } | Inst::Sb { .. });
+            // Loads may not issue past an unretired fence, atomic, or
+            // hardware barrier: these order memory across threads (a fence
+            // after a barrier guarantees younger loads observe remote
+            // stores made before the barrier).
+            if matches!(e.inst, Inst::AmoAdd { .. } | Inst::Fence | Inst::HwBar { .. }) {
+                return LoadPath::Blocked;
+            }
+            if !is_store {
+                continue;
+            }
+            match e.mem_addr {
+                None => return LoadPath::Blocked, // unknown older store address
+                Some(sa) => {
+                    let send = sa + e.mem_size as u64;
+                    if sa < end && addr < send {
+                        if sa == addr && e.mem_size == size && e.status == Status::Done {
+                            forward = Some(e.value);
+                        } else if sa == addr && e.mem_size == size {
+                            return LoadPath::Blocked; // data not ready yet
+                        } else {
+                            return LoadPath::Blocked; // partial overlap
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(v) = forward {
+            return LoadPath::Forward(v); // raw; sign handling at issue
+        }
+        // Post-commit store buffer: scan youngest-first so the most recent
+        // matching store forwards its value.
+        for s in self.store_buf.iter().rev() {
+            let send = s.addr + s.size as u64;
+            if s.addr < end && addr < send {
+                if s.addr == addr && s.size == size {
+                    return LoadPath::Forward(s.value as i64);
+                }
+                return LoadPath::Blocked;
+            }
+        }
+        LoadPath::Memory
+    }
+
+    // --- writeback ------------------------------------------------------------
+
+    fn writeback(&mut self) {
+        let cycle = self.cycle;
+        // Complete executions.
+        let mut completed: Vec<usize> = Vec::new();
+        for (i, e) in self.rob.iter_mut().enumerate() {
+            if let Status::Executing(t) = e.status {
+                if cycle >= t {
+                    e.status = Status::Done;
+                    e.in_iq = false;
+                    completed.push(i);
+                }
+            }
+        }
+        // Broadcast values to waiting consumers.
+        for &i in &completed {
+            let seq = self.rob[i].seq;
+            let v = self.rob[i].value;
+            if self.rob[i].inst.dest().is_some() {
+                for e in &mut self.rob {
+                    for s in &mut e.src {
+                        if *s == Src::Wait(seq) {
+                            *s = Src::Ready(v);
+                        }
+                    }
+                }
+            }
+        }
+        // Resolve control transfers oldest-first; squash on the first
+        // mispredict found.
+        for &i in &completed {
+            let e = &self.rob[i];
+            if !e.inst.is_control() {
+                continue;
+            }
+            if let Inst::Branch { target, .. } = e.inst {
+                let taken = e.actual_next == target && target != e.pc + 1 || {
+                    // `actual_next == pc+1` means not taken unless the target
+                    // *is* pc+1 (degenerate branch) — treat as taken there.
+                    e.actual_next == target && target == e.pc + 1
+                };
+                if let Some(p) = e.pred {
+                    self.pred.update(e.pc, taken, target, p);
+                }
+            }
+            if e.mispredicted {
+                let redirect = e.actual_next;
+                let seq = e.seq;
+                self.squash_after(seq, redirect);
+                break;
+            }
+        }
+        // A resolved indirect jump unblocks fetch even when it predicted
+        // correctly (fetch stopped at it with no predicted path only when the
+        // RAS could not guess; in that case it is flagged mispredicted and the
+        // squash path redirected us already). Handle the RAS-miss case: the
+        // entry predicted `pc+1` as a placeholder.
+        if self.fetch_blocked {
+            for &i in &completed {
+                if matches!(self.rob[i].inst, Inst::Jalr { .. }) {
+                    self.fetch_blocked = false;
+                    self.fetch_pc = self.rob[i].actual_next;
+                    // Discard any speculative wrong-path fetch state.
+                    self.fetch_buf.clear();
+                    self.fetch_inflight = None;
+                }
+            }
+        }
+    }
+
+    fn squash_after(&mut self, seq: u64, redirect: u32) {
+        let keep = self
+            .rob
+            .iter()
+            .position(|e| e.seq == seq)
+            .map(|p| p + 1)
+            .unwrap_or(self.rob.len());
+        let squashed = self.rob.len() - keep;
+        self.stats.squashed += squashed as u64;
+        self.rob.truncate(keep);
+        // Rebuild the rename map from surviving entries.
+        self.map = [None; Reg::COUNT];
+        for e in &self.rob {
+            if let Some(d) = e.inst.dest() {
+                self.map[d.index()] = Some(e.seq);
+            }
+        }
+        self.fetch_buf.clear();
+        self.fetch_inflight = None;
+        self.fetch_blocked = false;
+        self.fetch_pc = redirect;
+        // One-cycle redirect penalty on top of the refetch latency.
+        self.fetch_bubble_until = self.cycle + 1;
+    }
+
+    // --- commit ------------------------------------------------------------------
+
+    fn drain_store_buffer<P: CorePorts + ?Sized>(&mut self, ports: &mut P) {
+        if self.store_buf.is_empty() {
+            return;
+        }
+        if self.store_drain_done == 0 {
+            // Start draining the oldest store; data becomes globally visible
+            // now (the functional write happens at drain start).
+            let s = self.store_buf[0];
+            let lat = ports.store(self.id, s.addr, s.size, s.value);
+            self.store_drain_done = self.cycle + lat as u64;
+        }
+        if self.cycle >= self.store_drain_done {
+            self.store_buf.remove(0);
+            self.store_drain_done = 0;
+        }
+    }
+
+    fn commit<P: CorePorts + ?Sized>(&mut self, ports: &mut P) {
+        let mut retired = 0;
+        while retired < self.cfg.retire_width && !self.rob.is_empty() {
+            // At-head operations are executed here, non-speculatively.
+            if self.rob[0].status == Status::Waiting && self.rob[0].inst.is_at_head_only()
+                && !self.try_head_op(ports) {
+                    break;
+                }
+            let e = &self.rob[0];
+            if e.status != Status::Done {
+                break;
+            }
+            // Halt behaves like an implicit fence: all stores must be
+            // globally visible before the thread terminates.
+            if e.inst == Inst::Halt && !self.store_buf.is_empty() {
+                self.stats.fence_wait_cycles += 1;
+                break;
+            }
+            // Queue pushes take effect now, with back-pressure.
+            match e.inst {
+                Inst::SplLoad { offset, nbytes, .. } => {
+                    if ports.spl_load(self.id, offset, nbytes, e.value as u64) == PortPush::Stall
+                    {
+                        self.stats.spl_wait_cycles += 1;
+                        break;
+                    }
+                    self.stats.spl_ops += 1;
+                }
+                Inst::SplInit { cfg } => {
+                    if ports.spl_init(self.id, cfg) == PortPush::Stall {
+                        self.stats.spl_wait_cycles += 1;
+                        break;
+                    }
+                    self.stats.spl_ops += 1;
+                }
+                Inst::HwqSend { q, .. }
+                    if ports.hwq_send(self.id, q, e.value as u64) == PortPush::Stall => {
+                        self.stats.hw_wait_cycles += 1;
+                        break;
+                    }
+                Inst::Sw { .. } | Inst::Sb { .. } => {
+                    if self.store_buf.len() >= self.cfg.store_buffer {
+                        break; // store buffer full
+                    }
+                    let e = &self.rob[0];
+                    self.store_buf.push(StoreBufEntry {
+                        addr: e.mem_addr.expect("store executed"),
+                        size: e.mem_size,
+                        value: e.value as u64,
+                    });
+                }
+                _ => {}
+            }
+            let e = self.rob.remove(0);
+            if let Some(d) = e.inst.dest() {
+                self.regs[d.index()] = e.value;
+                self.stats.regfile_writes += 1;
+                if self.map[d.index()] == Some(e.seq) {
+                    self.map[d.index()] = None;
+                }
+            }
+            self.stats.committed += 1;
+            self.stats.committed_by_class[class_index(e.inst.class())] += 1;
+            if e.inst.is_control() {
+                self.stats.branches += 1;
+                if e.mispredicted {
+                    self.stats.mispredicts += 1;
+                }
+            }
+            if matches!(e.inst.class(), InstClass::Spl) {
+                // spl_store retirement counted here; loads/inits above.
+                if matches!(e.inst, Inst::SplStore { .. }) {
+                    self.stats.spl_ops += 1;
+                }
+            }
+            if e.inst == Inst::Halt {
+                self.halted = true;
+                break;
+            }
+            retired += 1;
+        }
+        if retired > 0 {
+            self.stats.busy_cycles += 1;
+        }
+    }
+
+    /// Attempts to execute the at-head operation at ROB index 0. Returns
+    /// `false` if commit must stall this cycle.
+    fn try_head_op<P: CorePorts + ?Sized>(&mut self, ports: &mut P) -> bool {
+        let lat = self.cfg.lat;
+        let cycle = self.cycle;
+        let e = &mut self.rob[0];
+        // Wait out a previously started multi-cycle head operation.
+        if e.head_done {
+            if cycle >= e.head_busy_until {
+                e.status = Status::Done;
+                let seq = e.seq;
+                let v = e.value;
+                if e.inst.dest().is_some() {
+                    for r in &mut self.rob {
+                        for s in &mut r.src {
+                            if *s == Src::Wait(seq) {
+                                *s = Src::Ready(v);
+                            }
+                        }
+                    }
+                }
+                return true;
+            }
+            return false;
+        }
+        match e.inst {
+            Inst::SplStore { .. } => match ports.spl_store(self.id) {
+                Some(v) => {
+                    e.value = v as i64;
+                    e.head_done = true;
+                    e.head_busy_until = cycle + lat.spl_queue as u64;
+                    false
+                }
+                None => {
+                    self.stats.spl_wait_cycles += 1;
+                    false
+                }
+            },
+            Inst::HwqRecv { q, .. } => match ports.hwq_recv(self.id, q) {
+                Some(v) => {
+                    e.value = v as i64;
+                    e.head_done = true;
+                    e.head_busy_until = cycle + lat.hwq as u64;
+                    false
+                }
+                None => {
+                    self.stats.hw_wait_cycles += 1;
+                    false
+                }
+            },
+            Inst::HwBar { id } => {
+                if ports.hwbar(self.id, id) {
+                    e.status = Status::Done;
+                    true
+                } else {
+                    self.stats.hw_wait_cycles += 1;
+                    false
+                }
+            }
+            Inst::Fence => {
+                if self.store_buf.is_empty() {
+                    e.status = Status::Done;
+                    true
+                } else {
+                    self.stats.fence_wait_cycles += 1;
+                    false
+                }
+            }
+            Inst::AmoAdd { .. } => {
+                let base = match e.src[0] {
+                    Src::Ready(v) => v,
+                    Src::Wait(_) => return false,
+                };
+                let delta = match e.src[1] {
+                    Src::Ready(v) => v,
+                    Src::Wait(_) => return false,
+                };
+                if !self.store_buf.is_empty() {
+                    return false; // atomics drain older stores first
+                }
+                let (old, mlat) = ports.amo_add(self.id, base as u64, delta);
+                let e = &mut self.rob[0];
+                e.value = old;
+                e.head_done = true;
+                e.head_busy_until = cycle + mlat as u64;
+                false
+            }
+            other => unreachable!("not an at-head op: {other}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadPath {
+    Blocked,
+    Forward(i64),
+    Memory,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ports::NullPorts;
+    use remap_isa::{Asm, Reg::*};
+
+    fn run(program: Program) -> (Core, NullPorts) {
+        let mut core = Core::new(0, CoreConfig::ooo1(), program);
+        let mut ports = NullPorts { mem_latency: 2, ..NullPorts::default() };
+        for _ in 0..200_000 {
+            if !core.step(&mut ports) {
+                break;
+            }
+        }
+        assert!(core.halted(), "program did not halt");
+        (core, ports)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut a = Asm::new("t");
+        a.li(R1, 6);
+        a.li(R2, 7);
+        a.mul(R3, R1, R2);
+        a.halt();
+        let (core, _) = run(a.assemble().unwrap());
+        assert_eq!(core.reg(R3), 42);
+        assert_eq!(core.stats().committed, 4);
+    }
+
+    #[test]
+    fn loop_executes_correct_count() {
+        let mut a = Asm::new("t");
+        a.li(R1, 0);
+        a.li(R2, 100);
+        a.label("loop");
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "loop");
+        a.halt();
+        let (core, _) = run(a.assemble().unwrap());
+        assert_eq!(core.reg(R1), 100);
+        assert!(core.stats().branches >= 100);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut a = Asm::new("t");
+        a.li(R1, 0x100);
+        a.li(R2, -123);
+        a.sw(R2, R1, 0);
+        a.lw(R3, R1, 0);
+        a.halt();
+        let (core, ports) = run(a.assemble().unwrap());
+        assert_eq!(core.reg(R3), -123);
+        assert_eq!(ports.mem.read_u32(0x100) as i32, -123);
+    }
+
+    #[test]
+    fn store_to_load_forwarding_value() {
+        // The load issues while the store is still in flight; forwarding or
+        // blocking must still produce the right value.
+        let mut a = Asm::new("t");
+        a.li(R1, 0x200);
+        a.li(R2, 77);
+        a.sw(R2, R1, 0);
+        a.lw(R3, R1, 0);
+        a.addi(R4, R3, 1);
+        a.halt();
+        let (core, _) = run(a.assemble().unwrap());
+        assert_eq!(core.reg(R4), 78);
+    }
+
+    #[test]
+    fn byte_load_sign_extension() {
+        let mut a = Asm::new("t");
+        a.li(R1, 0x300);
+        a.li(R2, 0xFF);
+        a.sb(R2, R1, 0);
+        a.fence();
+        a.lb(R3, R1, 0);
+        a.lbu(R4, R1, 0);
+        a.halt();
+        let (core, _) = run(a.assemble().unwrap());
+        assert_eq!(core.reg(R3), -1);
+        assert_eq!(core.reg(R4), 255);
+    }
+
+    #[test]
+    fn call_return_via_ras() {
+        let mut a = Asm::new("t");
+        a.li(R1, 5);
+        a.jal(R31, "func");
+        a.addi(R1, R1, 100); // executed after return
+        a.halt();
+        a.label("func");
+        a.addi(R1, R1, 1);
+        a.jalr(R0, R31);
+        let (core, _) = run(a.assemble().unwrap());
+        assert_eq!(core.reg(R1), 106);
+    }
+
+    #[test]
+    fn fp_ops() {
+        let mut a = Asm::new("t");
+        // Build 2.0 and 0.5 bit patterns via integer ops is painful; use
+        // memory.
+        a.li(R1, 0x400);
+        a.lw(R2, R1, 0); // low half of 2.0
+        a.lw(R3, R1, 4); // high half
+        a.slli(R3, R3, 32);
+        a.or(R2, R2, R3);
+        a.lw(R4, R1, 8);
+        a.lw(R5, R1, 12);
+        a.slli(R5, R5, 32);
+        a.or(R4, R4, R5);
+        a.fmul(R6, R2, R4);
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut core = Core::new(0, CoreConfig::ooo1(), program);
+        let mut ports = NullPorts { mem_latency: 1, ..NullPorts::default() };
+        ports.mem.write_u64(0x400, 2.0f64.to_bits());
+        ports.mem.write_u64(0x408, 0.5f64.to_bits());
+        while core.step(&mut ports) {}
+        assert_eq!(f64::from_bits(core.reg(R6) as u64), 1.0);
+    }
+
+    #[test]
+    fn amo_add_at_head() {
+        let mut a = Asm::new("t");
+        a.li(R1, 0x500);
+        a.li(R2, 3);
+        a.amoadd(R3, R1, R2);
+        a.amoadd(R4, R1, R2);
+        a.halt();
+        let (core, ports) = run(a.assemble().unwrap());
+        assert_eq!(core.reg(R3), 0);
+        assert_eq!(core.reg(R4), 3);
+        assert_eq!(ports.mem.read_u32(0x500), 6);
+    }
+
+    #[test]
+    fn spl_ops_flow_through_ports() {
+        let mut a = Asm::new("t");
+        a.li(R1, 42);
+        a.spl_load(R1, 0, 4);
+        a.spl_init(7);
+        a.spl_store(R2);
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut core = Core::new(0, CoreConfig::ooo1(), program);
+        let mut ports = NullPorts { mem_latency: 1, ..NullPorts::default() };
+        ports.spl_results.push_back(99);
+        while core.step(&mut ports) {}
+        assert_eq!(ports.spl_staged, vec![(0, 4, 42)]);
+        assert_eq!(ports.spl_inits, vec![7]);
+        assert_eq!(core.reg(R2), 99);
+        assert_eq!(core.stats().spl_ops, 3);
+    }
+
+    #[test]
+    fn ooo2_is_faster_on_ilp() {
+        // Independent ALU chains: the dual-issue core should finish sooner.
+        let mk = || {
+            let mut a = Asm::new("ilp");
+            a.li(R1, 0);
+            a.li(R2, 0);
+            a.li(R3, 0);
+            a.li(R4, 0);
+            for _ in 0..200 {
+                a.addi(R1, R1, 1);
+                a.addi(R2, R2, 2);
+                a.addi(R3, R3, 3);
+                a.addi(R4, R4, 4);
+            }
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let mut c1 = Core::new(0, CoreConfig::ooo1(), mk());
+        let mut c2 = Core::new(0, CoreConfig::ooo2(), mk());
+        let mut p1 = NullPorts { mem_latency: 1, ..NullPorts::default() };
+        let mut p2 = NullPorts { mem_latency: 1, ..NullPorts::default() };
+        while c1.step(&mut p1) {}
+        while c2.step(&mut p2) {}
+        assert_eq!(c1.reg(R1), 200);
+        assert_eq!(c2.reg(R4), 800);
+        assert!(
+            (c2.cycle() as f64) < 0.7 * c1.cycle() as f64,
+            "OOO2 ({}) should be well under OOO1 ({})",
+            c2.cycle(),
+            c1.cycle()
+        );
+    }
+
+    #[test]
+    fn mispredicts_squash_wrong_path() {
+        // A data-dependent unpredictable branch pattern.
+        let mut a = Asm::new("t");
+        a.li(R1, 0);
+        a.li(R2, 50);
+        a.li(R5, 0);
+        a.label("loop");
+        a.andi(R3, R1, 1);
+        a.beq(R3, R0, "even");
+        a.addi(R5, R5, 2);
+        a.j("next");
+        a.label("even");
+        a.addi(R5, R5, 1);
+        a.label("next");
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "loop");
+        a.halt();
+        let (core, _) = run(a.assemble().unwrap());
+        // 25 even (+1) + 25 odd (+2)
+        assert_eq!(core.reg(R5), 75);
+    }
+
+    #[test]
+    fn fence_drains_stores() {
+        let mut a = Asm::new("t");
+        a.li(R1, 0x600);
+        a.li(R2, 5);
+        a.sw(R2, R1, 0);
+        a.fence();
+        a.halt();
+        let (core, ports) = run(a.assemble().unwrap());
+        assert!(core.stats().committed >= 5);
+        assert_eq!(ports.mem.read_u32(0x600), 5);
+    }
+
+    #[test]
+    fn set_reg_seeds_arguments() {
+        let mut a = Asm::new("t");
+        a.addi(R2, R10, 1);
+        a.halt();
+        let mut core = Core::new(0, CoreConfig::ooo1(), a.assemble().unwrap());
+        core.set_reg(R10, 41);
+        let mut ports = NullPorts { mem_latency: 1, ..NullPorts::default() };
+        while core.step(&mut ports) {}
+        assert_eq!(core.reg(R2), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_reg after execution")]
+    fn set_reg_after_start_panics() {
+        let mut a = Asm::new("t");
+        a.halt();
+        let mut core = Core::new(0, CoreConfig::ooo1(), a.assemble().unwrap());
+        let mut ports = NullPorts::default();
+        core.step(&mut ports);
+        core.set_reg(R1, 1);
+    }
+
+    #[test]
+    fn pointer_chase_is_slow_but_correct() {
+        // Build a linked list in memory and chase it.
+        let mut a = Asm::new("t");
+        a.li(R1, 0x1000);
+        a.li(R2, 0);
+        a.li(R3, 16);
+        a.label("loop");
+        a.lw(R1, R1, 0);
+        a.addi(R2, R2, 1);
+        a.bne(R2, R3, "loop");
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut core = Core::new(0, CoreConfig::ooo1(), program);
+        let mut ports = NullPorts { mem_latency: 10, ..NullPorts::default() };
+        // next[i] pointers: 0x1000 -> 0x1040 -> 0x1080 ... wrap to 0x1000.
+        for i in 0..16u64 {
+            let a0 = 0x1000 + i * 0x40;
+            let nxt = 0x1000 + ((i + 1) % 16) * 0x40;
+            ports.mem.write_u32(a0, nxt as u32);
+        }
+        while core.step(&mut ports) {}
+        assert_eq!(core.reg(R1), 0x1000, "wrapped around the list");
+        // 16 serialized 10-cycle loads dominate: at least 160 cycles.
+        assert!(core.cycle() > 160);
+    }
+}

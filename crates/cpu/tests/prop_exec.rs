@@ -1,0 +1,212 @@
+#![allow(clippy::needless_range_loop)] // register indices are the subject here
+
+//! Property test: the out-of-order core is architecturally equivalent to a
+//! simple in-order interpreter on random programs (ALU dataflow, memory
+//! traffic with reuse, and data-dependent forward branches).
+
+use proptest::prelude::*;
+use remap_cpu::{Core, CoreConfig, NullPorts};
+use remap_isa::{AluOp, Asm, BranchCond, Inst, Program, Reg};
+
+/// A tiny in-order reference interpreter.
+fn interpret(p: &Program, mem: &mut std::collections::HashMap<u64, u32>) -> [i64; 32] {
+    let mut regs = [0i64; 32];
+    let mut pc = 0u32;
+    let mut steps = 0;
+    loop {
+        steps += 1;
+        assert!(steps < 1_000_000, "interpreter runaway");
+        let inst = p.fetch(pc).unwrap_or(Inst::Halt);
+        let mut next = pc + 1;
+        match inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let v = op.apply(regs[rs1.index()], regs[rs2.index()]);
+                if !rd.is_zero() {
+                    regs[rd.index()] = v;
+                }
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                let v = op.apply(regs[rs1.index()], imm as i64);
+                if !rd.is_zero() {
+                    regs[rd.index()] = v;
+                }
+            }
+            Inst::Lw { rd, base, offset } => {
+                let a = (regs[base.index()] + offset as i64) as u64;
+                let v = mem.get(&a).copied().unwrap_or(0) as i32 as i64;
+                if !rd.is_zero() {
+                    regs[rd.index()] = v;
+                }
+            }
+            Inst::Sw { rs, base, offset } => {
+                let a = (regs[base.index()] + offset as i64) as u64;
+                mem.insert(a, regs[rs.index()] as u32);
+            }
+            Inst::Branch { cond, rs1, rs2, target } => {
+                if cond.eval(regs[rs1.index()], regs[rs2.index()]) {
+                    next = target;
+                }
+            }
+            Inst::Halt => return regs,
+            Inst::Nop | Inst::Fence => {}
+            other => panic!("interpreter does not model {other}"),
+        }
+        pc = next;
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Alu(AluOp, u8, u8, u8),
+    AluImm(AluOp, u8, u8, i16),
+    Store(u8, u8),
+    Load(u8, u8),
+    /// Forward skip over the next `k` instructions if cond holds.
+    Skip(BranchCond, u8, u8, u8),
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Slt),
+        Just(AluOp::Srl),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    let cond = prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge)
+    ];
+    prop_oneof![
+        (arb_alu_op(), 1u8..16, 0u8..16, 0u8..16).prop_map(|(o, d, a, b)| Step::Alu(o, d, a, b)),
+        (arb_alu_op(), 1u8..16, 0u8..16, any::<i16>())
+            .prop_map(|(o, d, a, i)| Step::AluImm(o, d, a, i)),
+        (0u8..16, 0u8..8).prop_map(|(r, slot)| Step::Store(r, slot)),
+        (1u8..16, 0u8..8).prop_map(|(r, slot)| Step::Load(r, slot)),
+        (cond, 0u8..16, 0u8..16, 1u8..4).prop_map(|(c, a, b, k)| Step::Skip(c, a, b, k)),
+    ]
+}
+
+/// Builds with structured skips using the Asm label API directly.
+fn build_with_skips(steps: &[Step]) -> Program {
+    let mut a = Asm::new("prop");
+    for i in 1..8 {
+        a.li(Reg::from_index(i).unwrap(), (i as i32) * 37 - 100);
+    }
+    a.li(Reg::R16, 0x4000);
+    let mut pending: Vec<(String, usize)> = Vec::new();
+    let r = |x: u8| Reg::from_index(x as usize).unwrap();
+    for (i, s) in steps.iter().enumerate() {
+        let mut j = 0;
+        while j < pending.len() {
+            if pending[j].1 <= i {
+                let (label, _) = pending.remove(j);
+                a.label(label);
+            } else {
+                j += 1;
+            }
+        }
+        match s {
+            Step::Alu(op, d, x, y) => {
+                a.push(Inst::Alu { op: *op, rd: r(*d), rs1: r(*x), rs2: r(*y) })
+            }
+            Step::AluImm(op, d, x, imm) => {
+                a.push(Inst::AluImm { op: *op, rd: r(*d), rs1: r(*x), imm: *imm as i32 })
+            }
+            Step::Store(x, slot) => a.sw(r(*x), Reg::R16, *slot as i32 * 4),
+            Step::Load(d, slot) => a.lw(r(*d), Reg::R16, *slot as i32 * 4),
+            Step::Skip(c, x, y, k) => {
+                let label = a.fresh_label("skip");
+                match c {
+                    BranchCond::Eq => a.beq(r(*x), r(*y), label.clone()),
+                    BranchCond::Ne => a.bne(r(*x), r(*y), label.clone()),
+                    BranchCond::Lt => a.blt(r(*x), r(*y), label.clone()),
+                    _ => a.bge(r(*x), r(*y), label.clone()),
+                }
+                pending.push((label, i + 1 + *k as usize));
+            }
+        }
+    }
+    // Bind any labels that extend past the end.
+    for (label, _) in pending {
+        a.label(label);
+    }
+    a.halt();
+    a.assemble().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Final architectural register state of the OOO core matches the
+    /// in-order interpreter for both core configurations.
+    #[test]
+    fn ooo_matches_interpreter(steps in proptest::collection::vec(arb_step(), 1..120)) {
+        let program = build_with_skips(&steps);
+        let mut ref_mem = std::collections::HashMap::new();
+        let expect = interpret(&program, &mut ref_mem);
+        for cfg in [CoreConfig::ooo1(), CoreConfig::ooo2()] {
+            let mut core = Core::new(0, cfg, program.clone());
+            let mut ports = NullPorts { mem_latency: 2, ..NullPorts::default() };
+            let mut guard = 0;
+            while core.step(&mut ports) {
+                guard += 1;
+                prop_assert!(guard < 2_000_000, "core did not halt");
+            }
+            for i in 0..16 {
+                let r = Reg::from_index(i).unwrap();
+                prop_assert_eq!(core.reg(r), expect[i], "r{} differs", i);
+            }
+            // Memory contents must match, too.
+            for (addr, v) in &ref_mem {
+                prop_assert_eq!(ports.mem.read_u32(*addr), *v, "mem[{:#x}]", addr);
+            }
+        }
+    }
+}
+
+#[test]
+fn regression_minimal_case() {
+    use Step::*;
+    let steps = vec![
+        Alu(AluOp::Add, 2, 0, 0),
+        Alu(AluOp::Add, 2, 0, 0),
+        AluImm(AluOp::Add, 4, 0, 0),
+        Store(0, 0),
+        Alu(AluOp::Add, 2, 0, 0),
+        Alu(AluOp::Add, 1, 0, 0),
+        Store(0, 1),
+        Alu(AluOp::Add, 8, 0, 0),
+        Alu(AluOp::Add, 1, 0, 0),
+        Store(3, 1),
+        Alu(AluOp::Add, 1, 0, 0),
+        Alu(AluOp::Add, 1, 0, 0),
+        Load(1, 1),
+        Alu(AluOp::Add, 2, 0, 0),
+        Alu(AluOp::Add, 2, 0, 0),
+        Alu(AluOp::Add, 2, 0, 0),
+    ];
+    let program = build_with_skips(&steps);
+    println!("{}", program.disassemble());
+    let mut ref_mem = std::collections::HashMap::new();
+    let expect = interpret(&program, &mut ref_mem);
+    let mut core = Core::new(0, CoreConfig::ooo1(), program.clone());
+    let mut ports = NullPorts { mem_latency: 2, ..NullPorts::default() };
+    while core.step(&mut ports) {}
+    for i in 0..16 {
+        let r = Reg::from_index(i).unwrap();
+        println!("r{i}: core={} ref={}", core.reg(r), expect[i]);
+    }
+    for i in 0..16 {
+        let r = Reg::from_index(i).unwrap();
+        assert_eq!(core.reg(r), expect[i], "r{i}");
+    }
+}

@@ -1,0 +1,438 @@
+//! A two-pass assembler with named labels.
+
+use crate::inst::{AluOp, BranchCond, FpOp, Inst};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Proto {
+    Done(Inst),
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, label: String },
+    Jal { rd: Reg, label: String },
+}
+
+/// A two-pass assembler.
+///
+/// Instructions are appended with one method per mnemonic; control-flow
+/// targets are string labels bound with [`Asm::label`], which may be bound
+/// before or after their uses. [`Asm::assemble`] resolves labels and returns
+/// the finished [`Program`].
+///
+/// ```
+/// use remap_isa::{Asm, Reg::*};
+/// let mut a = Asm::new("count_down");
+/// a.li(R1, 10);
+/// a.label("top");
+/// a.addi(R1, R1, -1);
+/// a.bne(R1, R0, "top");
+/// a.halt();
+/// let p = a.assemble()?;
+/// assert_eq!(p.len(), 4);
+/// # Ok::<(), remap_isa::AsmError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    name: String,
+    protos: Vec<Proto>,
+    labels: HashMap<String, u32>,
+    dup: Option<String>,
+    auto_label: u32,
+}
+
+impl Asm {
+    /// Creates an empty assembler for a program with the given name.
+    pub fn new(name: impl Into<String>) -> Asm {
+        Asm { name: name.into(), ..Asm::default() }
+    }
+
+    /// Binds `name` to the address of the *next* appended instruction.
+    pub fn label(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        let here = self.protos.len() as u32;
+        if self.labels.insert(name.clone(), here).is_some() && self.dup.is_none() {
+            self.dup = Some(name);
+        }
+    }
+
+    /// Returns a fresh label name guaranteed not to collide with any label
+    /// the caller could plausibly have chosen (they are prefixed with `__`).
+    pub fn fresh_label(&mut self, hint: &str) -> String {
+        let n = self.auto_label;
+        self.auto_label += 1;
+        format!("__{hint}_{n}")
+    }
+
+    /// Current instruction count (the address the next instruction gets).
+    pub fn here(&self) -> u32 {
+        self.protos.len() as u32
+    }
+
+    /// Appends a raw, already-resolved instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.protos.push(Proto::Done(inst));
+    }
+
+    // --- integer ALU -----------------------------------------------------
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 * rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 / rs2` (signed; division by zero yields -1)
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Div, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 % rs2`
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Rem, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::And, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 << rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 });
+    }
+    /// `rd = (u64)rs1 >> rs2`
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 >> rs2` (arithmetic)
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Sra, rd, rs1, rs2 });
+    }
+    /// `rd = (rs1 < rs2) as i64` (signed)
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Slt, rd, rs1, rs2 });
+    }
+    /// `rd = (rs1 < rs2) as i64` (unsigned)
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 });
+    }
+
+    // --- immediate forms ---------------------------------------------------
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Add, rd, rs1, imm });
+    }
+    /// `rd = rs1 * imm`
+    pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Mul, rd, rs1, imm });
+    }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::And, rd, rs1, imm });
+    }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Or, rd, rs1, imm });
+    }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm });
+    }
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm });
+    }
+    /// `rd = (u64)rs1 >> imm`
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm });
+    }
+    /// `rd = rs1 >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Sra, rd, rs1, imm });
+    }
+    /// `rd = (rs1 < imm) as i64` (signed)
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Slt, rd, rs1, imm });
+    }
+
+    // --- pseudo-ops --------------------------------------------------------
+
+    /// Load immediate: `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: i32) {
+        self.addi(rd, Reg::R0, imm);
+    }
+    /// Register move: `rd = rs`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+    /// Unconditional jump to `label` (discards the link).
+    pub fn j(&mut self, label: impl Into<String>) {
+        self.protos.push(Proto::Jal { rd: Reg::R0, label: label.into() });
+    }
+
+    // --- floating point ----------------------------------------------------
+
+    /// `rd = rs1 + rs2` as `f64` bit patterns.
+    pub fn fadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Fp { op: FpOp::Add, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 - rs2` as `f64` bit patterns.
+    pub fn fsub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Fp { op: FpOp::Sub, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 * rs2` as `f64` bit patterns.
+    pub fn fmul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Fp { op: FpOp::Mul, rd, rs1, rs2 });
+    }
+    /// `rd = rs1 / rs2` as `f64` bit patterns.
+    pub fn fdiv(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Fp { op: FpOp::Div, rd, rs1, rs2 });
+    }
+
+    // --- memory -------------------------------------------------------------
+
+    /// `rd = sext(mem32[rs1 + offset])`
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Lw { rd, base, offset });
+    }
+    /// `rd = sext(mem8[rs1 + offset])`
+    pub fn lb(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Lb { rd, base, offset });
+    }
+    /// `rd = zext(mem8[rs1 + offset])`
+    pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Lbu { rd, base, offset });
+    }
+    /// `mem32[base + offset] = rs`
+    pub fn sw(&mut self, rs: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Sw { rs, base, offset });
+    }
+    /// `mem8[base + offset] = rs`
+    pub fn sb(&mut self, rs: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Sb { rs, base, offset });
+    }
+    /// Atomic fetch-and-add: `rd = mem32[base]; mem32[base] += rs`.
+    pub fn amoadd(&mut self, rd: Reg, base: Reg, rs: Reg) {
+        self.push(Inst::AmoAdd { rd, base, rs });
+    }
+    /// Memory fence.
+    pub fn fence(&mut self) {
+        self.push(Inst::Fence);
+    }
+
+    // --- control -------------------------------------------------------------
+
+    fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: impl Into<String>) {
+        self.protos.push(Proto::Branch { cond, rs1, rs2, label: label.into() });
+    }
+    /// Branch to `label` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) {
+        self.branch(BranchCond::Eq, rs1, rs2, label);
+    }
+    /// Branch to `label` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) {
+        self.branch(BranchCond::Ne, rs1, rs2, label);
+    }
+    /// Branch to `label` if `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) {
+        self.branch(BranchCond::Lt, rs1, rs2, label);
+    }
+    /// Branch to `label` if `rs1 >= rs2` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) {
+        self.branch(BranchCond::Ge, rs1, rs2, label);
+    }
+    /// Branch to `label` if `rs1 < rs2` (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) {
+        self.branch(BranchCond::Ltu, rs1, rs2, label);
+    }
+    /// Branch to `label` if `rs1 >= rs2` (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) {
+        self.branch(BranchCond::Geu, rs1, rs2, label);
+    }
+    /// Jump-and-link to `label`; `rd` receives the return address.
+    pub fn jal(&mut self, rd: Reg, label: impl Into<String>) {
+        self.protos.push(Proto::Jal { rd, label: label.into() });
+    }
+    /// Indirect jump to the instruction index held in `rs1`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg) {
+        self.push(Inst::Jalr { rd, rs1 });
+    }
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.push(Inst::Nop);
+    }
+    /// Terminate the thread.
+    pub fn halt(&mut self) {
+        self.push(Inst::Halt);
+    }
+
+    // --- ReMAP / baseline extensions ----------------------------------------
+
+    /// SPL load: stage `nbytes` low bytes of `rs` at byte-offset `offset` of
+    /// the core's SPL input-queue entry under construction.
+    pub fn spl_load(&mut self, rs: Reg, offset: u8, nbytes: u8) {
+        self.push(Inst::SplLoad { rs, offset, nbytes });
+    }
+    /// SPL initiate: request execution of SPL configuration `cfg`.
+    pub fn spl_init(&mut self, cfg: u16) {
+        self.push(Inst::SplInit { cfg });
+    }
+    /// SPL store: pop the core's SPL output queue into `rd`.
+    pub fn spl_store(&mut self, rd: Reg) {
+        self.push(Inst::SplStore { rd });
+    }
+    /// Idealized hardware-queue send (OOO2+Comm baseline).
+    pub fn hwq_send(&mut self, rs: Reg, q: u8) {
+        self.push(Inst::HwqSend { rs, q });
+    }
+    /// Idealized hardware-queue receive (OOO2+Comm baseline).
+    pub fn hwq_recv(&mut self, rd: Reg, q: u8) {
+        self.push(Inst::HwqRecv { rd, q });
+    }
+    /// Idealized dedicated-network hardware barrier (homogeneous baseline).
+    pub fn hwbar(&mut self, id: u8) {
+        self.push(Inst::HwBar { id });
+    }
+
+    /// Resolves labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateLabel`] if any label was bound twice and
+    /// [`AsmError::UndefinedLabel`] if a branch references an unbound label.
+    pub fn assemble(self) -> Result<Program, AsmError> {
+        if let Some(d) = self.dup {
+            return Err(AsmError::DuplicateLabel(d));
+        }
+        let resolve = |l: &str| -> Result<u32, AsmError> {
+            self.labels.get(l).copied().ok_or_else(|| AsmError::UndefinedLabel(l.to_string()))
+        };
+        let mut insts = Vec::with_capacity(self.protos.len());
+        for p in &self.protos {
+            insts.push(match p {
+                Proto::Done(i) => *i,
+                Proto::Branch { cond, rs1, rs2, label } => Inst::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    target: resolve(label)?,
+                },
+                Proto::Jal { rd, label } => Inst::Jal { rd: *rd, target: resolve(label)? },
+            });
+        }
+        Ok(Program::new(self.name, insts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new("t");
+        a.label("start");
+        a.li(R1, 1);
+        a.beq(R1, R0, "end"); // forward reference
+        a.j("start"); // backward reference
+        a.label("end");
+        a.halt();
+        let p = a.assemble().unwrap();
+        match p.fetch(1).unwrap() {
+            Inst::Branch { target, .. } => assert_eq!(target, 3),
+            other => panic!("expected branch, got {other}"),
+        }
+        match p.fetch(2).unwrap() {
+            Inst::Jal { target, .. } => assert_eq!(target, 0),
+            other => panic!("expected jal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new("t");
+        a.beq(R1, R2, "nowhere");
+        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut a = Asm::new("t");
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.assemble(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn fresh_labels_are_unique() {
+        let mut a = Asm::new("t");
+        let l1 = a.fresh_label("loop");
+        let l2 = a.fresh_label("loop");
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn pseudo_ops_expand() {
+        let mut a = Asm::new("t");
+        a.li(R5, -7);
+        a.mv(R6, R5);
+        let p = a.assemble().unwrap();
+        assert_eq!(
+            p.fetch(0).unwrap(),
+            Inst::AluImm { op: AluOp::Add, rd: R5, rs1: R0, imm: -7 }
+        );
+        assert_eq!(p.fetch(1).unwrap(), Inst::AluImm { op: AluOp::Add, rd: R6, rs1: R5, imm: 0 });
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Asm::new("t");
+        assert_eq!(a.here(), 0);
+        a.nop();
+        a.nop();
+        assert_eq!(a.here(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = AsmError::UndefinedLabel("x".into());
+        assert!(e.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,49 @@
+//! # remap-isa
+//!
+//! A small RISC instruction set used by the ReMAP reproduction.
+//!
+//! The ISA models the integer subset of a classic load/store RISC machine
+//! (registers `r0`–`r31` with `r0` hardwired to zero), a small floating-point
+//! subset so the out-of-order cores' FP queues and units see traffic, and the
+//! ReMAP extensions described in the paper:
+//!
+//! * [`Inst::SplLoad`] — place bytes of a register into the core's SPL input
+//!   queue at a given byte alignment,
+//! * [`Inst::SplInit`] — seal the current input-queue entry and request an SPL
+//!   operation of a given configuration,
+//! * [`Inst::SplStore`] — pop the core's SPL output queue into a register.
+//!
+//! Two baseline mechanisms evaluated by the paper are also expressible:
+//! idealized hardware queues (`HwqSend`/`HwqRecv`, the OOO2+Comm
+//! configuration) and an idealized dedicated barrier network (`HwBar`, the
+//! homogeneous-cluster comparison in §V-C.2).
+//!
+//! Programs are built with the two-pass [`Asm`] assembler:
+//!
+//! ```
+//! use remap_isa::{Asm, Reg::*};
+//!
+//! let mut a = Asm::new("sum");
+//! a.li(R1, 0);          // acc = 0
+//! a.li(R2, 0x1000);     // ptr
+//! a.li(R3, 0x1000 + 4 * 8);
+//! a.label("loop");
+//! a.lw(R4, R2, 0);
+//! a.add(R1, R1, R4);
+//! a.addi(R2, R2, 4);
+//! a.bne(R2, R3, "loop");
+//! a.halt();
+//! let prog = a.assemble().expect("labels resolve");
+//! assert_eq!(prog.name(), "sum");
+//! assert!(prog.len() > 5);
+//! ```
+
+mod asm;
+mod inst;
+mod program;
+mod reg;
+
+pub use asm::{Asm, AsmError};
+pub use inst::{decode, encode, AluOp, BranchCond, FpOp, Inst, InstClass};
+pub use program::Program;
+pub use reg::Reg;

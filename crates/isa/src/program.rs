@@ -1,0 +1,93 @@
+//! An assembled program: a named, immutable sequence of instructions.
+
+use crate::inst::Inst;
+use std::fmt;
+
+/// An assembled program.
+///
+/// Produced by [`Asm::assemble`](crate::Asm::assemble). The program counter
+/// used throughout the simulator is an *instruction index* into this
+/// sequence; the byte address of instruction `i` is `4 * i` (used for
+/// predictor/BTB indexing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Creates a program directly from instructions (targets must already be
+    /// resolved instruction indices).
+    pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Program {
+        Program { name: name.into(), insts }
+    }
+
+    /// The program's name (used in reports and disassembly).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at index `pc`, or `None` past the end.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Option<Inst> {
+        self.insts.get(pc as usize).copied()
+    }
+
+    /// All instructions in order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Renders a disassembly listing, one instruction per line.
+    pub fn disassemble(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "; {}", self.name);
+        for (i, inst) in self.insts.iter().enumerate() {
+            let _ = writeln!(out, "{i:5}: {inst}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} insts)", self.name, self.insts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn fetch_in_and_out_of_bounds() {
+        let p = Program::new("t", vec![Inst::Nop, Inst::Halt]);
+        assert_eq!(p.fetch(0), Some(Inst::Nop));
+        assert_eq!(p.fetch(1), Some(Inst::Halt));
+        assert_eq!(p.fetch(2), None);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn disassembly_contains_all_lines() {
+        let p = Program::new("t", vec![Inst::Nop, Inst::Fence, Inst::Halt]);
+        let d = p.disassemble();
+        assert!(d.contains("nop"));
+        assert!(d.contains("fence"));
+        assert!(d.contains("halt"));
+        assert!(d.lines().count() == 4); // header + 3
+    }
+}

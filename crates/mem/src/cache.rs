@@ -1,0 +1,323 @@
+//! Set-associative cache tag array with MESI state and LRU replacement.
+
+use std::fmt;
+
+/// MESI coherence state of a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mesi {
+    /// Modified: this cache holds the only, dirty copy.
+    Modified,
+    /// Exclusive: this cache holds the only, clean copy.
+    Exclusive,
+    /// Shared: possibly other caches also hold clean copies.
+    Shared,
+    /// Invalid.
+    Invalid,
+}
+
+impl fmt::Display for Mesi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Mesi::Modified => 'M',
+            Mesi::Exclusive => 'E',
+            Mesi::Shared => 'S',
+            Mesi::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Geometry and latency of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Access latency in core cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// The paper's L1 configuration: 8 kB, 2-way, 2-cycle access, 32 B lines.
+    pub fn l1() -> CacheConfig {
+        CacheConfig { size_bytes: 8 * 1024, ways: 2, line_bytes: 32, hit_latency: 2 }
+    }
+
+    /// The paper's L2 configuration: 1 MB per core, 10-cycle access.
+    /// We use 8-way associativity and the same 32 B lines as the L1 so that
+    /// L1 ⊆ L2 inclusion is a one-to-one line mapping.
+    pub fn l2() -> CacheConfig {
+        CacheConfig { size_bytes: 1024 * 1024, ways: 8, line_bytes: 32, hit_latency: 10 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Hit/miss and coherence activity counters, used by the power model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction or snoop.
+    pub writebacks: u64,
+    /// Lines invalidated by remote stores.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    state: Mesi,
+    lru: u64,
+}
+
+/// A cache tag array (data lives in [`FlatMem`](crate::FlatMem)).
+///
+/// The cache tracks MESI state per line and uses true LRU within a set.
+/// Protocol decisions (what state to fill with, whom to invalidate) are made
+/// by the owning [`Hierarchy`](crate::Hierarchy); the cache only provides
+/// mechanical probe/insert/invalidate operations.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets or non-power-of-two
+    /// sets/line size).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        Cache { cfg, sets: vec![Vec::new(); sets], tick: 0, stats: CacheStats::default() }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr as usize) / self.cfg.line_bytes) & (self.sets.len() - 1)
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr / (self.cfg.line_bytes as u64) / (self.sets.len() as u64)
+    }
+
+    /// Line-aligned base address for `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes as u64 - 1)
+    }
+
+    /// Returns the MESI state of the line containing `addr` without touching
+    /// LRU or statistics (used for snooping).
+    pub fn probe(&self, addr: u64) -> Mesi {
+        let si = self.set_index(addr);
+        let tag = self.tag(addr);
+        self.sets[si]
+            .iter()
+            .find(|l| l.tag == tag)
+            .map(|l| l.state)
+            .unwrap_or(Mesi::Invalid)
+    }
+
+    /// Performs a demand access: bumps LRU and hit/miss counters. Returns the
+    /// state if the line is present (hit), else `None` (miss).
+    pub fn access(&mut self, addr: u64) -> Option<Mesi> {
+        self.tick += 1;
+        let si = self.set_index(addr);
+        let tag = self.tag(addr);
+        let tick = self.tick;
+        if let Some(l) = self.sets[si].iter_mut().find(|l| l.tag == tag) {
+            l.lru = tick;
+            self.stats.hits += 1;
+            Some(l.state)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Changes the state of a resident line; no-op if not resident.
+    pub fn set_state(&mut self, addr: u64, state: Mesi) {
+        let si = self.set_index(addr);
+        let tag = self.tag(addr);
+        if let Some(l) = self.sets[si].iter_mut().find(|l| l.tag == tag) {
+            l.state = state;
+        }
+    }
+
+    /// Invalidates the line containing `addr` (remote store snoop). Returns
+    /// the previous state, counting a writeback if it was Modified.
+    pub fn invalidate(&mut self, addr: u64) -> Mesi {
+        let si = self.set_index(addr);
+        let tag = self.tag(addr);
+        if let Some(pos) = self.sets[si].iter().position(|l| l.tag == tag) {
+            let line = self.sets[si].remove(pos);
+            self.stats.invalidations += 1;
+            if line.state == Mesi::Modified {
+                self.stats.writebacks += 1;
+            }
+            line.state
+        } else {
+            Mesi::Invalid
+        }
+    }
+
+    /// Inserts the line containing `addr` with the given state, evicting the
+    /// LRU line of the set if full. Returns the evicted line's base address
+    /// and state, if any (the hierarchy uses this to maintain inclusion and
+    /// count writebacks).
+    pub fn insert(&mut self, addr: u64, state: Mesi) -> Option<(u64, Mesi)> {
+        self.tick += 1;
+        let si = self.set_index(addr);
+        let tag = self.tag(addr);
+        let tick = self.tick;
+        if let Some(l) = self.sets[si].iter_mut().find(|l| l.tag == tag) {
+            // Already resident (e.g. refill racing an upgrade): just update.
+            l.state = state;
+            l.lru = tick;
+            return None;
+        }
+        let mut evicted = None;
+        if self.sets[si].len() >= self.cfg.ways {
+            let victim = self
+                .sets[si]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            let line = self.sets[si].remove(victim);
+            if line.state == Mesi::Modified {
+                self.stats.writebacks += 1;
+            }
+            let base =
+                (line.tag * self.sets.len() as u64 + si as u64) * self.cfg.line_bytes as u64;
+            evicted = Some((base, line.state));
+        }
+        self.sets[si].push(Line { tag, state, lru: tick });
+        evicted
+    }
+
+    /// Number of resident lines (for tests).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets, 2 ways, 16-byte lines.
+        Cache::new(CacheConfig { size_bytes: 64, ways: 2, line_bytes: 16, hit_latency: 1 })
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CacheConfig::l1().sets(), 128);
+        assert_eq!(CacheConfig::l2().sets(), 4096);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x100), None);
+        c.insert(0x100, Mesi::Exclusive);
+        assert_eq!(c.access(0x100), Some(Mesi::Exclusive));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_bytes_hit() {
+        let mut c = tiny();
+        c.insert(0x100, Mesi::Shared);
+        assert_eq!(c.access(0x10f), Some(Mesi::Shared));
+        assert_eq!(c.access(0x110), None, "next line misses");
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny();
+        // All map to set 0: line addresses multiples of 32 (2 sets * 16B).
+        c.insert(0x000, Mesi::Exclusive);
+        c.insert(0x020, Mesi::Exclusive);
+        c.access(0x000); // make 0x000 most recent
+        let ev = c.insert(0x040, Mesi::Exclusive).expect("evicts");
+        assert_eq!(ev.0, 0x020, "LRU line evicted");
+        assert_eq!(c.probe(0x000), Mesi::Exclusive);
+        assert_eq!(c.probe(0x020), Mesi::Invalid);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.insert(0x000, Mesi::Modified);
+        c.insert(0x020, Mesi::Exclusive);
+        c.insert(0x040, Mesi::Exclusive); // evicts 0x000 (LRU)
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_returns_previous_state() {
+        let mut c = tiny();
+        c.insert(0x100, Mesi::Modified);
+        assert_eq!(c.invalidate(0x100), Mesi::Modified);
+        assert_eq!(c.invalidate(0x100), Mesi::Invalid);
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut c = tiny();
+        c.insert(0x100, Mesi::Shared);
+        assert_eq!(c.insert(0x100, Mesi::Modified), None);
+        assert_eq!(c.probe(0x100), Mesi::Modified);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn line_addr_masks_low_bits() {
+        let c = tiny();
+        assert_eq!(c.line_addr(0x10f), 0x100);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 48, ways: 1, line_bytes: 16, hit_latency: 1 });
+    }
+}

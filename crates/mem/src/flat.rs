@@ -1,0 +1,138 @@
+//! Sparse flat backing store holding all architectural data.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse, paged, byte-addressable memory.
+///
+/// Unwritten bytes read as zero. The address space is the full 64-bit range;
+/// pages are allocated lazily, so programs may use widely separated regions
+/// (per-thread heaps, shared flags) without cost.
+///
+/// ```
+/// use remap_mem::FlatMem;
+/// let mut m = FlatMem::new();
+/// m.write_u32(0x1000, 0xdead_beef);
+/// assert_eq!(m.read_u32(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u32(0x9999_0000), 0, "unwritten memory reads as zero");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FlatMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl FlatMem {
+    /// Creates an empty memory.
+    pub fn new() -> FlatMem {
+        FlatMem::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = val;
+    }
+
+    /// Reads a little-endian 32-bit word (no alignment requirement).
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut b = [0u8; 4];
+        for (i, byte) in b.iter_mut().enumerate() {
+            *byte = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian 32-bit word.
+    pub fn write_u32(&mut self, addr: u64, val: u32) {
+        for (i, byte) in val.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *byte);
+        }
+    }
+
+    /// Reads a little-endian 64-bit word.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        (self.read_u32(addr) as u64) | ((self.read_u32(addr.wrapping_add(4)) as u64) << 32)
+    }
+
+    /// Writes a little-endian 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        self.write_u32(addr, val as u32);
+        self.write_u32(addr.wrapping_add(4), (val >> 32) as u32);
+    }
+
+    /// Writes a slice of 32-bit words starting at `addr` (a convenience for
+    /// initializing workload arrays).
+    pub fn write_words(&mut self, addr: u64, words: &[i32]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write_u32(addr + 4 * i as u64, *w as u32);
+        }
+    }
+
+    /// Reads `n` consecutive 32-bit words starting at `addr`.
+    pub fn read_words(&self, addr: u64, n: usize) -> Vec<i32> {
+        (0..n).map(|i| self.read_u32(addr + 4 * i as u64) as i32).collect()
+    }
+
+    /// Number of resident (lazily allocated) pages; useful in tests.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_write() {
+        let m = FlatMem::new();
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.read_u64(0xffff_ffff_ffff_fff0), 0);
+    }
+
+    #[test]
+    fn byte_word_round_trip() {
+        let mut m = FlatMem::new();
+        m.write_u32(10, 0x0403_0201);
+        assert_eq!(m.read_u8(10), 1);
+        assert_eq!(m.read_u8(11), 2);
+        assert_eq!(m.read_u8(12), 3);
+        assert_eq!(m.read_u8(13), 4);
+    }
+
+    #[test]
+    fn cross_page_word() {
+        let mut m = FlatMem::new();
+        let addr = PAGE_SIZE as u64 - 2; // straddles the page boundary
+        m.write_u32(addr, 0xaabb_ccdd);
+        assert_eq!(m.read_u32(addr), 0xaabb_ccdd);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut m = FlatMem::new();
+        m.write_u64(100, u64::MAX - 3);
+        assert_eq!(m.read_u64(100), u64::MAX - 3);
+    }
+
+    #[test]
+    fn word_slice_helpers() {
+        let mut m = FlatMem::new();
+        m.write_words(0x2000, &[1, -2, 3]);
+        assert_eq!(m.read_words(0x2000, 3), vec![1, -2, 3]);
+    }
+}

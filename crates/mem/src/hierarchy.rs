@@ -1,0 +1,484 @@
+//! The full multi-core memory hierarchy with MESI coherence.
+
+use crate::cache::{Cache, CacheConfig, CacheStats, Mesi};
+use crate::flat::FlatMem;
+
+/// Latency and geometry parameters for the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Private L2 geometry.
+    pub l2: CacheConfig,
+    /// Main-memory access latency in core cycles (100 ns @ 2 GHz = 200).
+    pub dram_latency: u32,
+    /// Cache-to-cache transfer latency over the snoop bus.
+    pub c2c_latency: u32,
+    /// Invalidate/upgrade bus transaction latency.
+    pub upgrade_latency: u32,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::l1(),
+            l1d: CacheConfig::l1(),
+            l2: CacheConfig::l2(),
+            dram_latency: 200,
+            c2c_latency: 20,
+            upgrade_latency: 10,
+        }
+    }
+}
+
+/// Snoop-bus and memory-controller activity counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BusStats {
+    /// Upgrade (invalidate) transactions issued by stores to Shared lines.
+    pub upgrades: u64,
+    /// Lines supplied by a remote cache (dirty or clean).
+    pub c2c_transfers: u64,
+    /// Main-memory fetches.
+    pub dram_accesses: u64,
+    /// Broadcast snoop probes issued.
+    pub snoops: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CorePrivate {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+}
+
+/// The multi-core memory hierarchy.
+///
+/// Owns the flat backing store plus per-core private caches, and applies the
+/// MESI protocol over an idealized atomic snoop bus. All methods return the
+/// access latency in *core cycles*; the core model adds it to the requesting
+/// instruction's completion time (a blocking-miss model: misses from one core
+/// do not overlap with each other, which is conservative and matches the
+/// single load/store unit of Table II).
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    cores: Vec<CorePrivate>,
+    mem: FlatMem,
+    bus: BusStats,
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy for `n_cores` cores with empty caches and memory.
+    pub fn new(n_cores: usize, cfg: HierarchyConfig) -> Hierarchy {
+        let cores = (0..n_cores)
+            .map(|_| CorePrivate {
+                l1i: Cache::new(cfg.l1i),
+                l1d: Cache::new(cfg.l1d),
+                l2: Cache::new(cfg.l2),
+            })
+            .collect();
+        Hierarchy { cfg, cores, mem: FlatMem::new(), bus: BusStats::default() }
+    }
+
+    /// Number of cores this hierarchy serves.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Shared functional memory (for workload setup and result inspection).
+    pub fn mem(&self) -> &FlatMem {
+        &self.mem
+    }
+
+    /// Mutable access to functional memory.
+    pub fn mem_mut(&mut self) -> &mut FlatMem {
+        &mut self.mem
+    }
+
+    /// Bus/DRAM counters.
+    pub fn bus_stats(&self) -> &BusStats {
+        &self.bus
+    }
+
+    /// L1I/L1D/L2 counters for one core.
+    pub fn cache_stats(&self, core: usize) -> (CacheStats, CacheStats, CacheStats) {
+        let c = &self.cores[core];
+        (*c.l1i.stats(), *c.l1d.stats(), *c.l2.stats())
+    }
+
+    /// Instruction-fetch timing for the line containing `addr`.
+    ///
+    /// Instruction lines are read-only, so no coherence actions are needed;
+    /// misses fill both L2 and L1I in Shared state.
+    pub fn inst_fetch(&mut self, core: usize, addr: u64) -> u32 {
+        let mut lat = self.cfg.l1i.hit_latency;
+        if self.cores[core].l1i.access(addr).is_some() {
+            return lat;
+        }
+        lat += self.cfg.l2.hit_latency;
+        if self.cores[core].l2.access(addr).is_none() {
+            lat += self.cfg.dram_latency;
+            self.bus.dram_accesses += 1;
+            self.insert_l2_inclusive(core, addr, Mesi::Shared);
+        }
+        self.cores[core].l1i.insert(addr, Mesi::Shared);
+        lat
+    }
+
+    /// Data load: returns the `size`-byte little-endian value (1, 4, or 8
+    /// bytes) and the access latency.
+    pub fn load(&mut self, core: usize, addr: u64, size: u8) -> (u64, u32) {
+        let lat = self.data_access(core, addr, false);
+        let v = match size {
+            1 => self.mem.read_u8(addr) as u64,
+            4 => self.mem.read_u32(addr) as u64,
+            8 => self.mem.read_u64(addr),
+            s => panic!("unsupported load size {s}"),
+        };
+        (v, lat)
+    }
+
+    /// Data store of the `size` low bytes of `value`; returns the latency.
+    pub fn store(&mut self, core: usize, addr: u64, size: u8, value: u64) -> u32 {
+        let lat = self.data_access(core, addr, true);
+        match size {
+            1 => self.mem.write_u8(addr, value as u8),
+            4 => self.mem.write_u32(addr, value as u32),
+            8 => self.mem.write_u64(addr, value),
+            s => panic!("unsupported store size {s}"),
+        }
+        lat
+    }
+
+    /// Atomic 32-bit fetch-and-add; returns the previous value and latency.
+    pub fn amo_add(&mut self, core: usize, addr: u64, delta: i64) -> (i64, u32) {
+        let lat = self.data_access(core, addr, true);
+        let old = self.mem.read_u32(addr) as i32;
+        self.mem.write_u32(addr, (old as i64).wrapping_add(delta) as u32);
+        (old as i64, lat)
+    }
+
+    /// Timing-only data access used by both loads and stores.
+    fn data_access(&mut self, core: usize, addr: u64, write: bool) -> u32 {
+        let mut lat = self.cfg.l1d.hit_latency;
+        match self.cores[core].l1d.access(addr) {
+            Some(Mesi::Modified) => return lat,
+            Some(Mesi::Exclusive) => {
+                if write {
+                    self.cores[core].l1d.set_state(addr, Mesi::Modified);
+                    self.cores[core].l2.set_state(addr, Mesi::Modified);
+                }
+                return lat;
+            }
+            Some(Mesi::Shared) => {
+                if !write {
+                    return lat;
+                }
+                // Store to a Shared line: bus upgrade, invalidate remotes.
+                lat += self.cfg.upgrade_latency;
+                self.bus.upgrades += 1;
+                self.invalidate_remotes(core, addr);
+                self.cores[core].l1d.set_state(addr, Mesi::Modified);
+                self.cores[core].l2.set_state(addr, Mesi::Modified);
+                return lat;
+            }
+            Some(Mesi::Invalid) | None => {}
+        }
+
+        // L1D miss: consult the private L2.
+        lat += self.cfg.l2.hit_latency;
+        let l2_state = self.cores[core].l2.access(addr);
+        let fill = match l2_state {
+            Some(st @ (Mesi::Modified | Mesi::Exclusive)) => {
+                if write {
+                    self.cores[core].l2.set_state(addr, Mesi::Modified);
+                    Mesi::Modified
+                } else {
+                    st
+                }
+            }
+            Some(Mesi::Shared) => {
+                if write {
+                    lat += self.cfg.upgrade_latency;
+                    self.bus.upgrades += 1;
+                    self.invalidate_remotes(core, addr);
+                    self.cores[core].l2.set_state(addr, Mesi::Modified);
+                    Mesi::Modified
+                } else {
+                    Mesi::Shared
+                }
+            }
+            Some(Mesi::Invalid) | None => {
+                // Full miss: snoop the other cores, then memory if needed.
+                self.bus.snoops += 1;
+                let remote = self.snoop_remotes(core, addr, write);
+                let fill = match remote {
+                    SnoopResult::SuppliedDirty | SnoopResult::SuppliedClean => {
+                        lat += self.cfg.c2c_latency;
+                        self.bus.c2c_transfers += 1;
+                        if write {
+                            Mesi::Modified
+                        } else {
+                            Mesi::Shared
+                        }
+                    }
+                    SnoopResult::Nobody => {
+                        lat += self.cfg.dram_latency;
+                        self.bus.dram_accesses += 1;
+                        if write {
+                            Mesi::Modified
+                        } else {
+                            Mesi::Exclusive
+                        }
+                    }
+                };
+                self.insert_l2_inclusive(core, addr, fill);
+                fill
+            }
+        };
+        // Fill L1D maintaining inclusion bookkeeping on eviction.
+        if let Some((evicted, st)) = self.cores[core].l1d.insert(addr, fill) {
+            if st == Mesi::Modified {
+                // Dirty L1 eviction lands in the (inclusive) L2.
+                self.cores[core].l2.set_state(evicted, Mesi::Modified);
+            }
+        }
+        lat
+    }
+
+    /// Removes the line from every other core (store path).
+    fn invalidate_remotes(&mut self, core: usize, addr: u64) {
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            if i != core {
+                c.l1d.invalidate(addr);
+                c.l2.invalidate(addr);
+            }
+        }
+    }
+
+    /// Read/write snoop: downgrades or invalidates remote copies and reports
+    /// whether any remote cache supplied the line.
+    fn snoop_remotes(&mut self, core: usize, addr: u64, write: bool) -> SnoopResult {
+        let mut result = SnoopResult::Nobody;
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            if i == core {
+                continue;
+            }
+            let st = c.l2.probe(addr).max_with(c.l1d.probe(addr));
+            match st {
+                Mesi::Modified => {
+                    // Owner writes back (data is already functionally in
+                    // FlatMem); downgrade or invalidate.
+                    if write {
+                        c.l1d.invalidate(addr);
+                        c.l2.invalidate(addr);
+                    } else {
+                        c.l1d.set_state(addr, Mesi::Shared);
+                        c.l2.set_state(addr, Mesi::Shared);
+                    }
+                    result = SnoopResult::SuppliedDirty;
+                }
+                Mesi::Exclusive | Mesi::Shared => {
+                    if write {
+                        c.l1d.invalidate(addr);
+                        c.l2.invalidate(addr);
+                    } else {
+                        c.l1d.set_state(addr, Mesi::Shared);
+                        c.l2.set_state(addr, Mesi::Shared);
+                    }
+                    if result == SnoopResult::Nobody {
+                        result = SnoopResult::SuppliedClean;
+                    }
+                }
+                Mesi::Invalid => {}
+            }
+        }
+        result
+    }
+
+    /// Inserts into the L2, invalidating the L1 copy of any evicted line to
+    /// preserve inclusion.
+    fn insert_l2_inclusive(&mut self, core: usize, addr: u64, state: Mesi) {
+        if let Some((evicted, _)) = self.cores[core].l2.insert(addr, state) {
+            self.cores[core].l1d.invalidate(evicted);
+            self.cores[core].l1i.invalidate(evicted);
+        }
+    }
+
+    /// Global MESI invariant check (used by property tests): for every line
+    /// currently cached anywhere, at most one core holds it Modified or
+    /// Exclusive, and an M/E copy excludes all other copies.
+    pub fn check_mesi_invariants(&self, addrs: &[u64]) -> Result<(), String> {
+        for &addr in addrs {
+            let mut owners = 0;
+            let mut sharers = 0;
+            for (i, c) in self.cores.iter().enumerate() {
+                let st = c.l2.probe(addr).max_with(c.l1d.probe(addr));
+                match st {
+                    Mesi::Modified | Mesi::Exclusive => owners += 1,
+                    Mesi::Shared => sharers += 1,
+                    Mesi::Invalid => {}
+                }
+                // L1 must be no more permissive than what coherence allows:
+                // if L1 has the line, the inclusive L2 must too.
+                if c.l1d.probe(addr) != Mesi::Invalid && c.l2.probe(addr) == Mesi::Invalid {
+                    return Err(format!("core {i}: L1 holds {addr:#x} but L2 does not"));
+                }
+            }
+            if owners > 1 {
+                return Err(format!("{owners} owners for line {addr:#x}"));
+            }
+            if owners == 1 && sharers > 0 {
+                return Err(format!("owner plus {sharers} sharers for line {addr:#x}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SnoopResult {
+    Nobody,
+    SuppliedClean,
+    SuppliedDirty,
+}
+
+trait MesiMax {
+    fn max_with(self, other: Mesi) -> Mesi;
+}
+
+impl MesiMax for Mesi {
+    /// Most-permissive of two states (M > E > S > I).
+    fn max_with(self, other: Mesi) -> Mesi {
+        fn rank(m: Mesi) -> u8 {
+            match m {
+                Mesi::Modified => 3,
+                Mesi::Exclusive => 2,
+                Mesi::Shared => 1,
+                Mesi::Invalid => 0,
+            }
+        }
+        if rank(self) >= rank(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h2() -> Hierarchy {
+        Hierarchy::new(2, HierarchyConfig::default())
+    }
+
+    #[test]
+    fn cold_load_goes_to_dram() {
+        let mut h = h2();
+        let (_, lat) = h.load(0, 0x100, 4);
+        assert_eq!(lat, 2 + 10 + 200);
+        assert_eq!(h.bus_stats().dram_accesses, 1);
+    }
+
+    #[test]
+    fn warm_load_hits_l1() {
+        let mut h = h2();
+        h.load(0, 0x100, 4);
+        let (_, lat) = h.load(0, 0x104, 4); // same 32B line
+        assert_eq!(lat, 2);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction_capacity() {
+        let mut h = h2();
+        // L1 is 8kB 2-way with 32B lines: 128 sets. Three lines mapping to
+        // the same set: stride = 128 * 32 = 4096.
+        h.load(0, 0x0, 4);
+        h.load(0, 0x1000, 4);
+        h.load(0, 0x2000, 4); // evicts 0x0 from L1 (still in L2)
+        let (_, lat) = h.load(0, 0x0, 4);
+        assert_eq!(lat, 2 + 10, "L1 miss, L2 hit");
+    }
+
+    #[test]
+    fn store_then_remote_load_is_c2c() {
+        let mut h = h2();
+        h.store(0, 0x100, 4, 7);
+        let (v, lat) = h.load(1, 0x100, 4);
+        assert_eq!(v, 7);
+        assert_eq!(lat, 2 + 10 + 20, "supplied dirty by core 0");
+        assert_eq!(h.bus_stats().c2c_transfers, 1);
+        // Both ends now Shared.
+        h.check_mesi_invariants(&[0x100]).unwrap();
+    }
+
+    #[test]
+    fn store_to_shared_upgrades_and_invalidates() {
+        let mut h = h2();
+        h.store(0, 0x100, 4, 7);
+        h.load(1, 0x100, 4); // both shared now
+        let lat = h.store(0, 0x100, 4, 9);
+        assert_eq!(lat, 2 + 10, "L1 hit + upgrade");
+        assert_eq!(h.bus_stats().upgrades, 1);
+        let (v, lat1) = h.load(1, 0x100, 4);
+        assert_eq!(v, 9);
+        assert!(lat1 > 2, "core 1 was invalidated and must re-fetch");
+        h.check_mesi_invariants(&[0x100]).unwrap();
+    }
+
+    #[test]
+    fn exclusive_store_is_silent() {
+        let mut h = h2();
+        h.load(0, 0x100, 4); // fills Exclusive
+        let lat = h.store(0, 0x100, 4, 1); // E -> M without bus traffic
+        assert_eq!(lat, 2);
+        assert_eq!(h.bus_stats().upgrades, 0);
+    }
+
+    #[test]
+    fn amo_add_returns_old_value() {
+        let mut h = h2();
+        h.store(0, 0x40, 4, 10);
+        let (old, _) = h.amo_add(1, 0x40, 5);
+        assert_eq!(old, 10);
+        let (v, _) = h.load(0, 0x40, 4);
+        assert_eq!(v, 15);
+        h.check_mesi_invariants(&[0x40]).unwrap();
+    }
+
+    #[test]
+    fn inst_fetch_misses_then_hits() {
+        let mut h = h2();
+        let lat0 = h.inst_fetch(0, 0x4000_0000);
+        assert_eq!(lat0, 2 + 10 + 200);
+        let lat1 = h.inst_fetch(0, 0x4000_0004);
+        assert_eq!(lat1, 2);
+    }
+
+    #[test]
+    fn write_miss_invalidates_remote_clean_copy() {
+        let mut h = h2();
+        h.load(0, 0x200, 4); // core 0 Exclusive
+        h.store(1, 0x200, 4, 3); // core 1 write miss
+        assert_eq!(h.cores[0].l1d.probe(0x200), Mesi::Invalid);
+        h.check_mesi_invariants(&[0x200]).unwrap();
+    }
+
+    #[test]
+    fn negative_amo_delta() {
+        let mut h = h2();
+        h.store(0, 0x44, 4, 10);
+        let (old, _) = h.amo_add(0, 0x44, -4);
+        assert_eq!(old, 10);
+        assert_eq!(h.load(0, 0x44, 4).0, 6);
+    }
+}

@@ -1,0 +1,36 @@
+//! # remap-mem
+//!
+//! The memory hierarchy of the ReMAP reproduction: per-core L1 instruction
+//! and data caches, private L2 caches, a snooping bus implementing MESI
+//! coherence, and a flat DRAM backing store.
+//!
+//! Parameters follow Table II of the paper: 8 kB 2-way L1s with 2-cycle
+//! access, 1 MB private L2 with 10-cycle access, MESI coherence, and 100 ns
+//! main memory (200 cycles at the 2 GHz core clock).
+//!
+//! The hierarchy is *timing-directed, functionally flat*: caches track tags,
+//! MESI states and LRU for timing and power accounting, while data always
+//! lives in the shared [`FlatMem`]. This is a standard simulator structure
+//! (SESC does the same for most of its models) and keeps functional
+//! correctness independent of timing bugs.
+//!
+//! ```
+//! use remap_mem::{Hierarchy, HierarchyConfig};
+//!
+//! let mut h = Hierarchy::new(2, HierarchyConfig::default());
+//! let lat_miss = h.store(0, 0x100, 4, 42);
+//! let (v, lat_hit) = h.load(0, 0x100, 4);
+//! assert_eq!(v, 42);
+//! assert!(lat_hit < lat_miss, "second access hits in the L1");
+//! // A load by the other core snoops the modified line out of core 0.
+//! let (v1, _) = h.load(1, 0x100, 4);
+//! assert_eq!(v1, 42);
+//! ```
+
+mod cache;
+mod flat;
+mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Mesi};
+pub use flat::FlatMem;
+pub use hierarchy::{BusStats, Hierarchy, HierarchyConfig};

@@ -1,0 +1,88 @@
+//! Area model (Cacti-style constants) and the Table I generator inputs.
+
+/// Area constants in mm² at 65 nm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// One OOO1 core including L1 caches.
+    pub core_ooo1: f64,
+    /// One OOO2 core.
+    pub core_ooo2: f64,
+    /// One SPL row (16 cells + inter-row interconnect share).
+    pub spl_row: f64,
+    /// Fixed SPL overhead: input/output queues, sharing muxes/tristate
+    /// drivers, thread-to-core and barrier tables.
+    pub spl_overhead: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        // Calibration (see DESIGN.md §2): the SPL cluster's fabric occupies
+        // 0.51× the four OOO1 cores (Table I) — equivalently about two
+        // single-issue cores (§V-C.2) — and four OOO2 cores match the area
+        // of an SPL cluster (4×OOO1 + SPL), making OOO2 ≈ 1.51× OOO1.
+        AreaModel { core_ooo1: 5.0, core_ooo2: 7.55, spl_row: 0.4, spl_overhead: 0.6 }
+    }
+}
+
+impl AreaModel {
+    /// Total area of an SPL fabric with `rows` rows.
+    pub fn spl(&self, rows: u32) -> f64 {
+        self.spl_row * rows as f64 + self.spl_overhead
+    }
+
+    /// Area of an SPL cluster: four OOO1 cores plus the shared fabric.
+    pub fn spl_cluster(&self, rows: u32) -> f64 {
+        4.0 * self.core_ooo1 + self.spl(rows)
+    }
+
+    /// Area of the OOO2+Comm cluster (four OOO2 cores; the dedicated
+    /// communication network is assumed free, as in the paper).
+    pub fn ooo2_cluster(&self) -> f64 {
+        4.0 * self.core_ooo2
+    }
+
+    /// How many extra OOO1 cores fit in the SPL's area (the homogeneous
+    /// replacement of §V-C.2; the paper uses two).
+    pub fn cores_in_spl_area(&self, rows: u32) -> u32 {
+        (self.spl(rows) / self.core_ooo1).round() as u32
+    }
+}
+
+/// The rows of Table I: relative area and power of a 4-way shared 24-row
+/// SPL against four single-issue cores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1 {
+    /// SPL rows modeled.
+    pub spl_rows: u32,
+    /// SPL area / four-core area (paper: 0.51).
+    pub spl_rel_area: f64,
+    /// SPL peak dynamic power / four-core peak dynamic (paper: 0.14).
+    pub spl_rel_peak_dynamic: f64,
+    /// SPL leakage / four-core leakage (paper: 0.67).
+    pub spl_rel_leakage: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spl_area_is_half_of_four_cores() {
+        let a = AreaModel::default();
+        let ratio = a.spl(24) / (4.0 * a.core_ooo1);
+        assert!((ratio - 0.51).abs() < 0.01, "got {ratio}");
+    }
+
+    #[test]
+    fn spl_equals_about_two_cores() {
+        let a = AreaModel::default();
+        assert_eq!(a.cores_in_spl_area(24), 2, "§V-C.2: SPL ≈ two single-issue cores");
+    }
+
+    #[test]
+    fn ooo2_cluster_matches_spl_cluster_area() {
+        let a = AreaModel::default();
+        let rel = a.ooo2_cluster() / a.spl_cluster(24);
+        assert!((rel - 1.0).abs() < 0.01, "got {rel}");
+    }
+}

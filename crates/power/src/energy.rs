@@ -1,0 +1,147 @@
+//! Per-event energy and per-structure leakage constants (65 nm, 1.1 V).
+
+/// Which core microarchitecture an energy computation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreKind {
+    /// Single-issue out-of-order core (Table II, OOO1).
+    Ooo1,
+    /// Dual-issue out-of-order core (Table II, OOO2).
+    Ooo2,
+}
+
+impl CoreKind {
+    /// Scaling of per-event pipeline energies relative to OOO1: the wider
+    /// core's rename, wakeup/select and bypass structures are
+    /// super-linearly more expensive per operation.
+    pub fn pipeline_scale(self) -> f64 {
+        match self {
+            CoreKind::Ooo1 => 1.0,
+            CoreKind::Ooo2 => 1.3,
+        }
+    }
+}
+
+/// Energy and leakage constants. All dynamic energies in picojoules per
+/// event; leakage in picojoules per core cycle (2 GHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    // --- core pipeline events (OOO1 baseline, scaled by CoreKind) ---------
+    /// Per instruction fetched (I-cache interface + fetch buffer).
+    pub fetch: f64,
+    /// Per instruction decoded/renamed/ROB-allocated.
+    pub dispatch: f64,
+    /// Per instruction selected and woken in the issue queues.
+    pub issue: f64,
+    /// Per register-file read port access.
+    pub rf_read: f64,
+    /// Per register-file write.
+    pub rf_write: f64,
+    /// Per commit (ROB read + retirement bookkeeping).
+    pub commit: f64,
+    /// Per branch-predictor lookup/update.
+    pub bpred: f64,
+    /// Per simple integer ALU operation.
+    pub exec_alu: f64,
+    /// Per integer multiply.
+    pub exec_mul: f64,
+    /// Per integer divide.
+    pub exec_div: f64,
+    /// Per FP operation.
+    pub exec_fp: f64,
+    // --- memory hierarchy ---------------------------------------------------
+    /// Per L1 (I or D) access.
+    pub l1_access: f64,
+    /// Per L2 access.
+    pub l2_access: f64,
+    /// Per snoop-bus transaction (upgrade, snoop, cache-to-cache).
+    pub bus_txn: f64,
+    /// Per main-memory access.
+    pub dram_access: f64,
+    // --- SPL ------------------------------------------------------------------
+    /// Per virtual-row activation (one row computing for one SPL cycle).
+    pub spl_row: f64,
+    /// Per SPL input/output queue operation.
+    pub spl_queue: f64,
+    /// Per barrier-table or thread-to-core-table access.
+    pub spl_table: f64,
+    /// Per inter-cluster barrier-bus message.
+    pub barrier_bus_msg: f64,
+    /// Per idealized hardware-queue transfer (OOO2+Comm baseline).
+    pub hwq_transfer: f64,
+    // --- leakage (pJ per core cycle) -----------------------------------------
+    /// One OOO1 core including its L1s and private L2 bank.
+    pub leak_core_ooo1: f64,
+    /// One OOO2 core.
+    pub leak_core_ooo2: f64,
+    /// The whole 24-row shared SPL (queues and interconnect included).
+    pub leak_spl_total: f64,
+    /// SPL rows assumed by `leak_spl_total` (leakage scales linearly when a
+    /// differently sized fabric is modeled).
+    pub leak_spl_rows: u32,
+}
+
+impl Default for EnergyParams {
+    /// 65 nm constants calibrated to Table I (see crate docs).
+    fn default() -> Self {
+        EnergyParams {
+            fetch: 150.0,
+            dispatch: 200.0,
+            issue: 140.0,
+            rf_read: 45.0,
+            rf_write: 70.0,
+            commit: 90.0,
+            bpred: 40.0,
+            exec_alu: 150.0,
+            exec_mul: 300.0,
+            exec_div: 700.0,
+            exec_fp: 350.0,
+            l1_access: 100.0,
+            l2_access: 400.0,
+            bus_txn: 300.0,
+            dram_access: 2000.0,
+            spl_row: 93.0,
+            spl_queue: 25.0,
+            spl_table: 8.0,
+            barrier_bus_msg: 30.0,
+            hwq_transfer: 20.0,
+            // 0.5 W per OOO1 core at 2 GHz = 250 pJ/cycle; OOO2 scales with
+            // its 1.51× area; SPL leaks 0.67× the four-core total (Table I).
+            leak_core_ooo1: 250.0,
+            leak_core_ooo2: 377.5,
+            leak_spl_total: 670.0,
+            leak_spl_rows: 24,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Average dynamic energy of one committed instruction flowing through
+    /// the whole OOO1 pipeline (used for peak-power estimates in Table I).
+    pub fn per_inst_pipeline(&self, kind: CoreKind) -> f64 {
+        let s = kind.pipeline_scale();
+        (self.fetch + self.dispatch + self.issue + 2.0 * self.rf_read + self.rf_write
+            + self.commit
+            + self.exec_alu) * s
+            + self.l1_access // one L1 reference per instruction on average
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_inst_energy_is_about_a_nanojoule() {
+        let p = EnergyParams::default();
+        let e = p.per_inst_pipeline(CoreKind::Ooo1);
+        assert!((700.0..1300.0).contains(&e), "got {e} pJ");
+        assert!(p.per_inst_pipeline(CoreKind::Ooo2) > e);
+    }
+
+    #[test]
+    fn leakage_ratio_matches_table1() {
+        let p = EnergyParams::default();
+        let four_cores = 4.0 * p.leak_core_ooo1;
+        assert!((p.leak_spl_total / four_cores - 0.67).abs() < 0.01);
+    }
+}

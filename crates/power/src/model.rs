@@ -1,0 +1,232 @@
+//! The activity-to-energy model and the Table I generator.
+
+use crate::area::{AreaModel, Table1};
+use crate::energy::{CoreKind, EnergyParams};
+use remap_cpu::{CoreStats, PredStats};
+use remap_isa::InstClass;
+use remap_mem::{BusStats, CacheStats};
+use remap_spl::SplStats;
+
+/// Energy totals for one component or one run, in picojoules.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Switching energy of counted events.
+    pub dynamic_pj: f64,
+    /// Leakage over the elapsed cycles.
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj + self.leakage_pj
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: EnergyBreakdown) {
+        self.dynamic_pj += other.dynamic_pj;
+        self.leakage_pj += other.leakage_pj;
+    }
+
+    /// Energy×delay in pJ·cycles for a run of `cycles`.
+    pub fn energy_delay(&self, cycles: u64) -> f64 {
+        self.total_pj() * cycles as f64
+    }
+}
+
+/// Converts simulator activity counters into energy.
+#[derive(Debug, Clone, Default)]
+pub struct PowerModel {
+    /// Per-event energies and leakage constants.
+    pub params: EnergyParams,
+    /// Area constants.
+    pub area: AreaModel,
+}
+
+impl PowerModel {
+    /// Creates a model with the default 65 nm calibration.
+    pub fn new() -> PowerModel {
+        PowerModel::default()
+    }
+
+    /// Dynamic + leakage energy of one core over its run.
+    pub fn core_energy(
+        &self,
+        kind: CoreKind,
+        stats: &CoreStats,
+        pred: &PredStats,
+    ) -> EnergyBreakdown {
+        let p = &self.params;
+        let s = kind.pipeline_scale();
+        let exec = stats.committed_of(InstClass::IntAlu) as f64 * p.exec_alu
+            + stats.committed_of(InstClass::IntMul) as f64 * p.exec_mul
+            + stats.committed_of(InstClass::IntDiv) as f64 * p.exec_div
+            + stats.committed_of(InstClass::Fp) as f64 * p.exec_fp
+            + stats.committed_of(InstClass::Branch) as f64 * p.exec_alu
+            + stats.committed_of(InstClass::Load) as f64 * p.exec_alu // AGU
+            + stats.committed_of(InstClass::Store) as f64 * p.exec_alu
+            + stats.committed_of(InstClass::Atomic) as f64 * (p.exec_alu + p.l1_access)
+            // Wrong-path work that executed but never committed.
+            + stats.squashed as f64 * 0.5 * p.exec_alu;
+        let dynamic_pj = s
+            * (stats.fetched as f64 * p.fetch
+                + stats.dispatched as f64 * p.dispatch
+                + stats.issued as f64 * p.issue
+                + stats.regfile_reads as f64 * p.rf_read
+                + stats.regfile_writes as f64 * p.rf_write
+                + stats.committed as f64 * p.commit)
+            + exec
+            + pred.lookups as f64 * p.bpred
+            + stats.committed_of(InstClass::Spl) as f64 * p.spl_queue
+            + stats.committed_of(InstClass::Hwq) as f64 * p.hwq_transfer;
+        let leak = match kind {
+            CoreKind::Ooo1 => p.leak_core_ooo1,
+            CoreKind::Ooo2 => p.leak_core_ooo2,
+        };
+        EnergyBreakdown { dynamic_pj, leakage_pj: stats.cycles as f64 * leak }
+    }
+
+    /// Dynamic energy of one core's cache hierarchy plus its share of the
+    /// bus/memory traffic. (Cache leakage is folded into the core leakage
+    /// constant, matching how Table I groups "four cores".)
+    pub fn cache_energy(
+        &self,
+        l1i: &CacheStats,
+        l1d: &CacheStats,
+        l2: &CacheStats,
+    ) -> EnergyBreakdown {
+        let p = &self.params;
+        let dynamic_pj = (l1i.accesses() + l1d.accesses()) as f64 * p.l1_access
+            + l2.accesses() as f64 * p.l2_access
+            + (l1d.writebacks + l2.writebacks) as f64 * p.l2_access
+            + (l1d.invalidations + l2.invalidations) as f64 * p.l1_access;
+        EnergyBreakdown { dynamic_pj, leakage_pj: 0.0 }
+    }
+
+    /// Dynamic energy of the shared bus and memory controller.
+    pub fn bus_energy(&self, bus: &BusStats) -> EnergyBreakdown {
+        let p = &self.params;
+        let dynamic_pj = (bus.upgrades + bus.snoops + bus.c2c_transfers) as f64 * p.bus_txn
+            + bus.dram_accesses as f64 * p.dram_access;
+        EnergyBreakdown { dynamic_pj, leakage_pj: 0.0 }
+    }
+
+    /// Dynamic + leakage energy of an SPL fabric with `rows` physical rows
+    /// over `core_cycles` elapsed core cycles.
+    pub fn spl_energy(&self, stats: &SplStats, rows: u32, core_cycles: u64) -> EnergyBreakdown {
+        let p = &self.params;
+        let dynamic_pj = stats.row_activations as f64 * p.spl_row
+            + stats.results_delivered as f64 * p.spl_queue
+            + (stats.compute_ops + stats.barrier_ops) as f64 * (p.spl_queue + p.spl_table);
+        let leak_per_cycle = p.leak_spl_total * rows as f64 / p.leak_spl_rows as f64;
+        EnergyBreakdown { dynamic_pj, leakage_pj: core_cycles as f64 * leak_per_cycle }
+    }
+
+    /// Dynamic energy of `messages` inter-cluster barrier-bus transfers.
+    pub fn barrier_bus_energy(&self, messages: u64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dynamic_pj: messages as f64 * self.params.barrier_bus_msg,
+            leakage_pj: 0.0,
+        }
+    }
+}
+
+/// Computes Table I: relative area, peak dynamic power, and leakage of the
+/// 4-way shared 24-row SPL against four OOO1 cores.
+pub fn table1(params: &EnergyParams) -> Table1 {
+    let area = AreaModel::default();
+    const F_CORE_GHZ: f64 = 2.0;
+    const F_SPL_GHZ: f64 = 0.5;
+    // Peak dynamic: every core committing at full width vs every SPL row
+    // switching every SPL cycle.
+    let core_peak_w = F_CORE_GHZ * params.per_inst_pipeline(CoreKind::Ooo1) * 1e-3; // pJ·GHz = mW → W via 1e-3
+    let four_core_peak = 4.0 * core_peak_w;
+    let spl_rows = 24u32;
+    let spl_peak = F_SPL_GHZ * spl_rows as f64 * params.spl_row * 1e-3;
+    let four_core_leak = 4.0 * params.leak_core_ooo1 * F_CORE_GHZ * 1e-3;
+    let spl_leak = params.leak_spl_total * F_CORE_GHZ * 1e-3;
+    Table1 {
+        spl_rows,
+        spl_rel_area: area.spl(spl_rows) / (4.0 * area.core_ooo1),
+        spl_rel_peak_dynamic: spl_peak / four_core_peak,
+        spl_rel_leakage: spl_leak / four_core_leak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_paper_ratios() {
+        let t = table1(&EnergyParams::default());
+        assert_eq!(t.spl_rows, 24);
+        assert!((t.spl_rel_area - 0.51).abs() < 0.02, "area {}", t.spl_rel_area);
+        assert!(
+            (t.spl_rel_peak_dynamic - 0.14).abs() < 0.02,
+            "peak dyn {}",
+            t.spl_rel_peak_dynamic
+        );
+        assert!((t.spl_rel_leakage - 0.67).abs() < 0.02, "leak {}", t.spl_rel_leakage);
+    }
+
+    #[test]
+    fn more_activity_means_more_energy() {
+        let m = PowerModel::new();
+        let s1 = CoreStats {
+            cycles: 1000,
+            committed: 500,
+            fetched: 600,
+            dispatched: 550,
+            issued: 520,
+            ..Default::default()
+        };
+        let mut s2 = s1.clone();
+        s2.committed = 900;
+        s2.fetched = 1000;
+        s2.dispatched = 950;
+        s2.issued = 930;
+        let p = PredStats::default();
+        let e1 = m.core_energy(CoreKind::Ooo1, &s1, &p);
+        let e2 = m.core_energy(CoreKind::Ooo1, &s2, &p);
+        assert!(e2.dynamic_pj > e1.dynamic_pj);
+        assert_eq!(e1.leakage_pj, e2.leakage_pj, "same cycles, same leakage");
+    }
+
+    #[test]
+    fn ooo2_costs_more_per_event() {
+        let m = PowerModel::new();
+        let s = CoreStats {
+            cycles: 100,
+            committed: 100,
+            fetched: 100,
+            dispatched: 100,
+            issued: 100,
+            ..Default::default()
+        };
+        let p = PredStats::default();
+        let e1 = m.core_energy(CoreKind::Ooo1, &s, &p);
+        let e2 = m.core_energy(CoreKind::Ooo2, &s, &p);
+        assert!(e2.dynamic_pj > e1.dynamic_pj);
+        assert!(e2.leakage_pj > e1.leakage_pj);
+    }
+
+    #[test]
+    fn spl_leakage_scales_with_rows() {
+        let m = PowerModel::new();
+        let s = SplStats::default();
+        let full = m.spl_energy(&s, 24, 1000);
+        let half = m.spl_energy(&s, 12, 1000);
+        assert!((full.leakage_pj / half.leakage_pj - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_delay_composes() {
+        let e = EnergyBreakdown { dynamic_pj: 10.0, leakage_pj: 5.0 };
+        assert_eq!(e.total_pj(), 15.0);
+        assert_eq!(e.energy_delay(4), 60.0);
+        let mut a = e;
+        a.add(e);
+        assert_eq!(a.total_pj(), 30.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # remap-spl
+//!
+//! The Specialized Programmable Logic (SPL) fabric of the ReMAP paper: a
+//! highly pipelined, row-based reconfigurable fabric shared by up to four
+//! cores, clocked at one quarter of the core frequency (500 MHz vs 2 GHz).
+//!
+//! The structural model follows §II-A of the paper:
+//!
+//! * 24 rows of 16 eight-bit cells (each cell: a 4-LUT, 2-LUTs plus a fast
+//!   carry tree, barrel shifters, and flip-flops) — see [`RowModel`];
+//! * each row completes its computation in one SPL cycle, and the fabric is
+//!   fully pipelined: a new operation may enter row 0 every SPL cycle;
+//! * **virtualization** (PipeRench-style): a function needing `V` virtual
+//!   rows on a partition with `P` physical rows still executes, with
+//!   initiation interval `ceil(V / P)` — guaranteed execution at a possible
+//!   loss of throughput;
+//! * **spatial partitioning** into up to four virtual clusters, each with a
+//!   contiguous range of rows and its own pipeline;
+//! * **temporal sharing**: pending requests from the attached cores are
+//!   issued round-robin.
+//!
+//! Functions are registered as [`SplFunction`]s: a row count (hardware
+//! requirement) plus a semantic closure evaluated when the operation
+//! completes. Operations read 16-byte input-queue entries staged by
+//! `spl_load` and deliver 64-bit results to per-core output queues, which is
+//! exactly the decoupled queue interface the cores see.
+//!
+//! ```
+//! use remap_spl::{Spl, SplConfig, SplFunction, Dest};
+//!
+//! let mut spl = Spl::new(SplConfig::paper(4));
+//! // A 4-row function: add the two u32s of the input entry.
+//! spl.register(1, SplFunction::compute("add2", 4, Dest::SelfCore, |e| {
+//!     (e.u32(0) as u64) + (e.u32(4) as u64)
+//! }));
+//! spl.stage(0, 0, 4, 20);
+//! spl.stage(0, 4, 4, 22);
+//! assert!(spl.request(0, 1, 0).is_ok());
+//! let mut cycle = 0;
+//! loop {
+//!     cycle += 1;
+//!     spl.tick(cycle);
+//!     if let Some(v) = spl.pop_output(0) { assert_eq!(v, 42); break; }
+//!     assert!(cycle < 100, "operation must complete");
+//! }
+//! ```
+
+mod fabric;
+mod function;
+mod queue;
+mod row;
+
+pub use fabric::{RequestError, Spl, SplConfig, SplStats};
+pub use function::{Dest, Entry, FunctionKind, SplFunction};
+pub use queue::{InputQueue, OutputQueue, SealedEntry};
+pub use row::{CellModel, RowModel};

@@ -1,0 +1,79 @@
+//! Structural model of an SPL row and cell (Figure 2(c) of the paper).
+//!
+//! These types capture the *hardware inventory* of the fabric — what a row
+//! is made of — which the area and power models consume. The functional
+//! semantics of a configured fabric live in [`SplFunction`](crate::SplFunction)
+//! closures; this mirrors how the paper derives area/power from the row
+//! design while simulating functions at a behavioral level.
+
+/// One 8-bit SPL cell.
+///
+/// Per Figure 2(c), a cell contains a main 4-input LUT, a group of 2-LUTs
+/// feeding a fast carry tree, two barrel shifters for operand alignment, and
+/// flip-flops latching the result. The same operation is applied to all
+/// 8 bits of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellModel {
+    /// Data width of the cell in bits.
+    pub bits: u32,
+    /// Number of 4-input LUTs (the main LUT).
+    pub lut4s: u32,
+    /// Number of 2-input LUTs feeding the carry tree.
+    pub lut2s: u32,
+    /// Number of barrel shifters.
+    pub barrel_shifters: u32,
+    /// Result flip-flops.
+    pub flops: u32,
+}
+
+impl Default for CellModel {
+    fn default() -> Self {
+        CellModel { bits: 8, lut4s: 8, lut2s: 8, barrel_shifters: 2, flops: 8 }
+    }
+}
+
+/// One SPL row: 16 cells plus the inter-row interconnection network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowModel {
+    /// Cells per row (16 in the paper, for a 16×8-bit row).
+    pub cells: u32,
+    /// The cell design.
+    pub cell: CellModel,
+}
+
+impl Default for RowModel {
+    fn default() -> Self {
+        RowModel { cells: 16, cell: CellModel::default() }
+    }
+}
+
+impl RowModel {
+    /// Total data width of the row in bits (128 for the paper's design).
+    pub fn width_bits(&self) -> u32 {
+        self.cells * self.cell.bits
+    }
+
+    /// Total data width in bytes (the input-queue entry size).
+    pub fn width_bytes(&self) -> u32 {
+        self.width_bits() / 8
+    }
+
+    /// Total 4-LUT count in the row, a rough complexity proxy used by the
+    /// area model.
+    pub fn lut4s(&self) -> u32 {
+        self.cells * self.cell.lut4s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_row_is_16x8() {
+        let r = RowModel::default();
+        assert_eq!(r.width_bits(), 128);
+        assert_eq!(r.width_bytes(), 16);
+        assert_eq!(r.lut4s(), 128);
+    }
+}

@@ -1,0 +1,69 @@
+//! Software-pipelined SPL kernel scaffolding shared by the workload
+//! emitters.
+
+use crate::framework::{ADDR_IN, ADDR_OUT};
+use remap_isa::{Asm, Program, Reg::*};
+
+/// Emits a software-pipelined single-thread SPL kernel: `depth` operations
+/// are kept in flight so fabric latency overlaps core work (the paper's
+/// "concurrent processing in the SPL").
+///
+/// `feed` emits the per-element input loads + `spl_load`s + `spl_init`,
+/// indexing with `r30` (the feed index; `r5` holds `r30 << elem_shift` on
+/// entry). `drain` emits the `spl_store` + result handling, indexing with
+/// `r1` (the drain index; `r5` holds `r1 << elem_shift` on entry). Register
+/// budget for both closures: `r5`–`r9` and `r14`–`r19`; persistent state may
+/// live in `r10`–`r13` and `r17`–`r19` if the closures coordinate.
+pub(crate) fn pipelined_spl_kernel(
+    name: &str,
+    n: usize,
+    depth: usize,
+    elem_shift: i32,
+    feed: impl Fn(&mut Asm),
+    drain: impl Fn(&mut Asm),
+) -> Program {
+    let mut a = Asm::new(format!("{name}-spl"));
+    let k = depth.min(n);
+    a.li(R1, 0); // drain index
+    a.li(R30, 0); // feed index
+    a.li(R2, n as i32);
+    a.li(R31, k as i32);
+    a.li(R3, ADDR_IN as i32);
+    a.li(R4, ADDR_OUT as i32);
+    if k > 0 {
+        a.label("pro");
+        a.slli(R5, R30, elem_shift);
+        feed(&mut a);
+        a.addi(R30, R30, 1);
+        a.blt(R30, R31, "pro");
+        a.label("main");
+        a.slli(R5, R1, elem_shift);
+        drain(&mut a);
+        a.addi(R1, R1, 1);
+        a.bge(R30, R2, "nofeed");
+        a.slli(R5, R30, elem_shift);
+        feed(&mut a);
+        a.addi(R30, R30, 1);
+        a.label("nofeed");
+        a.blt(R1, R2, "main");
+    }
+    a.halt();
+    a.assemble().expect("pipelined spl kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_iterations_is_just_halt() {
+        let p = pipelined_spl_kernel("t", 0, 4, 2, |_| {}, |_| {});
+        assert_eq!(p.len(), 7, "prologue + halt only");
+    }
+
+    #[test]
+    fn depth_clamps_to_n() {
+        let p = pipelined_spl_kernel("t", 2, 8, 2, |a| a.nop(), |a| a.nop());
+        assert!(p.len() > 7);
+    }
+}

@@ -1,0 +1,11 @@
+//! Workspace umbrella crate: re-exports every ReMAP subsystem crate so the
+//! repository-level examples and integration tests have a single import root.
+
+pub use remap as system;
+pub use remap_comm as comm;
+pub use remap_cpu as cpu;
+pub use remap_isa as isa;
+pub use remap_mem as mem;
+pub use remap_power as power;
+pub use remap_spl as spl;
+pub use remap_workloads as workloads;

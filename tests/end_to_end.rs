@@ -1,0 +1,219 @@
+//! Cross-crate integration tests: the three Figure 1 usage modes end to
+//! end, determinism, and energy accounting.
+
+use remap_suite::isa::{Asm, Reg::*};
+use remap_suite::power::PowerModel;
+use remap_suite::spl::{Dest, SplConfig, SplFunction};
+use remap_suite::system::{CoreKind, SystemBuilder};
+
+/// Figure 1(a): four threads independently computing in the shared fabric.
+#[test]
+fn figure1a_individual_computation() {
+    let mk = |seed: i32| {
+        let mut a = Asm::new("f");
+        a.li(R1, seed);
+        a.li(R2, 0);
+        a.li(R3, 16);
+        a.label("loop");
+        a.spl_load(R1, 0, 4);
+        a.spl_init(1);
+        a.spl_store(R1);
+        a.addi(R2, R2, 1);
+        a.bne(R2, R3, "loop");
+        a.halt();
+        a.assemble().unwrap()
+    };
+    let mut b = SystemBuilder::new();
+    for i in 0..4 {
+        b.add_core(CoreKind::Ooo1, mk(i + 1));
+    }
+    b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
+    b.register_spl(1, SplFunction::compute("x2+1", 5, Dest::SelfCore, |e| {
+        (2 * e.u32(0) + 1) as u64
+    }));
+    let mut sys = b.build();
+    sys.run(1_000_000).unwrap();
+    for i in 0..4 {
+        // x -> 2x+1 applied 16 times: x_k = 2^16 (x0 + 1) - 1.
+        let expect = (1i64 << 16) * (i as i64 + 2) - 1;
+        assert_eq!(sys.reg(i, R1), expect, "core {i}");
+    }
+    assert_eq!(sys.spl_stats(0).compute_ops, 64);
+}
+
+/// Figure 1(b): two producer→consumer pairs temporally sharing one fabric.
+#[test]
+fn figure1b_two_pairs_share_fabric() {
+    let producer = |items: i32| {
+        let mut a = Asm::new("p");
+        a.li(R1, 0);
+        a.li(R2, items);
+        a.label("loop");
+        a.spl_load(R1, 0, 4);
+        a.spl_init(1);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "loop");
+        a.halt();
+        a.assemble().unwrap()
+    };
+    let consumer = |items: i32| {
+        let mut a = Asm::new("c");
+        a.li(R1, 0);
+        a.li(R2, items);
+        a.li(R10, 0);
+        a.label("loop");
+        a.spl_store(R3);
+        a.add(R10, R10, R3);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "loop");
+        a.halt();
+        a.assemble().unwrap()
+    };
+    let mut b = SystemBuilder::new();
+    b.add_core(CoreKind::Ooo1, producer(32)); // thread 0 → thread 1
+    b.add_core(CoreKind::Ooo1, consumer(32));
+    b.add_core(CoreKind::Ooo1, producer(32)); // thread 2 → thread 3
+    b.add_core(CoreKind::Ooo1, consumer(32));
+    b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
+    // Pair-specific destination threads need two configurations.
+    b.register_spl(1, SplFunction::compute("sq_a", 6, Dest::Thread(1), |e| {
+        let x = e.u32(0) as u64;
+        x * x
+    }));
+    let sys = b.build();
+    // Rebind config for the second pair by registering a second function id
+    // is cleaner, but here both producers use cfg 1 → both consumers must be
+    // resolved per-producer. Instead run pair 2 with its own config:
+    drop(sys);
+    let mut b = SystemBuilder::new();
+    b.add_core(CoreKind::Ooo1, producer(32));
+    b.add_core(CoreKind::Ooo1, consumer(32));
+    b.add_core(CoreKind::Ooo1, {
+        let mut a = Asm::new("p2");
+        a.li(R1, 0);
+        a.li(R2, 32);
+        a.label("loop");
+        a.spl_load(R1, 0, 4);
+        a.spl_init(2);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "loop");
+        a.halt();
+        a.assemble().unwrap()
+    });
+    b.add_core(CoreKind::Ooo1, consumer(32));
+    b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
+    b.register_spl(1, SplFunction::compute("sq_a", 6, Dest::Thread(1), |e| {
+        let x = e.u32(0) as u64;
+        x * x
+    }));
+    b.register_spl(2, SplFunction::compute("sq_b", 6, Dest::Thread(3), |e| {
+        let x = e.u32(0) as u64;
+        x * x + 1
+    }));
+    let mut sys = b.build();
+    sys.run(1_000_000).unwrap();
+    let sq_sum: i64 = (0..32).map(|x: i64| x * x).sum();
+    assert_eq!(sys.reg(1, R10), sq_sum);
+    assert_eq!(sys.reg(3, R10), sq_sum + 32);
+}
+
+/// Figure 1(c): barrier with integrated computation across the fabric.
+#[test]
+fn figure1c_barrier_with_global_function() {
+    let mk = |v: i32| {
+        let mut a = Asm::new("b");
+        a.li(R1, v);
+        // Two successive barrier episodes with a global max.
+        for _ in 0..2 {
+            a.spl_load(R1, 0, 4);
+            a.spl_init(7);
+            a.spl_store(R1);
+            a.fence();
+            a.addi(R1, R1, 1); // everyone bumps the shared max by one
+        }
+        a.halt();
+        a.assemble().unwrap()
+    };
+    let mut b = SystemBuilder::new();
+    for i in 0..4 {
+        b.add_core(CoreKind::Ooo1, mk(10 * (i + 1)));
+    }
+    b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
+    b.register_spl(7, SplFunction::barrier("gmax", 5, |es| {
+        es.iter().map(|e| e.u32(0)).max().unwrap_or(0) as u64
+    }));
+    b.barrier_spec(7, 1, 4);
+    let mut sys = b.build();
+    sys.run(1_000_000).unwrap();
+    // Episode 1: max(10,20,30,40)=40 → everyone holds 41.
+    // Episode 2: max(41,...)=41 → everyone holds 42.
+    for i in 0..4 {
+        assert_eq!(sys.reg(i, R1), 42, "core {i}");
+    }
+    assert_eq!(sys.spl_stats(0).barrier_ops, 2);
+}
+
+/// The simulator is deterministic: identical builds produce identical
+/// cycle counts and energies.
+#[test]
+fn deterministic_replay() {
+    let run = || {
+        let mut a = Asm::new("d");
+        a.li(R1, 0);
+        a.li(R2, 500);
+        a.li(R3, 0x9000);
+        a.label("loop");
+        a.slli(R5, R1, 2);
+        a.add(R6, R3, R5);
+        a.sw(R1, R6, 0);
+        a.lw(R7, R6, 0);
+        a.add(R8, R8, R7);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "loop");
+        a.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
+        let mut sys = b.build();
+        let r = sys.run(1_000_000).unwrap();
+        (r.cycles, sys.energy(&PowerModel::new()).total_pj())
+    };
+    let (c1, e1) = run();
+    let (c2, e2) = run();
+    assert_eq!(c1, c2);
+    assert_eq!(e1, e2);
+}
+
+/// Energy accounting: leakage accrues with time even when idle-ish, and a
+/// system with an SPL cluster leaks more than one without.
+#[test]
+fn energy_accounting_sanity() {
+    let prog = || {
+        let mut a = Asm::new("e");
+        a.li(R1, 0);
+        a.li(R2, 200);
+        a.label("loop");
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "loop");
+        a.halt();
+        a.assemble().unwrap()
+    };
+    let model = PowerModel::new();
+    let mut b1 = SystemBuilder::new();
+    b1.add_core(CoreKind::Ooo1, prog());
+    let mut s1 = b1.build();
+    s1.run(100_000).unwrap();
+    let e1 = s1.energy(&model);
+
+    let mut b2 = SystemBuilder::new();
+    b2.add_core(CoreKind::Ooo1, prog());
+    b2.add_spl_cluster(SplConfig::paper(1), vec![0]);
+    let mut s2 = b2.build();
+    s2.run(100_000).unwrap();
+    let e2 = s2.energy(&model);
+
+    assert!(e1.dynamic_pj > 0.0 && e1.leakage_pj > 0.0);
+    assert!(
+        e2.leakage_pj > e1.leakage_pj,
+        "an idle fabric still leaks (no power gating in the paper's model)"
+    );
+}
