@@ -50,20 +50,36 @@ fn idle() -> remap_isa::Program {
 fn run(partitions: usize, rows: u32, ops: usize, active_cores: usize) -> u64 {
     let mut b = SystemBuilder::new();
     for i in 0..4 {
-        b.add_core(CoreKind::Ooo1, if i < active_cores { kernel(ops) } else { idle() });
+        b.add_core(
+            CoreKind::Ooo1,
+            if i < active_cores {
+                kernel(ops)
+            } else {
+                idle()
+            },
+        );
     }
     let mut cfg = SplConfig::partitioned(4, partitions);
     cfg.rows = 24;
     b.add_spl_cluster(cfg, vec![0, 1, 2, 3]);
-    b.register_spl(1, SplFunction::compute("f", rows, Dest::SelfCore, |e| e.u32(0) as u64 + 1));
+    b.register_spl(
+        1,
+        SplFunction::compute("f", rows, Dest::SelfCore, |e| e.u32(0) as u64 + 1),
+    );
     let mut sys = b.build();
     sys.run(50_000_000).expect("runs").cycles
 }
 
 fn main() {
-    banner("Ablation A1", "spatial partitioning (24-row fabric, 512 ops per active core)");
+    banner(
+        "Ablation A1",
+        "spatial partitioning (24-row fabric, 512 ops per active core)",
+    );
     println!("all four cores active:");
-    println!("{:<24} {:>12} {:>12} {:>12}", "function rows", "1 part", "2 parts", "4 parts");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}",
+        "function rows", "1 part", "2 parts", "4 parts"
+    );
     for rows in [4u32, 12, 24] {
         let c1 = run(1, rows, 512, 4);
         let c2 = run(2, rows, 512, 4);
@@ -72,7 +88,10 @@ fn main() {
     }
     println!();
     println!("single active core (its partition shrinks with the count):");
-    println!("{:<24} {:>12} {:>12} {:>12}", "function rows", "1 part", "2 parts", "4 parts");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}",
+        "function rows", "1 part", "2 parts", "4 parts"
+    );
     for rows in [4u32, 12, 24] {
         let c1 = run(1, rows, 512, 1);
         let c2 = run(2, rows, 512, 1);

@@ -36,19 +36,34 @@ fn run(rows: u32, ops: usize) -> u64 {
     let mut b = SystemBuilder::new();
     b.add_core(CoreKind::Ooo1, kernel(ops));
     b.add_spl_cluster(SplConfig::paper(1), vec![0]);
-    b.register_spl(1, SplFunction::compute("f", rows, Dest::SelfCore, |e| e.u32(0) as u64));
+    b.register_spl(
+        1,
+        SplFunction::compute("f", rows, Dest::SelfCore, |e| e.u32(0) as u64),
+    );
     let mut sys = b.build();
     sys.run(50_000_000).expect("runs").cycles
 }
 
 fn main() {
-    banner("Ablation A2", "virtualization: V virtual rows on 24 physical (1024 pipelined ops)");
-    println!("{:<14} {:>6} {:>12} {:>18}", "virtual rows", "II", "cycles", "cycles/op");
+    banner(
+        "Ablation A2",
+        "virtualization: V virtual rows on 24 physical (1024 pipelined ops)",
+    );
+    println!(
+        "{:<14} {:>6} {:>12} {:>18}",
+        "virtual rows", "II", "cycles", "cycles/op"
+    );
     let ops = 1024;
     for rows in [6u32, 12, 24, 36, 48, 72, 96] {
         let c = run(rows, ops);
         let ii = rows.div_ceil(24);
-        println!("{:<14} {:>6} {:>12} {:>18.2}", rows, ii, c, c as f64 / ops as f64);
+        println!(
+            "{:<14} {:>6} {:>12} {:>18.2}",
+            rows,
+            ii,
+            c,
+            c as f64 / ops as f64
+        );
     }
     println!();
     println!("expected shape: cycles/op tracks the initiation interval (×4 core cycles per SPL");

@@ -9,7 +9,10 @@
 use remap_bench::{banner, whole_program_rows};
 
 fn main() {
-    banner("Figure 8", "whole-program performance improvement vs 1-thread OOO1");
+    banner(
+        "Figure 8",
+        "whole-program performance improvement vs 1-thread OOO1",
+    );
     println!(
         "{:<12} {:>16} {:>16}",
         "benchmark", "ReMAP (%)", "OOO2+Comm (%)"
@@ -27,8 +30,8 @@ fn main() {
     }
     println!();
     let wins = remap_over_comm.iter().filter(|(_, x)| *x > 1.0).count();
-    let geo: f64 = remap_over_comm.iter().map(|(_, x)| x.ln()).sum::<f64>()
-        / remap_over_comm.len() as f64;
+    let geo: f64 =
+        remap_over_comm.iter().map(|(_, x)| x.ln()).sum::<f64>() / remap_over_comm.len() as f64;
     println!(
         "ReMAP beats OOO2+Comm on {wins}/{} benchmarks; geomean advantage {:.1}%",
         remap_over_comm.len(),

@@ -5,13 +5,19 @@
 use remap_bench::{banner, whole_program_rows};
 
 fn main() {
-    banner("Figure 9", "whole-program energy×delay relative to 1-thread OOO1");
+    banner(
+        "Figure 9",
+        "whole-program energy×delay relative to 1-thread OOO1",
+    );
     println!("{:<12} {:>12} {:>12}", "benchmark", "ReMAP", "OOO2+Comm");
     let rows = whole_program_rows();
     let mut remap_better = 0;
     let mut ed_ratios = Vec::new();
     for r in &rows {
-        println!("{:<12} {:>12.2} {:>12.2}", r.name, r.remap.rel_ed, r.ooo2comm.rel_ed);
+        println!(
+            "{:<12} {:>12.2} {:>12.2}",
+            r.name, r.remap.rel_ed, r.ooo2comm.rel_ed
+        );
         if r.remap.rel_ed < r.ooo2comm.rel_ed {
             remap_better += 1;
         }
@@ -24,5 +30,7 @@ fn main() {
         rows.len(),
         geo
     );
-    println!("paper: ReMAP better ED than baseline and OOO2+Comm in all but twolf (~44% ED reduction)");
+    println!(
+        "paper: ReMAP better ED than baseline and OOO2+Comm in all but twolf (~44% ED reduction)"
+    );
 }

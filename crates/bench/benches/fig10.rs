@@ -5,7 +5,10 @@
 use remap_bench::{banner, improvement_pct, region_rows};
 
 fn main() {
-    banner("Figure 10", "optimized-region performance improvement vs 1-thread OOO1");
+    banner(
+        "Figure 10",
+        "optimized-region performance improvement vs 1-thread OOO1",
+    );
     println!(
         "{:<12} {:>10} {:>10} {:>14} {:>11}",
         "benchmark", "1Th+Comp", "2Th+Comm", "2Th+CompComm", "OOO2+Comm"

@@ -4,7 +4,10 @@
 use remap_bench::{banner, region_rows, rel_ed};
 
 fn main() {
-    banner("Figure 11", "optimized-region energy×delay relative to 1-thread OOO1");
+    banner(
+        "Figure 11",
+        "optimized-region energy×delay relative to 1-thread OOO1",
+    );
     println!(
         "{:<12} {:>10} {:>10} {:>14} {:>11}",
         "benchmark", "1Th+Comp", "2Th+Comm", "2Th+CompComm", "OOO2+Comm"

@@ -29,8 +29,10 @@ fn main() {
             print!(" {:>18}", m.label());
         }
         println!();
-        let series: Vec<Vec<(usize, f64, f64)>> =
-            modes.iter().map(|&m| barrier_sweep(bench, m, &sizes)).collect();
+        let series: Vec<Vec<(usize, f64, f64)>> = modes
+            .iter()
+            .map(|&m| barrier_sweep(bench, m, &sizes))
+            .collect();
         for (i, &n) in sizes.iter().enumerate() {
             print!("{:<10}", n);
             for s in &series {
@@ -51,7 +53,10 @@ fn main() {
             None => println!("Barrier-p8 never beats Seq in this range"),
         }
         let sw8 = &series[1];
-        let always = sizes.iter().enumerate().all(|(i, _)| remap8[i].1 <= sw8[i].1);
+        let always = sizes
+            .iter()
+            .enumerate()
+            .all(|(i, _)| remap8[i].1 <= sw8[i].1);
         println!(
             "ReMAP barriers ≤ SW barriers at every size (p8): {}",
             if always { "yes" } else { "no" }

@@ -14,7 +14,10 @@ fn main() {
     for bench in [BarrierBench::Ll3, BarrierBench::Dijkstra] {
         banner(
             "Figure 13",
-            &format!("{}: Barrier+Comp improvement over Barrier alone", bench.name()),
+            &format!(
+                "{}: Barrier+Comp improvement over Barrier alone",
+                bench.name()
+            ),
         );
         let sizes = sweep_sizes(bench);
         let threads = [2usize, 4, 8, 16];

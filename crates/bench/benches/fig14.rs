@@ -26,8 +26,10 @@ fn main() {
             print!(" {:>18}", m.label());
         }
         println!();
-        let series: Vec<Vec<(usize, f64, f64)>> =
-            modes.iter().map(|&m| barrier_sweep(bench, m, &sizes)).collect();
+        let series: Vec<Vec<(usize, f64, f64)>> = modes
+            .iter()
+            .map(|&m| barrier_sweep(bench, m, &sizes))
+            .collect();
         for (i, &n) in sizes.iter().enumerate() {
             print!("{:<10}", n);
             for s in &series {
@@ -38,7 +40,10 @@ fn main() {
         // Shape checks: ReMAP always better ED than SW; SW-p16 break-even.
         let sw8 = &series[0];
         let remap8 = &series[2];
-        let always = sizes.iter().enumerate().all(|(i, _)| remap8[i].2 <= sw8[i].2);
+        let always = sizes
+            .iter()
+            .enumerate()
+            .all(|(i, _)| remap8[i].2 <= sw8[i].2);
         println!(
             "ReMAP barriers always better ED than SW (p8): {}",
             if always { "yes" } else { "no" }

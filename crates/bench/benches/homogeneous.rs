@@ -11,7 +11,10 @@ use remap_bench::banner;
 use remap_workloads::barriers::{BarrierBench, BarrierMode};
 
 fn main() {
-    banner("§V-C.2", "ReMAP barriers+comp (4 cores + SPL) vs homogeneous (6 cores + ideal barrier net)");
+    banner(
+        "§V-C.2",
+        "ReMAP barriers+comp (4 cores + SPL) vs homogeneous (6 cores + ideal barrier net)",
+    );
     for (bench, sizes) in [
         (BarrierBench::Dijkstra, vec![40usize, 80, 120, 160, 200]),
         (BarrierBench::Ll3, vec![64usize, 128, 256, 512, 1024]),
@@ -42,5 +45,7 @@ fn main() {
         println!("best ReMAP ED advantage for {}: {:.1}%", bench.name(), best);
     }
     println!();
-    println!("paper: up to 25.9% (dijkstra) and 62.5% (LL3) lower ED for ReMAP barriers+computation");
+    println!(
+        "paper: up to 25.9% (dijkstra) and 62.5% (LL3) lower ED for ReMAP barriers+computation"
+    );
 }

@@ -48,7 +48,10 @@ fn bench_spl(c: &mut Criterion) {
     c.bench_function("spl_1k_ops", |b| {
         b.iter(|| {
             let mut spl = Spl::new(SplConfig::paper(4));
-            spl.register(1, SplFunction::compute("f", 8, Dest::SelfCore, |e| e.u32(0) as u64));
+            spl.register(
+                1,
+                SplFunction::compute("f", 8, Dest::SelfCore, |e| e.u32(0) as u64),
+            );
             let mut done = 0u64;
             let mut t = 0u64;
             let mut issued = 0u64;

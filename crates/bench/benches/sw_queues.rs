@@ -10,7 +10,10 @@ use remap_workloads::CommMode;
 
 fn main() {
     banner("§V-B", "software queues vs sequential baseline");
-    println!("{:<12} {:>14} {:>14} {:>14}", "benchmark", "seq cycles", "swq cycles", "slowdown");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        "benchmark", "seq cycles", "swq cycles", "slowdown"
+    );
     let mut slowdowns = Vec::new();
     for b in CommBench::ALL {
         let seq = b.run(CommMode::SeqOoo1, REGION_N).expect("validates");

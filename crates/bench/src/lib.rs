@@ -132,10 +132,8 @@ pub fn whole_program_rows() -> Vec<WholeRow> {
             let base = b.seq_ooo1();
             let base_m = RegionMeasurement::new(base.cycles, base.energy_pj);
             let o2 = b.seq_ooo2();
-            let calib = CoreCalibration::from_runs(
-                base_m,
-                RegionMeasurement::new(o2.cycles, o2.energy_pj),
-            );
+            let calib =
+                CoreCalibration::from_runs(base_m, RegionMeasurement::new(o2.cycles, o2.energy_pj));
             let wp = WholeProgram::new(b.exec_fraction(), b.region_entries());
             let remap_r = b.remap_region();
             let comm_r = b.ooo2comm_region();

@@ -22,6 +22,7 @@ fn main() -> ExitCode {
         Some("table1") => cmd_table1(),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -45,6 +46,7 @@ fn print_usage() {
     println!("  remap table1                        print Table I (relative area/power)");
     println!("  remap run <bench> <mode> [size]     run one validated workload");
     println!("  remap sweep <bench> <mode> [sizes]  sweep a barrier workload");
+    println!("  remap verify [bench]                statically verify workload programs");
     println!();
     println!("modes (computation benchmarks): seq, seq2, spl");
     println!("modes (communication benchmarks): seq, seq2, comp, comm, compcomm, ooo2comm, swq");
@@ -54,15 +56,27 @@ fn print_usage() {
 fn cmd_list() -> Result<(), String> {
     println!("computation-only benchmarks (modes: seq seq2 spl):");
     for b in CompBench::ALL {
-        println!("  {:<12} ({:.0}% of program execution)", b.name(), b.exec_fraction() * 100.0);
+        println!(
+            "  {:<12} ({:.0}% of program execution)",
+            b.name(),
+            b.exec_fraction() * 100.0
+        );
     }
     println!("communication benchmarks (modes: seq seq2 comp comm compcomm ooo2comm swq):");
     for b in CommBench::ALL {
-        println!("  {:<12} ({:.0}% of program execution)", b.name(), b.exec_fraction() * 100.0);
+        println!(
+            "  {:<12} ({:.0}% of program execution)",
+            b.name(),
+            b.exec_fraction() * 100.0
+        );
     }
     println!("barrier benchmarks (modes: seq sw:<p> barrier:<p> barrier+comp:<p> hwnet:<p>):");
     for b in BarrierBench::ALL {
-        let comp = if b.supports_comp() { " (+comp variant)" } else { "" };
+        let comp = if b.supports_comp() {
+            " (+comp variant)"
+        } else {
+            ""
+        };
         println!("  {}{comp}", b.name());
     }
     Ok(())
@@ -82,7 +96,8 @@ fn parse_threads(mode: &str, prefix: &str) -> Result<usize, String> {
         .strip_prefix(prefix)
         .and_then(|s| s.strip_prefix(':'))
         .ok_or_else(|| format!("mode `{mode}` needs `:<threads>`"))?;
-    p.parse::<usize>().map_err(|_| format!("bad thread count in `{mode}`"))
+    p.parse::<usize>()
+        .map_err(|_| format!("bad thread count in `{mode}`"))
 }
 
 fn parse_barrier_mode(mode: &str) -> Result<BarrierMode, String> {
@@ -150,7 +165,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         report(b.name(), mode, n, &meas);
         return Ok(());
     }
-    if let Some(b) = BarrierBench::ALL.iter().find(|b| b.name().eq_ignore_ascii_case(bench)) {
+    if let Some(b) = BarrierBench::ALL
+        .iter()
+        .find(|b| b.name().eq_ignore_ascii_case(bench))
+    {
         let m = parse_barrier_mode(mode)?;
         let n = n.unwrap_or(match b {
             BarrierBench::Dijkstra => 120,
@@ -166,6 +184,98 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     Err(format!("unknown benchmark `{bench}` (try `remap list`)"))
+}
+
+/// Every (bench, mode) combination the verifier covers, with a small build
+/// size: program structure does not depend on `n`.
+fn verify_targets(filter: Option<&str>) -> Result<Vec<(String, remap::System)>, String> {
+    let mut targets = Vec::new();
+    let comp_modes = [
+        ("seq", CompMode::SeqOoo1),
+        ("seq2", CompMode::SeqOoo2),
+        ("spl", CompMode::Spl),
+    ];
+    for b in CompBench::ALL {
+        if filter.is_some_and(|f| !f.eq_ignore_ascii_case(b.name())) {
+            continue;
+        }
+        for (label, m) in comp_modes {
+            targets.push((format!("{} [{label}]", b.name()), b.build(m, 64)));
+        }
+    }
+    let comm_modes = [
+        ("seq", CommMode::SeqOoo1),
+        ("seq2", CommMode::SeqOoo2),
+        ("comp", CommMode::Comp1T),
+        ("comm", CommMode::Comm2T),
+        ("compcomm", CommMode::CompComm2T),
+        ("ooo2comm", CommMode::Ooo2Comm),
+        ("swq", CommMode::SwQueue2T),
+    ];
+    for b in CommBench::ALL {
+        if filter.is_some_and(|f| !f.eq_ignore_ascii_case(b.name())) {
+            continue;
+        }
+        for (label, m) in comm_modes {
+            targets.push((format!("{} [{label}]", b.name()), b.build(m, 64)));
+        }
+    }
+    for b in BarrierBench::ALL {
+        if filter.is_some_and(|f| !f.eq_ignore_ascii_case(b.name())) {
+            continue;
+        }
+        let mut modes = vec![
+            ("seq".to_string(), BarrierMode::Seq),
+            ("sw:4".to_string(), BarrierMode::Sw(4)),
+            ("barrier:4".to_string(), BarrierMode::Remap(4)),
+            ("hwnet:4".to_string(), BarrierMode::HwIdeal(4)),
+        ];
+        if b.supports_comp() {
+            modes.push(("barrier+comp:4".to_string(), BarrierMode::RemapComp(4)));
+        }
+        let n = match b {
+            BarrierBench::Dijkstra => 20,
+            _ => 32,
+        };
+        for (label, m) in modes {
+            targets.push((format!("{} [{label}]", b.name()), b.build(m, n)));
+        }
+    }
+    if targets.is_empty() {
+        return Err(format!(
+            "unknown benchmark `{}` (try `remap list`)",
+            filter.unwrap_or("")
+        ));
+    }
+    Ok(targets)
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let filter = match args {
+        [] => None,
+        [b] => Some(b.as_str()),
+        _ => return Err("usage: remap verify [bench]".into()),
+    };
+    let mut dirty = 0usize;
+    let targets = verify_targets(filter)?;
+    let total = targets.len();
+    for (label, sys) in targets {
+        let diags = sys.verify();
+        if diags.is_empty() {
+            println!("{label:<24} clean");
+        } else {
+            dirty += 1;
+            println!("{label:<24} {} finding(s):", diags.len());
+            print!("{}", remap_verify::render(&diags));
+        }
+    }
+    if dirty > 0 {
+        return Err(format!(
+            "{dirty} of {total} workload configurations have findings"
+        ));
+    }
+    println!("all {total} workload configurations verify clean");
+    Ok(())
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
@@ -192,7 +302,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .collect::<Result<_, _>>()?
     };
     println!("{} [{}]:", b.name(), mode);
-    println!("{:<10} {:>12} {:>14} {:>14}", "size", "cycles", "cycles/iter", "ED (pJ*cyc)");
+    println!(
+        "{:<10} {:>12} {:>14} {:>14}",
+        "size", "cycles", "cycles/iter", "ED (pJ*cyc)"
+    );
     for n in sizes {
         let meas = b.run(m, n)?;
         println!(
@@ -214,21 +327,29 @@ mod tests {
     fn barrier_mode_parsing() {
         assert_eq!(parse_barrier_mode("seq").unwrap(), BarrierMode::Seq);
         assert_eq!(parse_barrier_mode("sw:8").unwrap(), BarrierMode::Sw(8));
-        assert_eq!(parse_barrier_mode("barrier:4").unwrap(), BarrierMode::Remap(4));
+        assert_eq!(
+            parse_barrier_mode("barrier:4").unwrap(),
+            BarrierMode::Remap(4)
+        );
         assert_eq!(
             parse_barrier_mode("barrier+comp:16").unwrap(),
             BarrierMode::RemapComp(16)
         );
-        assert_eq!(parse_barrier_mode("hwnet:6").unwrap(), BarrierMode::HwIdeal(6));
-        assert!(parse_barrier_mode("barrier").is_err(), "missing thread count");
+        assert_eq!(
+            parse_barrier_mode("hwnet:6").unwrap(),
+            BarrierMode::HwIdeal(6)
+        );
+        assert!(
+            parse_barrier_mode("barrier").is_err(),
+            "missing thread count"
+        );
         assert!(parse_barrier_mode("sw:x").is_err(), "bad thread count");
         assert!(parse_barrier_mode("bogus:2").is_err());
     }
 
     #[test]
     fn run_command_rejects_unknown_benchmark() {
-        let args: Vec<String> =
-            vec!["nope".into(), "seq".into()];
+        let args: Vec<String> = vec!["nope".into(), "seq".into()];
         assert!(cmd_run(&args).is_err());
     }
 
@@ -240,8 +361,7 @@ mod tests {
 
     #[test]
     fn sweep_command_executes() {
-        let args: Vec<String> =
-            vec!["ll3".into(), "barrier:2".into(), "32".into()];
+        let args: Vec<String> = vec!["ll3".into(), "barrier:2".into(), "32".into()];
         cmd_sweep(&args).expect("ll3 sweep runs");
     }
 

@@ -48,7 +48,11 @@ pub struct BarrierTable {
 impl BarrierTable {
     /// Creates a table with one entry slot per attached core.
     pub fn new(cores_per_cluster: usize) -> BarrierTable {
-        BarrierTable { entries: Vec::new(), capacity: cores_per_cluster, releases: 0 }
+        BarrierTable {
+            entries: Vec::new(),
+            capacity: cores_per_cluster,
+            releases: 0,
+        }
     }
 
     /// Bits per table entry (the paper's 8-byte sizing).
@@ -105,7 +109,10 @@ impl BarrierTable {
         e.threads.push(thread);
         e.active.push(true);
         if e.arrived < e.total {
-            return ArriveOutcome::Waiting { arrived: e.arrived, total: e.total };
+            return ArriveOutcome::Waiting {
+                arrived: e.arrived,
+                total: e.total,
+            };
         }
         if e.active.iter().all(|&a| a) {
             let e = self.entries.remove(idx);
@@ -167,11 +174,17 @@ mod tests {
         let mut t = BarrierTable::new(4);
         assert_eq!(
             t.arrive(1, 0, 3, 0, 10),
-            ArriveOutcome::Waiting { arrived: 1, total: 3 }
+            ArriveOutcome::Waiting {
+                arrived: 1,
+                total: 3
+            }
         );
         assert_eq!(
             t.arrive(1, 0, 3, 2, 12),
-            ArriveOutcome::Waiting { arrived: 2, total: 3 }
+            ArriveOutcome::Waiting {
+                arrived: 2,
+                total: 3
+            }
         );
         match t.arrive(1, 0, 3, 1, 11) {
             ArriveOutcome::Release(cores) => assert_eq!(cores, vec![0, 2, 1]),
@@ -187,8 +200,14 @@ mod tests {
         t.arrive(1, 0, 2, 0, 10);
         t.arrive(2, 0, 2, 1, 11);
         assert_eq!(t.active_barriers(), 2);
-        assert!(matches!(t.arrive(2, 0, 2, 2, 12), ArriveOutcome::Release(_)));
-        assert!(matches!(t.arrive(1, 0, 2, 3, 13), ArriveOutcome::Release(_)));
+        assert!(matches!(
+            t.arrive(2, 0, 2, 2, 12),
+            ArriveOutcome::Release(_)
+        ));
+        assert!(matches!(
+            t.arrive(1, 0, 2, 3, 13),
+            ArriveOutcome::Release(_)
+        ));
     }
 
     #[test]
@@ -197,7 +216,10 @@ mod tests {
         t.arrive(1, 0, 2, 0, 10);
         assert_eq!(
             t.arrive(1, 1, 2, 1, 11),
-            ArriveOutcome::Waiting { arrived: 1, total: 2 }
+            ArriveOutcome::Waiting {
+                arrived: 1,
+                total: 2
+            }
         );
         assert_eq!(t.active_barriers(), 2);
     }

@@ -40,7 +40,10 @@ pub struct BarrierBus {
 impl BarrierBus {
     /// Creates a bus with the given per-message latency in core cycles.
     pub fn new(latency: u64) -> BarrierBus {
-        BarrierBus { latency, ..BarrierBus::default() }
+        BarrierBus {
+            latency,
+            ..BarrierBus::default()
+        }
     }
 
     /// Width of the bus in data lines (16 per the paper: 8-bit barrier ID +
@@ -56,7 +59,12 @@ impl BarrierBus {
         let deliver_at = start + self.latency;
         self.next_free = deliver_at;
         self.messages += 1;
-        self.queue.push(BusMessage { barrier_id, app_id, from_cluster, deliver_at });
+        self.queue.push(BusMessage {
+            barrier_id,
+            app_id,
+            from_cluster,
+            deliver_at,
+        });
     }
 
     /// Returns (and removes) all messages that have arrived by `now`.

@@ -18,7 +18,11 @@ pub struct HwQueueNet {
 impl HwQueueNet {
     /// Creates `n_queues` queues holding up to `capacity` values each.
     pub fn new(n_queues: usize, capacity: usize) -> HwQueueNet {
-        HwQueueNet { queues: vec![Vec::new(); n_queues], capacity, transfers: 0 }
+        HwQueueNet {
+            queues: vec![Vec::new(); n_queues],
+            capacity,
+            transfers: 0,
+        }
     }
 
     /// Number of queues.

@@ -56,7 +56,10 @@ impl ThreadToCoreTable {
     /// Creates a table for `n_cores` cores with the paper's limit of 24
     /// in-flight instructions (the fabric has 24 rows).
     pub fn new(n_cores: usize) -> ThreadToCoreTable {
-        ThreadToCoreTable { entries: vec![None; n_cores], max_in_flight: 24 }
+        ThreadToCoreTable {
+            entries: vec![None; n_cores],
+            max_in_flight: 24,
+        }
     }
 
     /// Number of core slots.
@@ -73,7 +76,11 @@ impl ThreadToCoreTable {
     /// Binds `thread` of application `app` to `core` (thread switch-in).
     /// Any previous binding of the core is replaced.
     pub fn bind(&mut self, core: usize, thread: u32, app: u32) {
-        self.entries[core] = Some(T2cEntry { thread, app, in_flight: 0 });
+        self.entries[core] = Some(T2cEntry {
+            thread,
+            app,
+            in_flight: 0,
+        });
     }
 
     /// Unbinds the thread on `core` (switch-out).
@@ -173,7 +180,10 @@ mod tests {
         for _ in 0..24 {
             assert!(t.inc_in_flight(0));
         }
-        assert!(!t.inc_in_flight(0), "fabric has 24 rows; 25th must not issue");
+        assert!(
+            !t.inc_in_flight(0),
+            "fabric has 24 rows; 25th must not issue"
+        );
         assert_eq!(t.in_flight(0), 24);
     }
 

@@ -29,7 +29,10 @@ pub struct RegionMeasurement {
 impl RegionMeasurement {
     /// Convenience constructor from a run.
     pub fn new(cycles: u64, energy_pj: f64) -> RegionMeasurement {
-        RegionMeasurement { cycles: cycles as f64, energy_pj }
+        RegionMeasurement {
+            cycles: cycles as f64,
+            energy_pj,
+        }
     }
 }
 
@@ -47,7 +50,10 @@ pub struct CoreCalibration {
 impl CoreCalibration {
     /// Identity calibration: the remainder runs on the same OOO1 core.
     pub fn identity() -> CoreCalibration {
-        CoreCalibration { ooo2_speedup: 1.0, ooo2_energy_ratio: 1.0 }
+        CoreCalibration {
+            ooo2_speedup: 1.0,
+            ooo2_energy_ratio: 1.0,
+        }
     }
 
     /// Builds a calibration from baseline (OOO1) and OOO2 measurements of
@@ -192,11 +198,17 @@ mod tests {
     fn faster_remainder_core_helps() {
         let wp = WholeProgram::new(0.3, 0);
         let opt = RegionMeasurement::new(150_000, 2e8);
-        let calib = CoreCalibration { ooo2_speedup: 1.4, ooo2_energy_ratio: 1.5 };
+        let calib = CoreCalibration {
+            ooo2_speedup: 1.4,
+            ooo2_energy_ratio: 1.5,
+        };
         let with_ooo2 = wp.compose(base(), opt, calib, false);
         let with_ooo1 = wp.compose(base(), opt, CoreCalibration::identity(), false);
         assert!(with_ooo2.speedup > with_ooo1.speedup);
-        assert!(with_ooo2.rel_energy > with_ooo1.rel_energy, "OOO2 spends more energy");
+        assert!(
+            with_ooo2.rel_energy > with_ooo1.rel_energy,
+            "OOO2 spends more energy"
+        );
     }
 
     #[test]

@@ -27,11 +27,20 @@ pub enum RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::Timeout { max_cycles, running } => {
-                write!(f, "timeout after {max_cycles} cycles; cores {running:?} still running")
+            RunError::Timeout {
+                max_cycles,
+                running,
+            } => {
+                write!(
+                    f,
+                    "timeout after {max_cycles} cycles; cores {running:?} still running"
+                )
             }
             RunError::Deadlock { cycle, running } => {
-                write!(f, "no forward progress by cycle {cycle}; cores {running:?} stuck")
+                write!(
+                    f,
+                    "no forward progress by cycle {cycle}; cores {running:?} stuck"
+                )
             }
         }
     }
@@ -70,18 +79,33 @@ mod tests {
 
     #[test]
     fn report_aggregates() {
-        let a = CoreStats { committed: 10, ..Default::default() };
-        let b = CoreStats { committed: 30, ..Default::default() };
-        let r = RunReport { cycles: 20, core_stats: vec![a, b] };
+        let a = CoreStats {
+            committed: 10,
+            ..Default::default()
+        };
+        let b = CoreStats {
+            committed: 30,
+            ..Default::default()
+        };
+        let r = RunReport {
+            cycles: 20,
+            core_stats: vec![a, b],
+        };
         assert_eq!(r.total_committed(), 40);
         assert_eq!(r.aggregate_ipc(), 2.0);
     }
 
     #[test]
     fn errors_display() {
-        let e = RunError::Deadlock { cycle: 5, running: vec![1] };
+        let e = RunError::Deadlock {
+            cycle: 5,
+            running: vec![1],
+        };
         assert!(e.to_string().contains("cycle 5"));
-        let t = RunError::Timeout { max_cycles: 9, running: vec![] };
+        let t = RunError::Timeout {
+            max_cycles: 9,
+            running: vec![],
+        };
         assert!(t.to_string().contains('9'));
     }
 }

@@ -1,7 +1,9 @@
 //! System assembly and the cycle loop.
 
 use crate::report::{RunError, RunReport};
-use remap_comm::{ArriveOutcome, BarrierBus, BarrierTable, HwBarrierNet, HwQueueNet, ThreadToCoreTable};
+use remap_comm::{
+    ArriveOutcome, BarrierBus, BarrierTable, HwBarrierNet, HwQueueNet, ThreadToCoreTable,
+};
 use remap_cpu::{Core, CoreConfig, CorePorts, PortPush};
 use remap_isa::{Program, Reg};
 use remap_mem::{FlatMem, Hierarchy, HierarchyConfig};
@@ -91,7 +93,10 @@ impl CorePorts for Env {
                 .unwrap_or_else(|| panic!("spl_init of unregistered configuration {cfg}"));
             is_barrier = func.is_barrier();
             dest_thread = match func.kind() {
-                FunctionKind::Compute { dest: Dest::Thread(t), .. } => Some(*t),
+                FunctionKind::Compute {
+                    dest: Dest::Thread(t),
+                    ..
+                } => Some(*t),
                 _ => None,
             };
         }
@@ -168,9 +173,13 @@ impl Env {
         // Multi-cluster systems broadcast every arrival on the barrier bus.
         let multi = self.clusters.len() > 1;
         if multi {
-            self.bus.send(spec.barrier_id, self.app_id, cluster, self.cycle);
+            self.bus
+                .send(spec.barrier_id, self.app_id, cluster, self.cycle);
         }
-        match self.btable.arrive(spec.barrier_id, self.app_id, spec.total, core, thread) {
+        match self
+            .btable
+            .arrive(spec.barrier_id, self.app_id, spec.total, core, thread)
+        {
             ArriveOutcome::Waiting { .. } => {}
             ArriveOutcome::Release(cores) => {
                 // Group participants by cluster; the last arrival's cluster
@@ -209,7 +218,9 @@ impl Env {
             d
         };
         for p in due {
-            self.clusters[p.cluster].spl.release_barrier(p.cfg, p.local_cores);
+            self.clusters[p.cluster]
+                .spl
+                .release_barrier(p.cfg, p.local_cores);
         }
     }
 }
@@ -341,7 +352,10 @@ impl SystemBuilder {
             }
             for (local, &g) in cores.iter().enumerate() {
                 assert!(g < n, "cluster {ci}: core {g} out of range");
-                assert!(core_cluster[g].is_none(), "core {g} attached to two clusters");
+                assert!(
+                    core_cluster[g].is_none(),
+                    "core {g} attached to two clusters"
+                );
                 core_cluster[g] = Some((ci, local));
             }
             clusters.push(SplCluster { spl, cores });
@@ -355,7 +369,7 @@ impl SystemBuilder {
             t2c.bind(c, t, 0);
         }
         let mut hwbar = HwBarrierNet::new();
-        for (id, total) in self.hwbars {
+        for &(id, total) in &self.hwbars {
             hwbar.configure(id, total);
         }
         let mut cores = Vec::with_capacity(n);
@@ -364,12 +378,14 @@ impl SystemBuilder {
             cores.push(Core::new(i, cfg, prog));
             kinds.push(kind);
         }
-        for (c, r, v) in self.init_regs {
+        for &(c, r, v) in &self.init_regs {
             cores[c].set_reg(r, v);
         }
         System {
             cores,
             kinds,
+            init_regs: self.init_regs,
+            hwbars: self.hwbars,
             env: Env {
                 hier: Hierarchy::new(n, self.hier_cfg),
                 clusters,
@@ -393,6 +409,10 @@ impl SystemBuilder {
 pub struct System {
     cores: Vec<Core>,
     kinds: Vec<CoreKind>,
+    /// Register seeds from the builder, retained for static verification.
+    init_regs: Vec<(usize, Reg, i64)>,
+    /// Hardware-barrier configuration, retained for static verification.
+    hwbars: Vec<(u8, u32)>,
     env: Env,
 }
 
@@ -478,11 +498,30 @@ impl System {
     /// no core commits an instruction for 200 000 consecutive cycles.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, RunError> {
         const STALL_WINDOW: u64 = 200_000;
+        // Debug builds run the static verifier before simulating and report
+        // (but do not fail on) protocol errors: some tests intentionally
+        // violate the protocol to exercise runtime deadlock detection.
+        #[cfg(debug_assertions)]
+        if self.env.cycle == 0 {
+            let diags = self.verify();
+            if diags
+                .iter()
+                .any(|d| d.severity == remap_verify::Severity::Error)
+            {
+                eprintln!(
+                    "remap-verify pre-run check:\n{}",
+                    remap_verify::render(&diags)
+                );
+            }
+        }
         let mut last_progress = self.env.cycle;
         let mut last_committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
         while !self.all_halted() {
             if self.env.cycle >= max_cycles {
-                return Err(RunError::Timeout { max_cycles, running: self.running_cores() });
+                return Err(RunError::Timeout {
+                    max_cycles,
+                    running: self.running_cores(),
+                });
             }
             self.step();
             let committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
@@ -499,6 +538,59 @@ impl System {
         Ok(RunReport {
             cycles: self.env.cycle,
             core_stats: self.cores.iter().map(|c| c.stats().clone()).collect(),
+        })
+    }
+
+    /// Runs the static verifier ([`remap_verify`]) over every core's program
+    /// and the system topology. Returns all findings; an empty vector means
+    /// the bundle is clean.
+    pub fn verify(&self) -> Vec<remap_verify::Diagnostic> {
+        use remap_verify::{Bundle, ClusterSpec, ThreadSpec};
+        let threads: Vec<ThreadSpec> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ThreadSpec {
+                core: i,
+                thread: self.env.core_thread[i],
+                program: c.program(),
+                init_regs: self
+                    .init_regs
+                    .iter()
+                    .filter(|&&(ci, _, _)| ci == i)
+                    .map(|&(_, r, _)| r)
+                    .collect(),
+            })
+            .collect();
+        let clusters: Vec<ClusterSpec> = self
+            .env
+            .clusters
+            .iter()
+            .map(|cl| ClusterSpec {
+                config: cl.spl.config(),
+                cores: cl.cores.clone(),
+            })
+            .collect();
+        // Functions are registered identically on every cluster.
+        let functions: Vec<(u16, &SplFunction)> = self
+            .env
+            .clusters
+            .first()
+            .map(|cl| cl.spl.functions().collect())
+            .unwrap_or_default();
+        let barrier_totals: Vec<(u16, u32)> = self
+            .env
+            .specs
+            .iter()
+            .map(|(&cfg, s)| (cfg, s.total))
+            .collect();
+        remap_verify::verify_bundle(&Bundle {
+            threads,
+            clusters,
+            functions,
+            barrier_totals,
+            hwbars: self.hwbars.clone(),
+            hwq_queues: self.env.hwq.n_queues(),
         })
     }
 
@@ -592,10 +684,13 @@ mod tests {
         let mut b = SystemBuilder::new();
         b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
         b.add_spl_cluster(SplConfig::paper(1), vec![0]);
-        b.register_spl(1, SplFunction::compute("sq", 4, Dest::SelfCore, |e| {
-            let x = e.u32(0) as u64;
-            x * x
-        }));
+        b.register_spl(
+            1,
+            SplFunction::compute("sq", 4, Dest::SelfCore, |e| {
+                let x = e.u32(0) as u64;
+                x * x
+            }),
+        );
         let mut sys = b.build();
         sys.run(100_000).unwrap();
         assert_eq!(sys.reg(0, R2), 25);
@@ -631,9 +726,10 @@ mod tests {
         b.add_core(CoreKind::Ooo1, c.assemble().unwrap());
         b.add_spl_cluster(SplConfig::paper(2), vec![0, 1]);
         // Send 2x+1 to the consumer thread (thread 1 = core 1).
-        b.register_spl(1, SplFunction::compute("2x+1", 5, Dest::Thread(1), |e| {
-            (2 * e.u32(0) + 1) as u64
-        }));
+        b.register_spl(
+            1,
+            SplFunction::compute("2x+1", 5, Dest::Thread(1), |e| (2 * e.u32(0) + 1) as u64),
+        );
         let mut sys = b.build();
         sys.run(200_000).unwrap();
         // sum of 2i+1 for i in 0..10 = 100.
@@ -659,9 +755,12 @@ mod tests {
             b.add_core(CoreKind::Ooo1, mk(40 - 10 * i));
         }
         b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
-        b.register_spl(2, SplFunction::barrier("gmin", 6, |es| {
-            es.iter().map(|e| e.u32(0)).min().unwrap_or(0) as u64
-        }));
+        b.register_spl(
+            2,
+            SplFunction::barrier("gmin", 6, |es| {
+                es.iter().map(|e| e.u32(0)).min().unwrap_or(0) as u64
+            }),
+        );
         b.barrier_spec(2, 1, 4);
         let mut sys = b.build();
         sys.run(200_000).unwrap();
@@ -691,9 +790,12 @@ mod tests {
         }
         b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
         b.add_spl_cluster(SplConfig::paper(4), vec![4, 5, 6, 7]);
-        b.register_spl(3, SplFunction::barrier("rmin", 6, |es| {
-            es.iter().map(|e| e.u32(0)).min().unwrap_or(0) as u64
-        }));
+        b.register_spl(
+            3,
+            SplFunction::barrier("rmin", 6, |es| {
+                es.iter().map(|e| e.u32(0)).min().unwrap_or(0) as u64
+            }),
+        );
         b.barrier_spec(3, 7, 8);
         let mut sys = b.build();
         sys.run(400_000).unwrap();
@@ -851,9 +953,10 @@ mod tests {
         b.add_core(CoreKind::Ooo1, p.assemble().unwrap());
         b.add_core(CoreKind::Ooo1, c.assemble().unwrap());
         b.add_spl_cluster(SplConfig::paper(2), vec![0, 1]);
-        b.register_spl(1, SplFunction::compute("slow", 24, Dest::Thread(1), |e| {
-            e.u32(0) as u64 * 3
-        }));
+        b.register_spl(
+            1,
+            SplFunction::compute("slow", 24, Dest::Thread(1), |e| e.u32(0) as u64 * 3),
+        );
         let mut sys = b.build();
         // Step until something is in flight toward the consumer.
         let mut saw_in_flight = false;
@@ -895,7 +998,10 @@ mod tests {
         let mut b = SystemBuilder::new();
         b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
         b.add_spl_cluster(SplConfig::paper(1), vec![0]);
-        b.register_spl(1, SplFunction::compute("id", 2, Dest::SelfCore, |e| e.u32(0) as u64));
+        b.register_spl(
+            1,
+            SplFunction::compute("id", 2, Dest::SelfCore, |e| e.u32(0) as u64),
+        );
         let mut sys = b.build();
         sys.run(100_000).unwrap();
         // All results consumed: nothing in flight afterwards.

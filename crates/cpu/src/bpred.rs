@@ -110,7 +110,11 @@ impl Predictor {
             true
         };
         let target = self.btb_lookup(pc);
-        Prediction { taken, target, history }
+        Prediction {
+            taken,
+            target,
+            history,
+        }
     }
 
     fn btb_lookup(&self, pc: u32) -> Option<u32> {
@@ -237,7 +241,11 @@ mod tests {
         pr.update(1, true, 10, pred);
         let pred = pr.predict(65, true); // 65 % 64 == 1
         pr.update(65, true, 20, pred);
-        assert_eq!(pr.predict(1, true).target, None, "conflicting entry evicted");
+        assert_eq!(
+            pr.predict(1, true).target,
+            None,
+            "conflicting entry evicted"
+        );
     }
 
     #[test]

@@ -155,6 +155,11 @@ impl Core {
         self.id
     }
 
+    /// The program this core executes.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
     /// Whether a `halt` instruction has retired.
     pub fn halted(&self) -> bool {
         self.halted
@@ -238,7 +243,12 @@ impl Core {
         let mut bubble = false;
         for _ in 0..self.cfg.fetch_width {
             let inst = self.program.fetch(pc).unwrap_or(Inst::Halt);
-            let mut f = Fetched { pc, inst, pred: None, pred_next: pc + 1 };
+            let mut f = Fetched {
+                pc,
+                inst,
+                pred: None,
+                pred_next: pc + 1,
+            };
             match inst {
                 Inst::Branch { target, .. } => {
                     let p = self.pred.predict(pc, true);
@@ -454,7 +464,13 @@ impl Core {
                 }
                 InstClass::IntDiv => int_alus > 0 && self.int_div_free_at <= cycle,
                 InstClass::Fp => {
-                    if matches!(e.inst, Inst::Fp { op: remap_isa::FpOp::Div, .. }) {
+                    if matches!(
+                        e.inst,
+                        Inst::Fp {
+                            op: remap_isa::FpOp::Div,
+                            ..
+                        }
+                    ) {
                         fp_alus > 0 && self.fp_div_free_at <= cycle
                     } else {
                         fp_alus > 0
@@ -559,7 +575,11 @@ impl Core {
                 }
                 Inst::Fp { op, .. } => {
                     e.value = op.apply(a, b);
-                    let l = if op == remap_isa::FpOp::Div { lat.fp_div } else { lat.fp_op };
+                    let l = if op == remap_isa::FpOp::Div {
+                        lat.fp_div
+                    } else {
+                        lat.fp_op
+                    };
                     done_at = cycle + l as u64;
                     if op == remap_isa::FpOp::Div {
                         self.fp_div_free_at = done_at;
@@ -585,7 +605,11 @@ impl Core {
                     // along. The cache access happens post-commit.
                     let addr = (a + offset as i64) as u64;
                     e.mem_addr = Some(addr);
-                    e.mem_size = if matches!(e.inst, Inst::Sw { .. }) { 4 } else { 1 };
+                    e.mem_size = if matches!(e.inst, Inst::Sw { .. }) {
+                        4
+                    } else {
+                        1
+                    };
                     e.value = b;
                     done_at = cycle + lat.agu as u64;
                     ldst_units -= 1;
@@ -633,7 +657,10 @@ impl Core {
             // hardware barrier: these order memory across threads (a fence
             // after a barrier guarantees younger loads observe remote
             // stores made before the barrier).
-            if matches!(e.inst, Inst::AmoAdd { .. } | Inst::Fence | Inst::HwBar { .. }) {
+            if matches!(
+                e.inst,
+                Inst::AmoAdd { .. } | Inst::Fence | Inst::HwBar { .. }
+            ) {
                 return LoadPath::Blocked;
             }
             if !is_store {
@@ -791,10 +818,12 @@ impl Core {
         let mut retired = 0;
         while retired < self.cfg.retire_width && !self.rob.is_empty() {
             // At-head operations are executed here, non-speculatively.
-            if self.rob[0].status == Status::Waiting && self.rob[0].inst.is_at_head_only()
-                && !self.try_head_op(ports) {
-                    break;
-                }
+            if self.rob[0].status == Status::Waiting
+                && self.rob[0].inst.is_at_head_only()
+                && !self.try_head_op(ports)
+            {
+                break;
+            }
             let e = &self.rob[0];
             if e.status != Status::Done {
                 break;
@@ -808,8 +837,7 @@ impl Core {
             // Queue pushes take effect now, with back-pressure.
             match e.inst {
                 Inst::SplLoad { offset, nbytes, .. } => {
-                    if ports.spl_load(self.id, offset, nbytes, e.value as u64) == PortPush::Stall
-                    {
+                    if ports.spl_load(self.id, offset, nbytes, e.value as u64) == PortPush::Stall {
                         self.stats.spl_wait_cycles += 1;
                         break;
                     }
@@ -823,10 +851,11 @@ impl Core {
                     self.stats.spl_ops += 1;
                 }
                 Inst::HwqSend { q, .. }
-                    if ports.hwq_send(self.id, q, e.value as u64) == PortPush::Stall => {
-                        self.stats.hw_wait_cycles += 1;
-                        break;
-                    }
+                    if ports.hwq_send(self.id, q, e.value as u64) == PortPush::Stall =>
+                {
+                    self.stats.hw_wait_cycles += 1;
+                    break;
+                }
                 Inst::Sw { .. } | Inst::Sb { .. } => {
                     if self.store_buf.len() >= self.cfg.store_buffer {
                         break; // store buffer full
@@ -980,7 +1009,10 @@ mod tests {
 
     fn run(program: Program) -> (Core, NullPorts) {
         let mut core = Core::new(0, CoreConfig::ooo1(), program);
-        let mut ports = NullPorts { mem_latency: 2, ..NullPorts::default() };
+        let mut ports = NullPorts {
+            mem_latency: 2,
+            ..NullPorts::default()
+        };
         for _ in 0..200_000 {
             if !core.step(&mut ports) {
                 break;
@@ -1091,7 +1123,10 @@ mod tests {
         a.halt();
         let program = a.assemble().unwrap();
         let mut core = Core::new(0, CoreConfig::ooo1(), program);
-        let mut ports = NullPorts { mem_latency: 1, ..NullPorts::default() };
+        let mut ports = NullPorts {
+            mem_latency: 1,
+            ..NullPorts::default()
+        };
         ports.mem.write_u64(0x400, 2.0f64.to_bits());
         ports.mem.write_u64(0x408, 0.5f64.to_bits());
         while core.step(&mut ports) {}
@@ -1122,7 +1157,10 @@ mod tests {
         a.halt();
         let program = a.assemble().unwrap();
         let mut core = Core::new(0, CoreConfig::ooo1(), program);
-        let mut ports = NullPorts { mem_latency: 1, ..NullPorts::default() };
+        let mut ports = NullPorts {
+            mem_latency: 1,
+            ..NullPorts::default()
+        };
         ports.spl_results.push_back(99);
         while core.step(&mut ports) {}
         assert_eq!(ports.spl_staged, vec![(0, 4, 42)]);
@@ -1151,8 +1189,14 @@ mod tests {
         };
         let mut c1 = Core::new(0, CoreConfig::ooo1(), mk());
         let mut c2 = Core::new(0, CoreConfig::ooo2(), mk());
-        let mut p1 = NullPorts { mem_latency: 1, ..NullPorts::default() };
-        let mut p2 = NullPorts { mem_latency: 1, ..NullPorts::default() };
+        let mut p1 = NullPorts {
+            mem_latency: 1,
+            ..NullPorts::default()
+        };
+        let mut p2 = NullPorts {
+            mem_latency: 1,
+            ..NullPorts::default()
+        };
         while c1.step(&mut p1) {}
         while c2.step(&mut p2) {}
         assert_eq!(c1.reg(R1), 200);
@@ -1208,7 +1252,10 @@ mod tests {
         a.halt();
         let mut core = Core::new(0, CoreConfig::ooo1(), a.assemble().unwrap());
         core.set_reg(R10, 41);
-        let mut ports = NullPorts { mem_latency: 1, ..NullPorts::default() };
+        let mut ports = NullPorts {
+            mem_latency: 1,
+            ..NullPorts::default()
+        };
         while core.step(&mut ports) {}
         assert_eq!(core.reg(R2), 42);
     }
@@ -1238,7 +1285,10 @@ mod tests {
         a.halt();
         let program = a.assemble().unwrap();
         let mut core = Core::new(0, CoreConfig::ooo1(), program);
-        let mut ports = NullPorts { mem_latency: 10, ..NullPorts::default() };
+        let mut ports = NullPorts {
+            mem_latency: 10,
+            ..NullPorts::default()
+        };
         // next[i] pointers: 0x1000 -> 0x1040 -> 0x1080 ... wrap to 0x1000.
         for i in 0..16u64 {
             let a0 = 0x1000 + i * 0x40;

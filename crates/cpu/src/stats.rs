@@ -100,7 +100,9 @@ mod tests {
     #[test]
     fn class_indices_are_distinct() {
         use InstClass::*;
-        let all = [IntAlu, IntMul, IntDiv, Fp, Load, Store, Atomic, Branch, Spl, Hwq, Sync, Other];
+        let all = [
+            IntAlu, IntMul, IntDiv, Fp, Load, Store, Atomic, Branch, Spl, Hwq, Sync, Other,
+        ];
         let mut seen = std::collections::HashSet::new();
         for c in all {
             assert!(seen.insert(class_index(c)), "duplicate index for {c:?}");
@@ -109,7 +111,13 @@ mod tests {
 
     #[test]
     fn rates() {
-        let s = CoreStats { cycles: 100, committed: 50, branches: 10, mispredicts: 2, ..Default::default() };
+        let s = CoreStats {
+            cycles: 100,
+            committed: 50,
+            branches: 10,
+            mispredicts: 2,
+            ..Default::default()
+        };
         assert_eq!(s.ipc(), 0.5);
         assert_eq!(s.mispredict_rate(), 0.2);
     }

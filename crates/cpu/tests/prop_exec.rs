@@ -42,7 +42,12 @@ fn interpret(p: &Program, mem: &mut std::collections::HashMap<u64, u32>) -> [i64
                 let a = (regs[base.index()] + offset as i64) as u64;
                 mem.insert(a, regs[rs.index()] as u32);
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 if cond.eval(regs[rs1.index()], regs[rs2.index()]) {
                     next = target;
                 }
@@ -115,12 +120,18 @@ fn build_with_skips(steps: &[Step]) -> Program {
             }
         }
         match s {
-            Step::Alu(op, d, x, y) => {
-                a.push(Inst::Alu { op: *op, rd: r(*d), rs1: r(*x), rs2: r(*y) })
-            }
-            Step::AluImm(op, d, x, imm) => {
-                a.push(Inst::AluImm { op: *op, rd: r(*d), rs1: r(*x), imm: *imm as i32 })
-            }
+            Step::Alu(op, d, x, y) => a.push(Inst::Alu {
+                op: *op,
+                rd: r(*d),
+                rs1: r(*x),
+                rs2: r(*y),
+            }),
+            Step::AluImm(op, d, x, imm) => a.push(Inst::AluImm {
+                op: *op,
+                rd: r(*d),
+                rs1: r(*x),
+                imm: *imm as i32,
+            }),
             Step::Store(x, slot) => a.sw(r(*x), Reg::R16, *slot as i32 * 4),
             Step::Load(d, slot) => a.lw(r(*d), Reg::R16, *slot as i32 * 4),
             Step::Skip(c, x, y, k) => {
@@ -199,7 +210,10 @@ fn regression_minimal_case() {
     let mut ref_mem = std::collections::HashMap::new();
     let expect = interpret(&program, &mut ref_mem);
     let mut core = Core::new(0, CoreConfig::ooo1(), program.clone());
-    let mut ports = NullPorts { mem_latency: 2, ..NullPorts::default() };
+    let mut ports = NullPorts {
+        mem_latency: 2,
+        ..NullPorts::default()
+    };
     while core.step(&mut ports) {}
     for i in 0..16 {
         let r = Reg::from_index(i).unwrap();

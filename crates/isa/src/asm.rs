@@ -30,8 +30,16 @@ impl Error for AsmError {}
 #[derive(Debug, Clone)]
 enum Proto {
     Done(Inst),
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, label: String },
-    Jal { rd: Reg, label: String },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    Jal {
+        rd: Reg,
+        label: String,
+    },
 }
 
 /// A two-pass assembler.
@@ -65,7 +73,10 @@ pub struct Asm {
 impl Asm {
     /// Creates an empty assembler for a program with the given name.
     pub fn new(name: impl Into<String>) -> Asm {
-        Asm { name: name.into(), ..Asm::default() }
+        Asm {
+            name: name.into(),
+            ..Asm::default()
+        }
     }
 
     /// Binds `name` to the address of the *next* appended instruction.
@@ -99,94 +110,204 @@ impl Asm {
 
     /// `rd = rs1 + rs2`
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 - rs2`
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 * rs2`
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 / rs2` (signed; division by zero yields -1)
     pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Div, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 % rs2`
     pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Rem, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Rem,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 & rs2`
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::And, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 | rs2`
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 ^ rs2`
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 << rs2`
     pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = (u64)rs1 >> rs2`
     pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 >> rs2` (arithmetic)
     pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Sra, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = (rs1 < rs2) as i64` (signed)
     pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Slt, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = (rs1 < rs2) as i64` (unsigned)
     pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     // --- immediate forms ---------------------------------------------------
 
     /// `rd = rs1 + imm`
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Add, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 * imm`
     pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Mul, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 & imm`
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::And, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 | imm`
     pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Or, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 ^ imm`
     pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 << imm`
     pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = (u64)rs1 >> imm`
     pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = rs1 >> imm` (arithmetic)
     pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Sra, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            imm,
+        });
     }
     /// `rd = (rs1 < imm) as i64` (signed)
     pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Slt, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     // --- pseudo-ops --------------------------------------------------------
@@ -201,26 +322,49 @@ impl Asm {
     }
     /// Unconditional jump to `label` (discards the link).
     pub fn j(&mut self, label: impl Into<String>) {
-        self.protos.push(Proto::Jal { rd: Reg::R0, label: label.into() });
+        self.protos.push(Proto::Jal {
+            rd: Reg::R0,
+            label: label.into(),
+        });
     }
 
     // --- floating point ----------------------------------------------------
 
     /// `rd = rs1 + rs2` as `f64` bit patterns.
     pub fn fadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Fp { op: FpOp::Add, rd, rs1, rs2 });
+        self.push(Inst::Fp {
+            op: FpOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 - rs2` as `f64` bit patterns.
     pub fn fsub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Fp { op: FpOp::Sub, rd, rs1, rs2 });
+        self.push(Inst::Fp {
+            op: FpOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 * rs2` as `f64` bit patterns.
     pub fn fmul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Fp { op: FpOp::Mul, rd, rs1, rs2 });
+        self.push(Inst::Fp {
+            op: FpOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
     /// `rd = rs1 / rs2` as `f64` bit patterns.
     pub fn fdiv(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Fp { op: FpOp::Div, rd, rs1, rs2 });
+        self.push(Inst::Fp {
+            op: FpOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     // --- memory -------------------------------------------------------------
@@ -257,7 +401,12 @@ impl Asm {
     // --- control -------------------------------------------------------------
 
     fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: impl Into<String>) {
-        self.protos.push(Proto::Branch { cond, rs1, rs2, label: label.into() });
+        self.protos.push(Proto::Branch {
+            cond,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
     }
     /// Branch to `label` if `rs1 == rs2`.
     pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) {
@@ -285,7 +434,10 @@ impl Asm {
     }
     /// Jump-and-link to `label`; `rd` receives the return address.
     pub fn jal(&mut self, rd: Reg, label: impl Into<String>) {
-        self.protos.push(Proto::Jal { rd, label: label.into() });
+        self.protos.push(Proto::Jal {
+            rd,
+            label: label.into(),
+        });
     }
     /// Indirect jump to the instruction index held in `rs1`.
     pub fn jalr(&mut self, rd: Reg, rs1: Reg) {
@@ -339,19 +491,30 @@ impl Asm {
             return Err(AsmError::DuplicateLabel(d));
         }
         let resolve = |l: &str| -> Result<u32, AsmError> {
-            self.labels.get(l).copied().ok_or_else(|| AsmError::UndefinedLabel(l.to_string()))
+            self.labels
+                .get(l)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(l.to_string()))
         };
         let mut insts = Vec::with_capacity(self.protos.len());
         for p in &self.protos {
             insts.push(match p {
                 Proto::Done(i) => *i,
-                Proto::Branch { cond, rs1, rs2, label } => Inst::Branch {
+                Proto::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => Inst::Branch {
                     cond: *cond,
                     rs1: *rs1,
                     rs2: *rs2,
                     target: resolve(label)?,
                 },
-                Proto::Jal { rd, label } => Inst::Jal { rd: *rd, target: resolve(label)? },
+                Proto::Jal { rd, label } => Inst::Jal {
+                    rd: *rd,
+                    target: resolve(label)?,
+                },
             });
         }
         Ok(Program::new(self.name, insts))
@@ -387,7 +550,10 @@ mod tests {
     fn undefined_label_is_an_error() {
         let mut a = Asm::new("t");
         a.beq(R1, R2, "nowhere");
-        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+        assert_eq!(
+            a.assemble(),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
     }
 
     #[test]
@@ -416,9 +582,22 @@ mod tests {
         let p = a.assemble().unwrap();
         assert_eq!(
             p.fetch(0).unwrap(),
-            Inst::AluImm { op: AluOp::Add, rd: R5, rs1: R0, imm: -7 }
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: R5,
+                rs1: R0,
+                imm: -7
+            }
         );
-        assert_eq!(p.fetch(1).unwrap(), Inst::AluImm { op: AluOp::Add, rd: R6, rs1: R5, imm: 0 });
+        assert_eq!(
+            p.fetch(1).unwrap(),
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: R6,
+                rs1: R5,
+                imm: 0
+            }
+        );
     }
 
     #[test]

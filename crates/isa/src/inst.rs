@@ -240,11 +240,26 @@ pub enum InstClass {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Inst {
     /// Register-register ALU operation: `rd = op(rs1, rs2)`.
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Register-immediate ALU operation: `rd = op(rs1, imm)`.
-    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Floating-point register-register operation.
-    Fp { op: FpOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Fp {
+        op: FpOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Load 32-bit signed word: `rd = sext(mem32[rs1 + offset])`.
     Lw { rd: Reg, base: Reg, offset: i32 },
     /// Load signed byte.
@@ -258,7 +273,12 @@ pub enum Inst {
     /// Atomic fetch-and-add on a 32-bit word: `rd = mem32[base]; mem32[base] += rs`.
     AmoAdd { rd: Reg, base: Reg, rs: Reg },
     /// Conditional branch to instruction index `target`.
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: u32 },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: u32,
+    },
     /// Unconditional jump; `rd` receives the return instruction index.
     Jal { rd: Reg, target: u32 },
     /// Indirect jump to the instruction index in `rs1`.
@@ -388,7 +408,12 @@ impl fmt::Display for Inst {
             Inst::Sw { rs, base, offset } => write!(f, "sw {rs}, {offset}({base})"),
             Inst::Sb { rs, base, offset } => write!(f, "sb {rs}, {offset}({base})"),
             Inst::AmoAdd { rd, base, rs } => write!(f, "amoadd {rd}, ({base}), {rs}"),
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, @{target}", cond.mnemonic())
             }
             Inst::Jal { rd, target } => write!(f, "jal {rd}, @{target}"),
@@ -469,17 +494,25 @@ pub fn encode(inst: Inst) -> u64 {
         Inst::Sw { rs, base, offset } => pack(OP_SW, rs, base, z, 0, offset as u32),
         Inst::Sb { rs, base, offset } => pack(OP_SB, rs, base, z, 0, offset as u32),
         Inst::AmoAdd { rd, base, rs } => pack(OP_AMOADD, rd, base, rs, 0, 0),
-        Inst::Branch { cond, rs1, rs2, target } => {
-            pack(OP_BRANCH, z, rs1, rs2, cond.code(), target)
-        }
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => pack(OP_BRANCH, z, rs1, rs2, cond.code(), target),
         Inst::Jal { rd, target } => pack(OP_JAL, rd, z, z, 0, target),
         Inst::Jalr { rd, rs1 } => pack(OP_JALR, rd, rs1, z, 0, 0),
         Inst::Fence => pack(OP_FENCE, z, z, z, 0, 0),
         Inst::Nop => pack(OP_NOP, z, z, z, 0, 0),
         Inst::Halt => pack(OP_HALT, z, z, z, 0, 0),
-        Inst::SplLoad { rs, offset, nbytes } => {
-            pack(OP_SPL_LOAD, rs, z, z, 0, ((nbytes as u32) << 8) | offset as u32)
-        }
+        Inst::SplLoad { rs, offset, nbytes } => pack(
+            OP_SPL_LOAD,
+            rs,
+            z,
+            z,
+            0,
+            ((nbytes as u32) << 8) | offset as u32,
+        ),
         Inst::SplInit { cfg } => pack(OP_SPL_INIT, z, z, z, 0, cfg as u32),
         Inst::SplStore { rd } => pack(OP_SPL_STORE, rd, z, z, 0, 0),
         Inst::HwqSend { rs, q } => pack(OP_HWQ_SEND, rs, z, z, 0, q as u32),
@@ -498,32 +531,83 @@ pub fn decode(word: u64) -> Option<Inst> {
     let sub = ((word >> 23) & 0xf) as u8;
     let imm = (word >> 27) as u32;
     Some(match op {
-        OP_ALU => Inst::Alu { op: AluOp::from_code(sub)?, rd: ra, rs1: rb, rs2: rc },
-        OP_ALUIMM => {
-            Inst::AluImm { op: AluOp::from_code(sub)?, rd: ra, rs1: rb, imm: imm as i32 }
-        }
-        OP_FP => Inst::Fp { op: FpOp::from_code(sub)?, rd: ra, rs1: rb, rs2: rc },
-        OP_LW => Inst::Lw { rd: ra, base: rb, offset: imm as i32 },
-        OP_LB => Inst::Lb { rd: ra, base: rb, offset: imm as i32 },
-        OP_LBU => Inst::Lbu { rd: ra, base: rb, offset: imm as i32 },
-        OP_SW => Inst::Sw { rs: ra, base: rb, offset: imm as i32 },
-        OP_SB => Inst::Sb { rs: ra, base: rb, offset: imm as i32 },
-        OP_AMOADD => Inst::AmoAdd { rd: ra, base: rb, rs: rc },
-        OP_BRANCH => {
-            Inst::Branch { cond: BranchCond::from_code(sub)?, rs1: rb, rs2: rc, target: imm }
-        }
-        OP_JAL => Inst::Jal { rd: ra, target: imm },
+        OP_ALU => Inst::Alu {
+            op: AluOp::from_code(sub)?,
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        OP_ALUIMM => Inst::AluImm {
+            op: AluOp::from_code(sub)?,
+            rd: ra,
+            rs1: rb,
+            imm: imm as i32,
+        },
+        OP_FP => Inst::Fp {
+            op: FpOp::from_code(sub)?,
+            rd: ra,
+            rs1: rb,
+            rs2: rc,
+        },
+        OP_LW => Inst::Lw {
+            rd: ra,
+            base: rb,
+            offset: imm as i32,
+        },
+        OP_LB => Inst::Lb {
+            rd: ra,
+            base: rb,
+            offset: imm as i32,
+        },
+        OP_LBU => Inst::Lbu {
+            rd: ra,
+            base: rb,
+            offset: imm as i32,
+        },
+        OP_SW => Inst::Sw {
+            rs: ra,
+            base: rb,
+            offset: imm as i32,
+        },
+        OP_SB => Inst::Sb {
+            rs: ra,
+            base: rb,
+            offset: imm as i32,
+        },
+        OP_AMOADD => Inst::AmoAdd {
+            rd: ra,
+            base: rb,
+            rs: rc,
+        },
+        OP_BRANCH => Inst::Branch {
+            cond: BranchCond::from_code(sub)?,
+            rs1: rb,
+            rs2: rc,
+            target: imm,
+        },
+        OP_JAL => Inst::Jal {
+            rd: ra,
+            target: imm,
+        },
         OP_JALR => Inst::Jalr { rd: ra, rs1: rb },
         OP_FENCE => Inst::Fence,
         OP_NOP => Inst::Nop,
         OP_HALT => Inst::Halt,
-        OP_SPL_LOAD => {
-            Inst::SplLoad { rs: ra, offset: (imm & 0xff) as u8, nbytes: ((imm >> 8) & 0xff) as u8 }
-        }
+        OP_SPL_LOAD => Inst::SplLoad {
+            rs: ra,
+            offset: (imm & 0xff) as u8,
+            nbytes: ((imm >> 8) & 0xff) as u8,
+        },
         OP_SPL_INIT => Inst::SplInit { cfg: imm as u16 },
         OP_SPL_STORE => Inst::SplStore { rd: ra },
-        OP_HWQ_SEND => Inst::HwqSend { rs: ra, q: imm as u8 },
-        OP_HWQ_RECV => Inst::HwqRecv { rd: ra, q: imm as u8 },
+        OP_HWQ_SEND => Inst::HwqSend {
+            rs: ra,
+            q: imm as u8,
+        },
+        OP_HWQ_RECV => Inst::HwqRecv {
+            rd: ra,
+            q: imm as u8,
+        },
         OP_HWBAR => Inst::HwBar { id: imm as u8 },
         _ => return None,
     })
@@ -575,46 +659,111 @@ mod tests {
 
     #[test]
     fn dest_of_r0_write_is_none() {
-        let i = Inst::AluImm { op: AluOp::Add, rd: Reg::R0, rs1: Reg::R1, imm: 1 };
+        let i = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rs1: Reg::R1,
+            imm: 1,
+        };
         assert_eq!(i.dest(), None);
     }
 
     #[test]
     fn classes() {
         assert_eq!(
-            Inst::Alu { op: AluOp::Mul, rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 }.class(),
+            Inst::Alu {
+                op: AluOp::Mul,
+                rd: Reg::R1,
+                rs1: Reg::R2,
+                rs2: Reg::R3
+            }
+            .class(),
             InstClass::IntMul
         );
         assert_eq!(Inst::SplInit { cfg: 3 }.class(), InstClass::Spl);
         assert_eq!(Inst::Fence.class(), InstClass::Sync);
         assert!(Inst::SplStore { rd: Reg::R1 }.is_at_head_only());
-        assert!(!Inst::SplLoad { rs: Reg::R1, offset: 0, nbytes: 4 }.is_at_head_only());
+        assert!(!Inst::SplLoad {
+            rs: Reg::R1,
+            offset: 0,
+            nbytes: 4
+        }
+        .is_at_head_only());
         assert!(!Inst::SplInit { cfg: 0 }.is_at_head_only());
         assert!(Inst::Fence.is_at_head_only());
         assert!(!Inst::Nop.is_at_head_only());
-        assert!(Inst::Jal { rd: Reg::R0, target: 0 }.is_control());
+        assert!(Inst::Jal {
+            rd: Reg::R0,
+            target: 0
+        }
+        .is_control());
     }
 
     #[test]
     fn encode_decode_round_trip_samples() {
         let samples = [
-            Inst::Alu { op: AluOp::Xor, rd: Reg::R3, rs1: Reg::R4, rs2: Reg::R5 },
-            Inst::AluImm { op: AluOp::Add, rd: Reg::R31, rs1: Reg::R0, imm: -12345 },
-            Inst::Fp { op: FpOp::Div, rd: Reg::R9, rs1: Reg::R8, rs2: Reg::R7 },
-            Inst::Lw { rd: Reg::R1, base: Reg::R2, offset: -4 },
-            Inst::Sb { rs: Reg::R6, base: Reg::R7, offset: 1023 },
-            Inst::AmoAdd { rd: Reg::R1, base: Reg::R2, rs: Reg::R3 },
-            Inst::Branch { cond: BranchCond::Geu, rs1: Reg::R1, rs2: Reg::R2, target: 77 },
-            Inst::Jal { rd: Reg::R1, target: 12 },
-            Inst::Jalr { rd: Reg::R0, rs1: Reg::R5 },
+            Inst::Alu {
+                op: AluOp::Xor,
+                rd: Reg::R3,
+                rs1: Reg::R4,
+                rs2: Reg::R5,
+            },
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::R31,
+                rs1: Reg::R0,
+                imm: -12345,
+            },
+            Inst::Fp {
+                op: FpOp::Div,
+                rd: Reg::R9,
+                rs1: Reg::R8,
+                rs2: Reg::R7,
+            },
+            Inst::Lw {
+                rd: Reg::R1,
+                base: Reg::R2,
+                offset: -4,
+            },
+            Inst::Sb {
+                rs: Reg::R6,
+                base: Reg::R7,
+                offset: 1023,
+            },
+            Inst::AmoAdd {
+                rd: Reg::R1,
+                base: Reg::R2,
+                rs: Reg::R3,
+            },
+            Inst::Branch {
+                cond: BranchCond::Geu,
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+                target: 77,
+            },
+            Inst::Jal {
+                rd: Reg::R1,
+                target: 12,
+            },
+            Inst::Jalr {
+                rd: Reg::R0,
+                rs1: Reg::R5,
+            },
             Inst::Fence,
             Inst::Nop,
             Inst::Halt,
-            Inst::SplLoad { rs: Reg::R4, offset: 12, nbytes: 4 },
+            Inst::SplLoad {
+                rs: Reg::R4,
+                offset: 12,
+                nbytes: 4,
+            },
             Inst::SplInit { cfg: 65535 },
             Inst::SplStore { rd: Reg::R30 },
             Inst::HwqSend { rs: Reg::R2, q: 3 },
-            Inst::HwqRecv { rd: Reg::R3, q: 250 },
+            Inst::HwqRecv {
+                rd: Reg::R3,
+                q: 250,
+            },
             Inst::HwBar { id: 9 },
         ];
         for s in samples {

@@ -19,7 +19,10 @@ impl Program {
     /// Creates a program directly from instructions (targets must already be
     /// resolved instruction indices).
     pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Program {
-        Program { name: name.into(), insts }
+        Program {
+            name: name.into(),
+            insts,
+        }
     }
 
     /// The program's name (used in reports and disassembly).

@@ -38,37 +38,74 @@ fn arb_cond() -> impl Strategy<Value = BranchCond> {
 }
 
 fn arb_fp_op() -> impl Strategy<Value = FpOp> {
-    prop_oneof![Just(FpOp::Add), Just(FpOp::Sub), Just(FpOp::Mul), Just(FpOp::Div)]
+    prop_oneof![
+        Just(FpOp::Add),
+        Just(FpOp::Sub),
+        Just(FpOp::Mul),
+        Just(FpOp::Div)
+    ]
 }
 
 fn arb_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (arb_alu_op(), arb_reg(), arb_reg(), any::<i32>())
             .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
-        (arb_fp_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Fp { op, rd, rs1, rs2 }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(rd, base, offset)| Inst::Lw { rd, base, offset }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(rd, base, offset)| Inst::Lb { rd, base, offset }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(rd, base, offset)| Inst::Lbu { rd, base, offset }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(rs, base, offset)| Inst::Sw { rs, base, offset }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(rs, base, offset)| Inst::Sb { rs, base, offset }),
+        (arb_fp_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Fp {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, base, offset)| Inst::Lw {
+            rd,
+            base,
+            offset
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, base, offset)| Inst::Lb {
+            rd,
+            base,
+            offset
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, base, offset)| Inst::Lbu {
+            rd,
+            base,
+            offset
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rs, base, offset)| Inst::Sw {
+            rs,
+            base,
+            offset
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rs, base, offset)| Inst::Sb {
+            rs,
+            base,
+            offset
+        }),
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, base, rs)| Inst::AmoAdd { rd, base, rs }),
-        (arb_cond(), arb_reg(), arb_reg(), any::<u32>())
-            .prop_map(|(cond, rs1, rs2, target)| Inst::Branch { cond, rs1, rs2, target }),
+        (arb_cond(), arb_reg(), arb_reg(), any::<u32>()).prop_map(|(cond, rs1, rs2, target)| {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            }
+        }),
         (arb_reg(), any::<u32>()).prop_map(|(rd, target)| Inst::Jal { rd, target }),
         (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Inst::Jalr { rd, rs1 }),
         Just(Inst::Fence),
         Just(Inst::Nop),
         Just(Inst::Halt),
-        (arb_reg(), any::<u8>(), any::<u8>())
-            .prop_map(|(rs, offset, nbytes)| Inst::SplLoad { rs, offset, nbytes }),
+        (arb_reg(), any::<u8>(), any::<u8>()).prop_map(|(rs, offset, nbytes)| Inst::SplLoad {
+            rs,
+            offset,
+            nbytes
+        }),
         any::<u16>().prop_map(|cfg| Inst::SplInit { cfg }),
         arb_reg().prop_map(|rd| Inst::SplStore { rd }),
         (arb_reg(), any::<u8>()).prop_map(|(rs, q)| Inst::HwqSend { rs, q }),

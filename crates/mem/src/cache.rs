@@ -43,14 +43,24 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's L1 configuration: 8 kB, 2-way, 2-cycle access, 32 B lines.
     pub fn l1() -> CacheConfig {
-        CacheConfig { size_bytes: 8 * 1024, ways: 2, line_bytes: 32, hit_latency: 2 }
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 2,
+            line_bytes: 32,
+            hit_latency: 2,
+        }
     }
 
     /// The paper's L2 configuration: 1 MB per core, 10-cycle access.
     /// We use 8-way associativity and the same 32 B lines as the L1 so that
     /// L1 ⊆ L2 inclusion is a one-to-one line mapping.
     pub fn l2() -> CacheConfig {
-        CacheConfig { size_bytes: 1024 * 1024, ways: 8, line_bytes: 32, hit_latency: 10 }
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            ways: 8,
+            line_bytes: 32,
+            hit_latency: 10,
+        }
     }
 
     /// Number of sets.
@@ -111,8 +121,16 @@ impl Cache {
         let sets = cfg.sets();
         assert!(sets > 0, "cache must have at least one set");
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
-        Cache { cfg, sets: vec![Vec::new(); sets], tick: 0, stats: CacheStats::default() }
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Cache {
+            cfg,
+            sets: vec![Vec::new(); sets],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -210,8 +228,7 @@ impl Cache {
         }
         let mut evicted = None;
         if self.sets[si].len() >= self.cfg.ways {
-            let victim = self
-                .sets[si]
+            let victim = self.sets[si]
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.lru)
@@ -221,11 +238,14 @@ impl Cache {
             if line.state == Mesi::Modified {
                 self.stats.writebacks += 1;
             }
-            let base =
-                (line.tag * self.sets.len() as u64 + si as u64) * self.cfg.line_bytes as u64;
+            let base = (line.tag * self.sets.len() as u64 + si as u64) * self.cfg.line_bytes as u64;
             evicted = Some((base, line.state));
         }
-        self.sets[si].push(Line { tag, state, lru: tick });
+        self.sets[si].push(Line {
+            tag,
+            state,
+            lru: tick,
+        });
         evicted
     }
 
@@ -241,7 +261,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets, 2 ways, 16-byte lines.
-        Cache::new(CacheConfig { size_bytes: 64, ways: 2, line_bytes: 16, hit_latency: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 64,
+            ways: 2,
+            line_bytes: 16,
+            hit_latency: 1,
+        })
     }
 
     #[test]
@@ -318,6 +343,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 48, ways: 1, line_bytes: 16, hit_latency: 1 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 48,
+            ways: 1,
+            line_bytes: 16,
+            hit_latency: 1,
+        });
     }
 }

@@ -83,7 +83,9 @@ impl FlatMem {
 
     /// Reads `n` consecutive 32-bit words starting at `addr`.
     pub fn read_words(&self, addr: u64, n: usize) -> Vec<i32> {
-        (0..n).map(|i| self.read_u32(addr + 4 * i as u64) as i32).collect()
+        (0..n)
+            .map(|i| self.read_u32(addr + 4 * i as u64) as i32)
+            .collect()
     }
 
     /// Number of resident (lazily allocated) pages; useful in tests.

@@ -79,7 +79,12 @@ impl Hierarchy {
                 l2: Cache::new(cfg.l2),
             })
             .collect();
-        Hierarchy { cfg, cores, mem: FlatMem::new(), bus: BusStats::default() }
+        Hierarchy {
+            cfg,
+            cores,
+            mem: FlatMem::new(),
+            bus: BusStats::default(),
+        }
     }
 
     /// Number of cores this hierarchy serves.
@@ -161,7 +166,8 @@ impl Hierarchy {
     pub fn amo_add(&mut self, core: usize, addr: u64, delta: i64) -> (i64, u32) {
         let lat = self.data_access(core, addr, true);
         let old = self.mem.read_u32(addr) as i32;
-        self.mem.write_u32(addr, (old as i64).wrapping_add(delta) as u32);
+        self.mem
+            .write_u32(addr, (old as i64).wrapping_add(delta) as u32);
         (old as i64, lat)
     }
 

@@ -8,18 +8,35 @@ use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Load { core: usize, slot: usize },
-    Store { core: usize, slot: usize, val: u32 },
-    Amo { core: usize, slot: usize, delta: i32 },
+    Load {
+        core: usize,
+        slot: usize,
+    },
+    Store {
+        core: usize,
+        slot: usize,
+        val: u32,
+    },
+    Amo {
+        core: usize,
+        slot: usize,
+        delta: i32,
+    },
 }
 
 fn arb_op(cores: usize, slots: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..cores, 0..slots).prop_map(|(core, slot)| Op::Load { core, slot }),
-        (0..cores, 0..slots, any::<u32>())
-            .prop_map(|(core, slot, val)| Op::Store { core, slot, val }),
-        (0..cores, 0..slots, -100i32..100)
-            .prop_map(|(core, slot, delta)| Op::Amo { core, slot, delta }),
+        (0..cores, 0..slots, any::<u32>()).prop_map(|(core, slot, val)| Op::Store {
+            core,
+            slot,
+            val
+        }),
+        (0..cores, 0..slots, -100i32..100).prop_map(|(core, slot, delta)| Op::Amo {
+            core,
+            slot,
+            delta
+        }),
     ]
 }
 

@@ -20,7 +20,12 @@ impl Default for AreaModel {
         // 0.51× the four OOO1 cores (Table I) — equivalently about two
         // single-issue cores (§V-C.2) — and four OOO2 cores match the area
         // of an SPL cluster (4×OOO1 + SPL), making OOO2 ≈ 1.51× OOO1.
-        AreaModel { core_ooo1: 5.0, core_ooo2: 7.55, spl_row: 0.4, spl_overhead: 0.6 }
+        AreaModel {
+            core_ooo1: 5.0,
+            core_ooo2: 7.55,
+            spl_row: 0.4,
+            spl_overhead: 0.6,
+        }
     }
 }
 
@@ -76,7 +81,11 @@ mod tests {
     #[test]
     fn spl_equals_about_two_cores() {
         let a = AreaModel::default();
-        assert_eq!(a.cores_in_spl_area(24), 2, "§V-C.2: SPL ≈ two single-issue cores");
+        assert_eq!(
+            a.cores_in_spl_area(24),
+            2,
+            "§V-C.2: SPL ≈ two single-issue cores"
+        );
     }
 
     #[test]

@@ -119,9 +119,14 @@ impl EnergyParams {
     /// the whole OOO1 pipeline (used for peak-power estimates in Table I).
     pub fn per_inst_pipeline(&self, kind: CoreKind) -> f64 {
         let s = kind.pipeline_scale();
-        (self.fetch + self.dispatch + self.issue + 2.0 * self.rf_read + self.rf_write
+        (self.fetch
+            + self.dispatch
+            + self.issue
+            + 2.0 * self.rf_read
+            + self.rf_write
             + self.commit
-            + self.exec_alu) * s
+            + self.exec_alu)
+            * s
             + self.l1_access // one L1 reference per instruction on average
     }
 }

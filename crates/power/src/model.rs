@@ -83,7 +83,10 @@ impl PowerModel {
             CoreKind::Ooo1 => p.leak_core_ooo1,
             CoreKind::Ooo2 => p.leak_core_ooo2,
         };
-        EnergyBreakdown { dynamic_pj, leakage_pj: stats.cycles as f64 * leak }
+        EnergyBreakdown {
+            dynamic_pj,
+            leakage_pj: stats.cycles as f64 * leak,
+        }
     }
 
     /// Dynamic energy of one core's cache hierarchy plus its share of the
@@ -100,7 +103,10 @@ impl PowerModel {
             + l2.accesses() as f64 * p.l2_access
             + (l1d.writebacks + l2.writebacks) as f64 * p.l2_access
             + (l1d.invalidations + l2.invalidations) as f64 * p.l1_access;
-        EnergyBreakdown { dynamic_pj, leakage_pj: 0.0 }
+        EnergyBreakdown {
+            dynamic_pj,
+            leakage_pj: 0.0,
+        }
     }
 
     /// Dynamic energy of the shared bus and memory controller.
@@ -108,7 +114,10 @@ impl PowerModel {
         let p = &self.params;
         let dynamic_pj = (bus.upgrades + bus.snoops + bus.c2c_transfers) as f64 * p.bus_txn
             + bus.dram_accesses as f64 * p.dram_access;
-        EnergyBreakdown { dynamic_pj, leakage_pj: 0.0 }
+        EnergyBreakdown {
+            dynamic_pj,
+            leakage_pj: 0.0,
+        }
     }
 
     /// Dynamic + leakage energy of an SPL fabric with `rows` physical rows
@@ -119,7 +128,10 @@ impl PowerModel {
             + stats.results_delivered as f64 * p.spl_queue
             + (stats.compute_ops + stats.barrier_ops) as f64 * (p.spl_queue + p.spl_table);
         let leak_per_cycle = p.leak_spl_total * rows as f64 / p.leak_spl_rows as f64;
-        EnergyBreakdown { dynamic_pj, leakage_pj: core_cycles as f64 * leak_per_cycle }
+        EnergyBreakdown {
+            dynamic_pj,
+            leakage_pj: core_cycles as f64 * leak_per_cycle,
+        }
     }
 
     /// Dynamic energy of `messages` inter-cluster barrier-bus transfers.
@@ -161,13 +173,21 @@ mod tests {
     fn table1_reproduces_paper_ratios() {
         let t = table1(&EnergyParams::default());
         assert_eq!(t.spl_rows, 24);
-        assert!((t.spl_rel_area - 0.51).abs() < 0.02, "area {}", t.spl_rel_area);
+        assert!(
+            (t.spl_rel_area - 0.51).abs() < 0.02,
+            "area {}",
+            t.spl_rel_area
+        );
         assert!(
             (t.spl_rel_peak_dynamic - 0.14).abs() < 0.02,
             "peak dyn {}",
             t.spl_rel_peak_dynamic
         );
-        assert!((t.spl_rel_leakage - 0.67).abs() < 0.02, "leak {}", t.spl_rel_leakage);
+        assert!(
+            (t.spl_rel_leakage - 0.67).abs() < 0.02,
+            "leak {}",
+            t.spl_rel_leakage
+        );
     }
 
     #[test]
@@ -222,7 +242,10 @@ mod tests {
 
     #[test]
     fn energy_delay_composes() {
-        let e = EnergyBreakdown { dynamic_pj: 10.0, leakage_pj: 5.0 };
+        let e = EnergyBreakdown {
+            dynamic_pj: 10.0,
+            leakage_pj: 5.0,
+        };
         assert_eq!(e.total_pj(), 15.0);
         assert_eq!(e.energy_delay(4), 60.0);
         let mut a = e;

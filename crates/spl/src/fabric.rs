@@ -45,14 +45,21 @@ impl SplConfig {
     /// A fabric with `rows` physical rows (e.g. 12 when a communicating pair
     /// is assumed to own half of the shared SPL, as in §V-A).
     pub fn with_rows(n_cores: usize, rows: u32) -> SplConfig {
-        SplConfig { rows, ..SplConfig::paper(n_cores) }
+        SplConfig {
+            rows,
+            ..SplConfig::paper(n_cores)
+        }
     }
 
     /// Spatially partitioned fabric: cores are assigned to the `partitions`
     /// virtual clusters round-robin.
     pub fn partitioned(n_cores: usize, partitions: usize) -> SplConfig {
         let core_partition = (0..n_cores).map(|c| c % partitions).collect();
-        SplConfig { partitions, core_partition, ..SplConfig::paper(n_cores) }
+        SplConfig {
+            partitions,
+            core_partition,
+            ..SplConfig::paper(n_cores)
+        }
     }
 
     /// Rows in each partition.
@@ -180,14 +187,22 @@ impl Spl {
             0,
             "partitions must divide the row count evenly"
         );
-        assert_eq!(cfg.core_partition.len(), cfg.n_cores, "one partition entry per core");
+        assert_eq!(
+            cfg.core_partition.len(),
+            cfg.n_cores,
+            "one partition entry per core"
+        );
         assert!(
             cfg.core_partition.iter().all(|&p| p < cfg.partitions),
             "core mapped to nonexistent partition"
         );
         Spl {
-            inputs: (0..cfg.n_cores).map(|_| InputQueue::new(cfg.input_capacity)).collect(),
-            outputs: (0..cfg.n_cores).map(|_| OutputQueue::new(cfg.output_capacity)).collect(),
+            inputs: (0..cfg.n_cores)
+                .map(|_| InputQueue::new(cfg.input_capacity))
+                .collect(),
+            outputs: (0..cfg.n_cores)
+                .map(|_| OutputQueue::new(cfg.output_capacity))
+                .collect(),
             parts: vec![PartState::default(); cfg.partitions],
             released: Vec::new(),
             rr: 0,
@@ -215,6 +230,11 @@ impl Spl {
     /// Looks up a registered configuration.
     pub fn function(&self, id: u16) -> Option<&SplFunction> {
         self.funcs.get(&id)
+    }
+
+    /// Iterates over all registered configurations.
+    pub fn functions(&self) -> impl Iterator<Item = (u16, &SplFunction)> {
+        self.funcs.iter().map(|(&id, f)| (id, f))
     }
 
     /// Stages bytes into `core`'s input entry under construction
@@ -282,7 +302,11 @@ impl Spl {
                     for &d in &op.dests {
                         self.outputs[d].deliver(op.result);
                         self.stats.results_delivered += 1;
-                        events.push(SplEvent { from_core: op.from, dest_core: d, cfg: op.cfg });
+                        events.push(SplEvent {
+                            from_core: op.from,
+                            dest_core: d,
+                            cfg: op.cfg,
+                        });
                     }
                     if op.barrier {
                         self.stats.barrier_ops += 1;
@@ -319,7 +343,9 @@ impl Spl {
     }
 
     fn try_issue_compute(&mut self, core: usize, now: u64) {
-        let Some(head) = self.inputs[core].head() else { return };
+        let Some(head) = self.inputs[core].head() else {
+            return;
+        };
         let cfg_id = head.cfg;
         let dest = head.dest_core;
         let func = self.funcs.get(&cfg_id).expect("validated at request");
@@ -474,14 +500,20 @@ mod tests {
         assert_eq!(done.len(), 4);
         assert_eq!(done[0].0, 6);
         assert_eq!(done[3].0, 9, "fully pipelined: one completion per cycle");
-        assert_eq!(done.iter().map(|d| d.1).collect::<Vec<_>>(), vec![100, 101, 102, 103]);
+        assert_eq!(
+            done.iter().map(|d| d.1).collect::<Vec<_>>(),
+            vec![100, 101, 102, 103]
+        );
     }
 
     #[test]
     fn virtualized_function_degrades_throughput_not_correctness() {
         let mut spl = Spl::new(SplConfig::paper(1));
         // 48 virtual rows on 24 physical: II = 2.
-        spl.register(9, SplFunction::compute("big", 48, Dest::SelfCore, |e| e.u32(0) as u64));
+        spl.register(
+            9,
+            SplFunction::compute("big", 48, Dest::SelfCore, |e| e.u32(0) as u64),
+        );
         for i in 0..3u64 {
             spl.stage(0, 0, 4, i);
             spl.request(0, 9, 0).unwrap();
@@ -504,7 +536,10 @@ mod tests {
     fn partitions_isolate_contention() {
         // Two cores, two partitions: both can issue in the same cycle.
         let mut spl = Spl::new(SplConfig::partitioned(2, 2));
-        spl.register(1, SplFunction::compute("id", 12, Dest::SelfCore, |e| e.u32(0) as u64));
+        spl.register(
+            1,
+            SplFunction::compute("id", 12, Dest::SelfCore, |e| e.u32(0) as u64),
+        );
         spl.stage(0, 0, 4, 5);
         spl.request(0, 1, 0).unwrap();
         spl.stage(1, 0, 4, 6);
@@ -529,7 +564,10 @@ mod tests {
     fn partitioning_increases_virtualization() {
         // A 24-row function on a 12-row partition has II=2 and still works.
         let mut spl = Spl::new(SplConfig::partitioned(2, 2));
-        spl.register(1, SplFunction::compute("full", 24, Dest::SelfCore, |e| e.u32(0) as u64));
+        spl.register(
+            1,
+            SplFunction::compute("full", 24, Dest::SelfCore, |e| e.u32(0) as u64),
+        );
         spl.stage(0, 0, 4, 7);
         spl.request(0, 1, 0).unwrap();
         let (v, t) = run_until_output(&mut spl, 0, 100);
@@ -584,7 +622,10 @@ mod tests {
         let mut cfg = SplConfig::paper(1);
         cfg.output_capacity = 2;
         let mut spl = Spl::new(cfg);
-        spl.register(1, SplFunction::compute("id", 2, Dest::SelfCore, |e| e.u32(0) as u64));
+        spl.register(
+            1,
+            SplFunction::compute("id", 2, Dest::SelfCore, |e| e.u32(0) as u64),
+        );
         for i in 0..4u64 {
             spl.stage(0, 0, 4, i);
             spl.request(0, 1, 0).unwrap();
@@ -644,7 +685,10 @@ mod tests {
     #[test]
     fn barrier_behind_compute_waits_for_head() {
         let mut spl = Spl::new(SplConfig::paper(2));
-        spl.register(1, SplFunction::compute("id", 24, Dest::SelfCore, |e| e.u32(0) as u64));
+        spl.register(
+            1,
+            SplFunction::compute("id", 24, Dest::SelfCore, |e| e.u32(0) as u64),
+        );
         spl.register(2, SplFunction::barrier("sync", 2, |_| 1));
         // Core 0: compute then barrier; core 1: barrier only.
         spl.stage(0, 0, 4, 9);
@@ -664,7 +708,10 @@ mod tests {
                 barrier_done_at = t;
             }
         }
-        assert!(barrier_done_at > 2, "barrier issued only after compute head popped");
+        assert!(
+            barrier_done_at > 2,
+            "barrier issued only after compute head popped"
+        );
         // The 2-row barrier completes while the 24-row compute op is still
         // in the pipeline: results arrive out of order, barrier first.
         assert_eq!(spl.pop_output(0), Some(1));
@@ -682,7 +729,10 @@ mod tests {
         let mut cfg = SplConfig::paper(1);
         cfg.input_capacity = 1;
         let mut spl = Spl::new(cfg);
-        spl.register(1, SplFunction::compute("id", 1, Dest::SelfCore, |e| e.u32(0) as u64));
+        spl.register(
+            1,
+            SplFunction::compute("id", 1, Dest::SelfCore, |e| e.u32(0) as u64),
+        );
         spl.request(0, 1, 0).unwrap();
         assert_eq!(spl.request(0, 1, 0), Err(RequestError::QueueFull));
     }

@@ -23,7 +23,13 @@ impl Entry {
         for i in 0..nbytes.min(16) {
             let idx = offset as usize + i as usize;
             if idx < 16 {
-                self.bytes[idx] = (value >> (8 * i as u32)) as u8;
+                // Bytes past the register width stage as zero; shifting by
+                // >= 64 would otherwise overflow.
+                self.bytes[idx] = if i < 8 {
+                    (value >> (8 * i as u32)) as u8
+                } else {
+                    0
+                };
                 self.valid |= 1 << idx;
             }
         }
@@ -98,9 +104,10 @@ pub enum FunctionKind {
 impl fmt::Debug for FunctionKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FunctionKind::Compute { dest, .. } => {
-                f.debug_struct("Compute").field("dest", dest).finish_non_exhaustive()
-            }
+            FunctionKind::Compute { dest, .. } => f
+                .debug_struct("Compute")
+                .field("dest", dest)
+                .finish_non_exhaustive(),
             FunctionKind::Barrier { .. } => f.debug_struct("Barrier").finish_non_exhaustive(),
         }
     }
@@ -135,7 +142,10 @@ impl SplFunction {
         SplFunction {
             name: name.into(),
             rows,
-            kind: FunctionKind::Compute { dest, eval: Arc::new(eval) },
+            kind: FunctionKind::Compute {
+                dest,
+                eval: Arc::new(eval),
+            },
         }
     }
 
@@ -150,7 +160,13 @@ impl SplFunction {
         eval: impl Fn(&[Entry]) -> u64 + Send + Sync + 'static,
     ) -> SplFunction {
         assert!(rows > 0, "a function needs at least one row");
-        SplFunction { name: name.into(), rows, kind: FunctionKind::Barrier { eval: Arc::new(eval) } }
+        SplFunction {
+            name: name.into(),
+            rows,
+            kind: FunctionKind::Barrier {
+                eval: Arc::new(eval),
+            },
+        }
     }
 
     /// The function's name.

@@ -29,7 +29,12 @@ pub struct InputQueue {
 impl InputQueue {
     /// Creates an empty input queue holding up to `capacity` sealed entries.
     pub fn new(capacity: usize) -> InputQueue {
-        InputQueue { staging: Entry::default(), sealed: Vec::new(), capacity, peak: 0 }
+        InputQueue {
+            staging: Entry::default(),
+            sealed: Vec::new(),
+            capacity,
+            peak: 0,
+        }
     }
 
     /// Stages bytes into the entry under construction (always succeeds: the
@@ -45,7 +50,11 @@ impl InputQueue {
         if self.sealed.len() >= self.capacity {
             return false;
         }
-        self.sealed.push(SealedEntry { entry: self.staging, cfg, dest_core });
+        self.sealed.push(SealedEntry {
+            entry: self.staging,
+            cfg,
+            dest_core,
+        });
         self.staging = Entry::default();
         self.peak = self.peak.max(self.sealed.len());
         true
@@ -93,7 +102,12 @@ pub struct OutputQueue {
 impl OutputQueue {
     /// Creates an empty output queue of the given capacity.
     pub fn new(capacity: usize) -> OutputQueue {
-        OutputQueue { ready: Vec::new(), reserved: 0, capacity, peak: 0 }
+        OutputQueue {
+            ready: Vec::new(),
+            reserved: 0,
+            capacity,
+            peak: 0,
+        }
     }
 
     /// Attempts to reserve a result slot; `false` when the queue (including

@@ -28,7 +28,13 @@ pub struct CellModel {
 
 impl Default for CellModel {
     fn default() -> Self {
-        CellModel { bits: 8, lut4s: 8, lut2s: 8, barrel_shifters: 2, flops: 8 }
+        CellModel {
+            bits: 8,
+            lut4s: 8,
+            lut2s: 8,
+            barrel_shifters: 2,
+            flops: 8,
+        }
     }
 }
 
@@ -43,7 +49,10 @@ pub struct RowModel {
 
 impl Default for RowModel {
     fn default() -> Self {
-        RowModel { cells: 16, cell: CellModel::default() }
+        RowModel {
+            cells: 16,
+            cell: CellModel::default(),
+        }
     }
 }
 

@@ -15,15 +15,17 @@ struct Req {
 }
 
 fn arb_req(cores: usize) -> impl Strategy<Value = Req> {
-    (0..cores, any::<u32>(), any::<bool>())
-        .prop_map(|(core, value, big)| Req { core, value, big })
+    (0..cores, any::<u32>(), any::<bool>()).prop_map(|(core, value, big)| Req { core, value, big })
 }
 
 fn fabric(cores: usize, partitions: usize) -> Spl {
     let mut cfg = SplConfig::partitioned(cores, partitions);
     cfg.rows = 24;
     let mut spl = Spl::new(cfg);
-    spl.register(1, SplFunction::compute("small", 6, Dest::SelfCore, |e| e.u32(0) as u64));
+    spl.register(
+        1,
+        SplFunction::compute("small", 6, Dest::SelfCore, |e| e.u32(0) as u64),
+    );
     spl.register(
         2,
         SplFunction::compute("big", 36, Dest::SelfCore, |e| e.u32(0) as u64 ^ 0xffff_ffff),

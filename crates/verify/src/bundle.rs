@@ -1,0 +1,642 @@
+//! Bundle-level lints: cross-thread protocol checks and fabric
+//! configuration validation over a whole multi-program system.
+
+use crate::cfg::Cfg;
+use crate::diag::{Code, Diagnostic, Severity};
+use crate::program::{verify_program, ProgramContext};
+use remap_isa::{Inst, Program, Reg};
+use remap_spl::{Dest, FunctionKind, SplConfig, SplFunction};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One thread of a bundle: a program bound to a core.
+#[derive(Debug, Clone)]
+pub struct ThreadSpec<'a> {
+    /// Global core id the program runs on.
+    pub core: usize,
+    /// Thread id bound to the core (Thread-to-Core table entry).
+    pub thread: u32,
+    /// The program.
+    pub program: &'a Program,
+    /// Registers seeded before the program starts.
+    pub init_regs: Vec<Reg>,
+}
+
+/// One SPL cluster: a fabric configuration plus the cores attached to it.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec<'a> {
+    /// Fabric geometry.
+    pub config: &'a SplConfig,
+    /// Attached global core ids, in local-index order.
+    pub cores: Vec<usize>,
+}
+
+/// A complete system description for cross-thread verification.
+#[derive(Debug, Clone, Default)]
+pub struct Bundle<'a> {
+    /// All threads (one per core).
+    pub threads: Vec<ThreadSpec<'a>>,
+    /// SPL clusters.
+    pub clusters: Vec<ClusterSpec<'a>>,
+    /// Registered SPL function configurations (on every cluster).
+    pub functions: Vec<(u16, &'a SplFunction)>,
+    /// Barrier-type configurations' declared participant totals
+    /// (`SystemBuilder::barrier_spec`).
+    pub barrier_totals: Vec<(u16, u32)>,
+    /// Idealized hardware barriers: (id, participant total).
+    pub hwbars: Vec<(u8, u32)>,
+    /// Number of idealized hardware queues in the bank.
+    pub hwq_queues: usize,
+}
+
+/// The virtualization initiation interval II = ceil(V/P) for a function of
+/// `rows` virtual rows on `config`'s per-partition physical rows.
+pub fn virtualization_ii(config: &SplConfig, rows: u32) -> u64 {
+    rows.div_ceil(config.partition_rows().max(1)) as u64
+}
+
+/// A thread's core id, spec, and the `(pc, inst)` pairs reachable from its
+/// program entry.
+type ThreadInsts<'a, 'b> = (usize, &'b ThreadSpec<'a>, Vec<(usize, Inst)>);
+
+/// Reachable instructions of a program, paired with their indices.
+fn reachable_insts(prog: &Program) -> Vec<(usize, Inst)> {
+    let cfg = Cfg::build(prog);
+    let insts = prog.insts();
+    cfg.blocks
+        .iter()
+        .enumerate()
+        .filter(|(bi, _)| cfg.reachable[*bi])
+        .flat_map(|(_, b)| (b.start..b.end).map(|pc| (pc, insts[pc])))
+        .collect()
+}
+
+/// Runs every bundle-level lint plus the per-program lints for each thread.
+pub fn verify_bundle(bundle: &Bundle) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    fabric_lints(bundle, &mut diags);
+
+    let funcs: BTreeMap<u16, &SplFunction> = bundle.functions.iter().copied().collect();
+    let cluster_of: BTreeMap<usize, usize> = bundle
+        .clusters
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, cl)| cl.cores.iter().map(move |&c| (c, ci)))
+        .collect();
+    let core_of_thread: BTreeMap<u32, Vec<usize>> = {
+        let mut m: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for t in &bundle.threads {
+            m.entry(t.thread).or_default().push(t.core);
+        }
+        m
+    };
+    let reach: Vec<ThreadInsts> = bundle
+        .threads
+        .iter()
+        .map(|t| (t.core, t, reachable_insts(t.program)))
+        .collect();
+
+    // Which cores statically initiate each SPL configuration.
+    let mut initers: BTreeMap<u16, BTreeSet<usize>> = BTreeMap::new();
+    // hwq senders/receivers and hwbar users.
+    let mut senders: BTreeMap<u8, BTreeSet<usize>> = BTreeMap::new();
+    let mut receivers: BTreeMap<u8, BTreeSet<usize>> = BTreeMap::new();
+    let mut hwbar_users: BTreeMap<u8, BTreeSet<usize>> = BTreeMap::new();
+    for (core, _t, insts) in &reach {
+        for (_, inst) in insts {
+            match *inst {
+                Inst::SplInit { cfg } => {
+                    initers.entry(cfg).or_default().insert(*core);
+                }
+                Inst::HwqSend { q, .. } => {
+                    senders.entry(q).or_default().insert(*core);
+                }
+                Inst::HwqRecv { q, .. } => {
+                    receivers.entry(q).or_default().insert(*core);
+                }
+                Inst::HwBar { id } => {
+                    hwbar_users.entry(id).or_default().insert(*core);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    dest_lints(
+        bundle,
+        &reach,
+        &funcs,
+        &cluster_of,
+        &core_of_thread,
+        &mut diags,
+    );
+    barrier_lints(bundle, &funcs, &initers, &hwbar_users, &mut diags);
+    queue_lints(bundle, &senders, &receivers, &mut diags);
+    wait_cycle_lint(
+        bundle,
+        &reach,
+        &funcs,
+        &core_of_thread,
+        &senders,
+        &receivers,
+        &mut diags,
+    );
+    virtualization_lints(bundle, &funcs, &initers, &cluster_of, &mut diags);
+
+    // Cores fed by another core's Dest::Thread routing may `spl_store`
+    // without a local `spl_init`.
+    let mut fed_cores: BTreeSet<usize> = BTreeSet::new();
+    for (core, _t, insts) in &reach {
+        for (_, inst) in insts {
+            if let Inst::SplInit { cfg } = *inst {
+                if let Some(f) = funcs.get(&cfg) {
+                    if let FunctionKind::Compute {
+                        dest: Dest::Thread(t),
+                        ..
+                    } = f.kind()
+                    {
+                        for &d in core_of_thread.get(t).map_or(&[][..], |v| &v[..]) {
+                            if d != *core {
+                                fed_cores.insert(d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let known: Vec<u16> = funcs.keys().copied().collect();
+    for t in &bundle.threads {
+        let ctx = ProgramContext {
+            init_regs: t.init_regs.clone(),
+            known_configs: Some(known.clone()),
+            external_feed: fed_cores.contains(&t.core),
+        };
+        diags.extend(verify_program(t.program, &ctx));
+    }
+    diags
+}
+
+/// RV012: fabric geometry and cluster-map validation.
+fn fabric_lints(bundle: &Bundle, diags: &mut Vec<Diagnostic>) {
+    let err = |msg: String, diags: &mut Vec<Diagnostic>| {
+        diags.push(Diagnostic::new(
+            Code::Rv012FabricConfig,
+            Severity::Error,
+            "",
+            None,
+            msg,
+        ));
+    };
+    let cores_present: BTreeSet<usize> = bundle.threads.iter().map(|t| t.core).collect();
+    let mut seen_cores: BTreeMap<usize, usize> = BTreeMap::new();
+    for (ci, cl) in bundle.clusters.iter().enumerate() {
+        let cfg = cl.config;
+        if cfg.rows == 0 {
+            err(format!("cluster {ci}: fabric has no rows"), diags);
+        }
+        if !(1..=4).contains(&cfg.partitions) {
+            err(
+                format!(
+                    "cluster {ci}: {} partitions (1..=4 supported)",
+                    cfg.partitions
+                ),
+                diags,
+            );
+        } else if cfg.partitions > 1 && cfg.rows % cfg.partitions as u32 != 0 {
+            err(
+                format!(
+                    "cluster {ci}: {} partitions do not divide {} rows evenly",
+                    cfg.partitions, cfg.rows
+                ),
+                diags,
+            );
+        }
+        if cfg.rows > 24 {
+            diags.push(Diagnostic::new(
+                Code::Rv012FabricConfig,
+                Severity::Warning,
+                "",
+                None,
+                format!(
+                    "cluster {ci}: {} rows exceed the paper's 24-row fabric",
+                    cfg.rows
+                ),
+            ));
+        }
+        if cfg.n_cores != cl.cores.len() {
+            err(
+                format!(
+                    "cluster {ci}: config expects {} cores but {} are attached",
+                    cfg.n_cores,
+                    cl.cores.len()
+                ),
+                diags,
+            );
+        }
+        if cfg.core_partition.len() != cfg.n_cores {
+            err(
+                format!(
+                    "cluster {ci}: {} core-partition entries for {} cores",
+                    cfg.core_partition.len(),
+                    cfg.n_cores
+                ),
+                diags,
+            );
+        }
+        for (local, &p) in cfg.core_partition.iter().enumerate() {
+            if p >= cfg.partitions {
+                err(
+                    format!("cluster {ci}: core {local} mapped to missing partition {p}"),
+                    diags,
+                );
+            }
+        }
+        for &g in &cl.cores {
+            if !cores_present.contains(&g) {
+                err(
+                    format!("cluster {ci}: attached core {g} does not exist"),
+                    diags,
+                );
+            }
+            if let Some(prev) = seen_cores.insert(g, ci) {
+                err(
+                    format!("core {g} attached to clusters {prev} and {ci}"),
+                    diags,
+                );
+            }
+        }
+    }
+    let mut threads_seen: BTreeMap<u32, usize> = BTreeMap::new();
+    for t in &bundle.threads {
+        if let Some(prev) = threads_seen.insert(t.thread, t.core) {
+            err(
+                format!(
+                    "thread {} bound to both core {} and core {}",
+                    t.thread, prev, t.core
+                ),
+                diags,
+            );
+        }
+    }
+}
+
+/// RV013: destination resolution. Every SPL-using core needs a cluster;
+/// `Dest::Thread` must resolve to a bound thread on the same cluster.
+fn dest_lints(
+    bundle: &Bundle,
+    reach: &[ThreadInsts<'_, '_>],
+    funcs: &BTreeMap<u16, &SplFunction>,
+    cluster_of: &BTreeMap<usize, usize>,
+    core_of_thread: &BTreeMap<u32, Vec<usize>>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let _ = bundle;
+    for (core, t, insts) in reach {
+        let uses_spl = insts.iter().any(|(_, i)| {
+            matches!(
+                i,
+                Inst::SplLoad { .. } | Inst::SplInit { .. } | Inst::SplStore { .. }
+            )
+        });
+        if uses_spl && !cluster_of.contains_key(core) {
+            diags.push(Diagnostic::new(
+                Code::Rv013BadDest,
+                Severity::Error,
+                t.program.name(),
+                None,
+                format!("core {core} uses SPL instructions but is not attached to a cluster"),
+            ));
+            continue;
+        }
+        for (pc, inst) in insts {
+            let Inst::SplInit { cfg } = *inst else {
+                continue;
+            };
+            let Some(f) = funcs.get(&cfg) else { continue }; // RV008 covers this
+            let FunctionKind::Compute {
+                dest: Dest::Thread(th),
+                ..
+            } = f.kind()
+            else {
+                continue;
+            };
+            match core_of_thread.get(th).map(|v| &v[..]) {
+                None | Some([]) => {
+                    diags.push(Diagnostic::new(
+                        Code::Rv013BadDest,
+                        Severity::Error,
+                        t.program.name(),
+                        Some(*pc as u32),
+                        format!(
+                            "`{inst}` routes to thread {th}, which is not bound to any \
+                             core; issue stalls forever"
+                        ),
+                    ));
+                }
+                Some(dests) => {
+                    for d in dests {
+                        if cluster_of.get(d) != cluster_of.get(core) {
+                            diags.push(Diagnostic::new(
+                                Code::Rv013BadDest,
+                                Severity::Error,
+                                t.program.name(),
+                                Some(*pc as u32),
+                                format!(
+                                    "`{inst}` routes to thread {th} on core {d}, which is \
+                                     not in core {core}'s SPL cluster"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// RV010: barrier participant counts, for both SPL barrier configurations
+/// and the idealized hardware barrier network.
+fn barrier_lints(
+    bundle: &Bundle,
+    funcs: &BTreeMap<u16, &SplFunction>,
+    initers: &BTreeMap<u16, BTreeSet<usize>>,
+    hwbar_users: &BTreeMap<u8, BTreeSet<usize>>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (&cfg, f) in funcs {
+        if !f.is_barrier() {
+            continue;
+        }
+        let Some(users) = initers.get(&cfg) else {
+            continue;
+        };
+        match bundle.barrier_totals.iter().find(|(c, _)| *c == cfg) {
+            None => diags.push(Diagnostic::new(
+                Code::Rv010BarrierCount,
+                Severity::Error,
+                "",
+                None,
+                format!(
+                    "barrier configuration {cfg} (`{}`) is used but has no declared \
+                     participant total (BarrierSpec)",
+                    f.name()
+                ),
+            )),
+            Some(&(_, total)) if total as usize != users.len() => {
+                diags.push(Diagnostic::new(
+                    Code::Rv010BarrierCount,
+                    Severity::Error,
+                    "",
+                    None,
+                    format!(
+                        "barrier configuration {cfg} (`{}`) declares {total} participants \
+                         but {} cores arrive at it: {:?}",
+                        f.name(),
+                        users.len(),
+                        users
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for (&id, users) in hwbar_users {
+        match bundle.hwbars.iter().find(|(i, _)| *i == id) {
+            None => diags.push(Diagnostic::new(
+                Code::Rv010BarrierCount,
+                Severity::Error,
+                "",
+                None,
+                format!("hardware barrier {id} is polled but never configured"),
+            )),
+            Some(&(_, total)) if total as usize != users.len() => {
+                diags.push(Diagnostic::new(
+                    Code::Rv010BarrierCount,
+                    Severity::Error,
+                    "",
+                    None,
+                    format!(
+                        "hardware barrier {id} declares {total} participants but {} cores \
+                         poll it: {:?}",
+                        users.len(),
+                        users
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// RV009: hardware-queue pairing and geometry.
+fn queue_lints(
+    bundle: &Bundle,
+    senders: &BTreeMap<u8, BTreeSet<usize>>,
+    receivers: &BTreeMap<u8, BTreeSet<usize>>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let used: BTreeSet<u8> = senders.keys().chain(receivers.keys()).copied().collect();
+    for q in used {
+        if (q as usize) >= bundle.hwq_queues {
+            diags.push(Diagnostic::new(
+                Code::Rv009QueuePairing,
+                Severity::Error,
+                "",
+                None,
+                format!(
+                    "hardware queue {q} is outside the configured bank of {} queues",
+                    bundle.hwq_queues
+                ),
+            ));
+            continue;
+        }
+        let s = senders.get(&q);
+        let r = receivers.get(&q);
+        match (s, r) {
+            (None, Some(rs)) => diags.push(Diagnostic::new(
+                Code::Rv009QueuePairing,
+                Severity::Error,
+                "",
+                None,
+                format!(
+                    "hardware queue {q} is received from by cores {rs:?} but no core \
+                     ever sends to it; the pop blocks forever"
+                ),
+            )),
+            (Some(ss), None) => diags.push(Diagnostic::new(
+                Code::Rv009QueuePairing,
+                Severity::Warning,
+                "",
+                None,
+                format!(
+                    "hardware queue {q} is sent to by cores {ss:?} but never received \
+                     from; values accumulate until the queue backpressures"
+                ),
+            )),
+            _ => {}
+        }
+    }
+}
+
+/// RV011: cycles in the waits-for graph (an edge `a → b` means core `a`
+/// blocks on data produced by core `b`). Self-edges are the normal
+/// individual-computation pattern and are excluded.
+fn wait_cycle_lint(
+    bundle: &Bundle,
+    reach: &[ThreadInsts<'_, '_>],
+    funcs: &BTreeMap<u16, &SplFunction>,
+    core_of_thread: &BTreeMap<u32, Vec<usize>>,
+    senders: &BTreeMap<u8, BTreeSet<usize>>,
+    receivers: &BTreeMap<u8, BTreeSet<usize>>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let _ = bundle;
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (core, _t, insts) in reach {
+        for (_, inst) in insts {
+            if let Inst::SplInit { cfg } = *inst {
+                if let Some(f) = funcs.get(&cfg) {
+                    if let FunctionKind::Compute {
+                        dest: Dest::Thread(t),
+                        ..
+                    } = f.kind()
+                    {
+                        for &d in core_of_thread.get(t).map_or(&[][..], |v| &v[..]) {
+                            if d != *core {
+                                edges.insert((d, *core));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (q, rs) in receivers {
+        if let Some(ss) = senders.get(q) {
+            for &r in rs {
+                for &s in ss {
+                    if r != s {
+                        edges.insert((r, s));
+                    }
+                }
+            }
+        }
+    }
+    // DFS cycle detection over the waits-for graph.
+    let nodes: BTreeSet<usize> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let mut color: BTreeMap<usize, u8> = nodes.iter().map(|&n| (n, 0)).collect();
+    let mut cycle: Option<Vec<usize>> = None;
+    fn dfs(
+        n: usize,
+        edges: &BTreeSet<(usize, usize)>,
+        color: &mut BTreeMap<usize, u8>,
+        stack: &mut Vec<usize>,
+        cycle: &mut Option<Vec<usize>>,
+    ) {
+        if cycle.is_some() {
+            return;
+        }
+        color.insert(n, 1);
+        stack.push(n);
+        let succs: Vec<usize> = edges
+            .iter()
+            .filter(|&&(a, _)| a == n)
+            .map(|&(_, b)| b)
+            .collect();
+        for s in succs {
+            match color.get(&s).copied().unwrap_or(0) {
+                0 => dfs(s, edges, color, stack, cycle),
+                1 => {
+                    let pos = stack.iter().position(|&x| x == s).unwrap_or(0);
+                    *cycle = Some(stack[pos..].to_vec());
+                    return;
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        color.insert(n, 2);
+    }
+    for &n in &nodes {
+        if color[&n] == 0 && cycle.is_none() {
+            let mut stack = Vec::new();
+            dfs(n, &edges, &mut color, &mut stack, &mut cycle);
+        }
+    }
+    if let Some(cy) = cycle {
+        diags.push(Diagnostic::new(
+            Code::Rv011WaitCycle,
+            Severity::Warning,
+            "",
+            None,
+            format!(
+                "cores {cy:?} form a wait cycle in the thread communication graph; \
+                 if no side injects data first, every thread in the cycle blocks"
+            ),
+        ));
+    }
+}
+
+/// RV014: virtualization sanity. Degenerate partition geometry is an error;
+/// a barrier whose participants live in different partitions is a model
+/// limitation worth flagging.
+fn virtualization_lints(
+    bundle: &Bundle,
+    funcs: &BTreeMap<u16, &SplFunction>,
+    initers: &BTreeMap<u16, BTreeSet<usize>>,
+    cluster_of: &BTreeMap<usize, usize>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (ci, cl) in bundle.clusters.iter().enumerate() {
+        if cl.config.rows > 0 && cl.config.partition_rows() == 0 {
+            diags.push(Diagnostic::new(
+                Code::Rv014Virtualization,
+                Severity::Error,
+                "",
+                None,
+                format!(
+                    "cluster {ci}: more partitions ({}) than rows ({}); the initiation \
+                     interval II = ceil(V/P) is undefined",
+                    cl.config.partitions, cl.config.rows
+                ),
+            ));
+        }
+    }
+    for (&cfg, f) in funcs {
+        if !f.is_barrier() {
+            continue;
+        }
+        let Some(users) = initers.get(&cfg) else {
+            continue;
+        };
+        // Participants of one SPL barrier must share a partition within
+        // each cluster: the fabric issues the global function on a single
+        // partition per cluster.
+        for (ci, cl) in bundle.clusters.iter().enumerate() {
+            let parts: BTreeSet<usize> = users
+                .iter()
+                .filter(|&&c| cluster_of.get(&c) == Some(&ci))
+                .filter_map(|&c| {
+                    cl.cores
+                        .iter()
+                        .position(|&g| g == c)
+                        .and_then(|local| cl.config.core_partition.get(local).copied())
+                })
+                .collect();
+            if parts.len() > 1 {
+                diags.push(Diagnostic::new(
+                    Code::Rv014Virtualization,
+                    Severity::Warning,
+                    "",
+                    None,
+                    format!(
+                        "barrier configuration {cfg} (`{}`) has participants in \
+                         partitions {parts:?} of cluster {ci}; the global function \
+                         issues on a single partition",
+                        f.name()
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Control-flow graph construction over an assembled [`Program`].
+//!
+//! Branch and jump targets in the ISA are instruction indices, so basic
+//! blocks fall out of a single leader scan. `jalr` has statically unknown
+//! successors; the graph marks it and conservatively connects it to every
+//! block so reachability and the must/may dataflows stay sound.
+
+use remap_isa::{Inst, Program};
+
+/// A basic block: the half-open instruction range `[start, end)`.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// Whether control can leave this block by running past the end of the
+    /// program (or branching beyond it) without executing `halt`.
+    pub falls_off: bool,
+}
+
+/// Control-flow graph of one program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks in program order; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Map from instruction index to its block index.
+    pub block_of: Vec<usize>,
+    /// Whether the program contains `jalr` (indirect successors).
+    pub has_indirect: bool,
+    /// Per-block reachability from the entry block.
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG. An empty program yields an empty graph.
+    pub fn build(prog: &Program) -> Cfg {
+        let insts = prog.insts();
+        let n = insts.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+                has_indirect: false,
+                reachable: Vec::new(),
+            };
+        }
+        let mut is_leader = vec![false; n];
+        is_leader[0] = true;
+        let mut has_indirect = false;
+        for (i, inst) in insts.iter().enumerate() {
+            let splits = match *inst {
+                Inst::Branch { target, .. } | Inst::Jal { target, .. } => {
+                    if (target as usize) < n {
+                        is_leader[target as usize] = true;
+                    }
+                    true
+                }
+                Inst::Jalr { .. } => {
+                    has_indirect = true;
+                    true
+                }
+                Inst::Halt => true,
+                _ => false,
+            };
+            if splits && i + 1 < n {
+                is_leader[i + 1] = true;
+            }
+        }
+        let mut block_of = vec![0usize; n];
+        let mut blocks: Vec<Block> = Vec::new();
+        for (i, &lead) in is_leader.iter().enumerate() {
+            if lead {
+                blocks.push(Block {
+                    start: i,
+                    end: i,
+                    succs: Vec::new(),
+                    falls_off: false,
+                });
+            }
+            block_of[i] = blocks.len() - 1;
+        }
+        let n_blocks = blocks.len();
+        for i in 0..n_blocks {
+            blocks[i].end = if i + 1 < n_blocks {
+                blocks[i + 1].start
+            } else {
+                n
+            };
+        }
+        for block in &mut blocks {
+            let last = block.end - 1;
+            let mut succs = Vec::new();
+            let mut falls_off = false;
+            let edge_to = |idx: usize, succs: &mut Vec<usize>, falls_off: &mut bool| {
+                if idx < n {
+                    succs.push(block_of[idx]);
+                } else {
+                    *falls_off = true;
+                }
+            };
+            match insts[last] {
+                Inst::Halt => {}
+                Inst::Jal { target, .. } => edge_to(target as usize, &mut succs, &mut falls_off),
+                Inst::Jalr { .. } => succs.extend(0..n_blocks),
+                Inst::Branch { target, .. } => {
+                    edge_to(target as usize, &mut succs, &mut falls_off);
+                    edge_to(last + 1, &mut succs, &mut falls_off);
+                }
+                _ => edge_to(last + 1, &mut succs, &mut falls_off),
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            block.succs = succs;
+            block.falls_off = falls_off;
+        }
+        let mut reachable = vec![false; n_blocks];
+        let mut stack = vec![0usize];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut reachable[b], true) {
+                continue;
+            }
+            stack.extend(blocks[b].succs.iter().copied().filter(|&s| !reachable[s]));
+        }
+        Cfg {
+            blocks,
+            block_of,
+            has_indirect,
+            reachable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remap_isa::Asm;
+    use remap_isa::Reg::*;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut a = Asm::new("t");
+        a.li(R1, 1);
+        a.addi(R1, R1, 2);
+        a.halt();
+        let cfg = Cfg::build(&a.assemble().unwrap());
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+        assert!(!cfg.blocks[0].falls_off);
+    }
+
+    #[test]
+    fn loop_has_back_edge() {
+        let mut a = Asm::new("t");
+        a.li(R1, 0);
+        a.li(R2, 4);
+        a.label("loop");
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "loop");
+        a.halt();
+        let cfg = Cfg::build(&a.assemble().unwrap());
+        // entry block, loop body, halt block.
+        assert_eq!(cfg.blocks.len(), 3);
+        let body = cfg.block_of[2];
+        assert!(
+            cfg.blocks[body].succs.contains(&body),
+            "back edge to itself"
+        );
+        assert!(cfg.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn code_after_unconditional_jump_is_unreachable() {
+        let mut a = Asm::new("t");
+        a.j("end");
+        a.li(R1, 9); // dead
+        a.label("end");
+        a.halt();
+        let cfg = Cfg::build(&a.assemble().unwrap());
+        let dead = cfg.block_of[1];
+        assert!(!cfg.reachable[dead]);
+    }
+
+    #[test]
+    fn missing_halt_falls_off() {
+        let mut a = Asm::new("t");
+        a.li(R1, 1);
+        let cfg = Cfg::build(&a.assemble().unwrap());
+        assert!(cfg.blocks[0].falls_off);
+    }
+
+    #[test]
+    fn empty_program() {
+        let cfg = Cfg::build(&Program::new("e", vec![]));
+        assert!(cfg.blocks.is_empty());
+    }
+}

@@ -1,0 +1,377 @@
+//! Per-program lints: CFG-based dataflow over one assembled program.
+//!
+//! Three forward dataflow analyses drive the SPL-protocol lints:
+//!
+//! * **maybe-uninitialized registers** (may, union join) for RV002,
+//! * **must-have-initialized** (`spl_init` seen on every path; intersection
+//!   join) for RV005,
+//! * **staged entry bytes** (may, union join over the 16-bit valid mask,
+//!   reset at `spl_init`) for RV006/RV007.
+
+use crate::cfg::Cfg;
+use crate::diag::{Code, Diagnostic, Severity};
+use remap_isa::{Inst, Program, Reg};
+use std::collections::BTreeSet;
+
+/// Context a program runs in; controls which lints apply.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramContext {
+    /// Registers seeded by the system before the program starts
+    /// (`SystemBuilder::set_reg` argument passing).
+    pub init_regs: Vec<Reg>,
+    /// Registered SPL configuration ids, when the fabric is known.
+    /// `None` skips RV008.
+    pub known_configs: Option<Vec<u16>>,
+    /// Whether another thread can deliver results into this core's SPL
+    /// output queue (producer→consumer routing); suppresses RV005.
+    pub external_feed: bool,
+}
+
+/// Runs every per-program lint and returns the findings.
+pub fn verify_program(prog: &Program, ctx: &ProgramContext) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let insts = prog.insts();
+    if insts.is_empty() {
+        diags.push(Diagnostic::new(
+            Code::Rv004MissingHalt,
+            Severity::Error,
+            prog.name(),
+            None,
+            "program has no instructions and can never halt",
+        ));
+        return diags;
+    }
+    let cfg = Cfg::build(prog);
+    scan_insts(prog, &cfg, ctx, &mut diags);
+    structure_lints(prog, &cfg, &mut diags);
+    uninit_lint(prog, &cfg, ctx, &mut diags);
+    must_init_lint(prog, &cfg, ctx, &mut diags);
+    staged_bytes_lint(prog, &cfg, &mut diags);
+    diags
+}
+
+fn reachable_pcs<'a>(cfg: &'a Cfg) -> impl Iterator<Item = usize> + 'a {
+    cfg.blocks
+        .iter()
+        .enumerate()
+        .filter(|(bi, _)| cfg.reachable[*bi])
+        .flat_map(|(_, b)| b.start..b.end)
+}
+
+/// RV001 (write to `r0`), RV007 (entry overflow), RV008 (unknown config):
+/// simple scans over reachable instructions.
+fn scan_insts(prog: &Program, cfg: &Cfg, ctx: &ProgramContext, diags: &mut Vec<Diagnostic>) {
+    let insts = prog.insts();
+    for pc in reachable_pcs(cfg) {
+        let inst = insts[pc];
+        let dead_write = match inst {
+            Inst::Alu { rd, .. }
+            | Inst::AluImm { rd, .. }
+            | Inst::Fp { rd, .. }
+            | Inst::Lw { rd, .. }
+            | Inst::Lb { rd, .. }
+            | Inst::Lbu { rd, .. } => rd.is_zero(),
+            // jal/jalr with rd=r0 is the idiomatic `j`; pops to r0
+            // (spl_store/hwq_recv/amoadd) still have queue side effects.
+            _ => false,
+        };
+        if dead_write {
+            diags.push(Diagnostic::new(
+                Code::Rv001WriteToZero,
+                Severity::Warning,
+                prog.name(),
+                Some(pc as u32),
+                format!("`{inst}` writes to r0, an architectural no-op"),
+            ));
+        }
+        if let Inst::SplLoad { offset, nbytes, .. } = inst {
+            let end = offset as usize + nbytes as usize;
+            if end > 16 || nbytes > 8 {
+                let what = if nbytes > 8 {
+                    format!("stages {nbytes} bytes, more than a 8-byte register holds")
+                } else {
+                    format!("stages bytes {offset}..{end}, past the 16-byte entry")
+                };
+                diags.push(Diagnostic::new(
+                    Code::Rv007EntryOverflow,
+                    Severity::Error,
+                    prog.name(),
+                    Some(pc as u32),
+                    format!("`{inst}` {what}"),
+                ));
+            }
+        }
+        if let Inst::SplInit { cfg: id } = inst {
+            if let Some(known) = &ctx.known_configs {
+                if !known.contains(&id) {
+                    diags.push(Diagnostic::new(
+                        Code::Rv008UnknownConfig,
+                        Severity::Error,
+                        prog.name(),
+                        Some(pc as u32),
+                        format!("`{inst}` references unregistered SPL configuration {id}"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// RV003 (unreachable blocks) and RV004 (paths that leave without `halt`).
+fn structure_lints(prog: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[bi] {
+            diags.push(Diagnostic::new(
+                Code::Rv003Unreachable,
+                Severity::Warning,
+                prog.name(),
+                Some(block.start as u32),
+                format!(
+                    "instructions {}..{} are unreachable from the program entry",
+                    block.start, block.end
+                ),
+            ));
+        } else if block.falls_off {
+            diags.push(Diagnostic::new(
+                Code::Rv004MissingHalt,
+                Severity::Error,
+                prog.name(),
+                Some((block.end - 1) as u32),
+                "control can leave the program here without executing `halt`",
+            ));
+        }
+    }
+}
+
+/// RV002: a register read that is uninitialized on at least one path while
+/// being written on another (reads of registers never written anywhere rely
+/// on the architectural zero reset and are not flagged).
+fn uninit_lint(prog: &Program, cfg: &Cfg, ctx: &ProgramContext, diags: &mut Vec<Diagnostic>) {
+    let insts = prog.insts();
+    let mut defined_anywhere: u32 = 0;
+    for pc in reachable_pcs(cfg) {
+        if let Some(d) = insts[pc].dest() {
+            defined_anywhere |= 1 << d.index();
+        }
+    }
+    let mut entry: u32 = !1; // everything but r0 is maybe-uninit...
+    for r in &ctx.init_regs {
+        entry &= !(1u32 << r.index()); // ...except seeded registers.
+    }
+    let transfer = |state: &mut u32, inst: Inst| {
+        if let Some(d) = inst.dest() {
+            *state &= !(1u32 << d.index());
+        }
+    };
+    let in_states = fixpoint_union32(cfg, entry, |state, pc| transfer(state, insts[pc]));
+    let mut seen = BTreeSet::new();
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[bi] {
+            continue;
+        }
+        let mut state = in_states[bi];
+        for (off, &inst) in insts[block.start..block.end].iter().enumerate() {
+            let pc = block.start + off;
+            for src in inst.sources().into_iter().flatten() {
+                let bit = 1u32 << src.index();
+                if !src.is_zero()
+                    && state & bit != 0
+                    && defined_anywhere & bit != 0
+                    && seen.insert((pc, src.index()))
+                {
+                    diags.push(Diagnostic::new(
+                        Code::Rv002MaybeUninit,
+                        Severity::Warning,
+                        prog.name(),
+                        Some(pc as u32),
+                        format!("`{inst}` reads {src}, which is uninitialized on some path"),
+                    ));
+                }
+            }
+            transfer(&mut state, inst);
+        }
+    }
+}
+
+/// RV005: `spl_store` must be preceded by `spl_init` on every path from the
+/// entry, unless another thread feeds this core's output queue.
+fn must_init_lint(prog: &Program, cfg: &Cfg, ctx: &ProgramContext, diags: &mut Vec<Diagnostic>) {
+    if ctx.external_feed {
+        return;
+    }
+    let insts = prog.insts();
+    let n_blocks = cfg.blocks.len();
+    // Must-analysis: in-state true means "an spl_init executed on every
+    // path reaching here". Top = true, entry = false, join = AND.
+    let mut in_state = vec![true; n_blocks];
+    in_state[0] = false;
+    let transfer = |mut state: bool, block: usize| {
+        for inst in &insts[cfg.blocks[block].start..cfg.blocks[block].end] {
+            if matches!(inst, Inst::SplInit { .. }) {
+                state = true;
+            }
+        }
+        state
+    };
+    let mut work: Vec<usize> = vec![0];
+    while let Some(bi) = work.pop() {
+        let out = transfer(in_state[bi], bi);
+        for &s in &cfg.blocks[bi].succs {
+            let joined = in_state[s] && out;
+            if joined != in_state[s] {
+                in_state[s] = joined;
+                work.push(s);
+            }
+        }
+    }
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[bi] {
+            continue;
+        }
+        let mut state = in_state[bi];
+        for (off, &inst) in insts[block.start..block.end].iter().enumerate() {
+            match inst {
+                Inst::SplInit { .. } => state = true,
+                Inst::SplStore { .. } if !state => {
+                    diags.push(Diagnostic::new(
+                        Code::Rv005StoreNoInit,
+                        Severity::Error,
+                        prog.name(),
+                        Some((block.start + off) as u32),
+                        format!(
+                            "`{inst}` can execute before any `spl_init` and no other \
+                             thread feeds this core; the pop blocks forever"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// RV006: restaging entry bytes that are already valid since the last seal
+/// (the second write silently overwrites the first).
+fn staged_bytes_lint(prog: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let insts = prog.insts();
+    let staged_bits = |offset: u8, nbytes: u8| -> u16 {
+        let mut bits = 0u16;
+        for i in 0..nbytes.min(16) {
+            let idx = offset as usize + i as usize;
+            if idx < 16 {
+                bits |= 1 << idx;
+            }
+        }
+        bits
+    };
+    let transfer = |state: &mut u32, pc: usize| match insts[pc] {
+        Inst::SplLoad { offset, nbytes, .. } => *state |= staged_bits(offset, nbytes) as u32,
+        Inst::SplInit { .. } => *state = 0,
+        _ => {}
+    };
+    let in_states = fixpoint_union32(cfg, 0, transfer);
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[bi] {
+            continue;
+        }
+        let mut state = in_states[bi];
+        for (off, &inst) in insts[block.start..block.end].iter().enumerate() {
+            let pc = block.start + off;
+            if let Inst::SplLoad { offset, nbytes, .. } = inst {
+                let bits = staged_bits(offset, nbytes) as u32;
+                if state & bits != 0 {
+                    diags.push(Diagnostic::new(
+                        Code::Rv006EntryOverlap,
+                        Severity::Error,
+                        prog.name(),
+                        Some(pc as u32),
+                        format!(
+                            "`{inst}` restages entry bytes already staged since the \
+                             last `spl_init` (mask {:#06x})",
+                            state & bits
+                        ),
+                    ));
+                }
+            }
+            transfer(&mut state, pc);
+        }
+    }
+}
+
+/// Forward may-analysis fixpoint over a 32-bit state with union joins.
+/// Returns the converged block in-states.
+fn fixpoint_union32(cfg: &Cfg, entry: u32, transfer: impl Fn(&mut u32, usize)) -> Vec<u32> {
+    let n_blocks = cfg.blocks.len();
+    let mut in_states = vec![0u32; n_blocks];
+    in_states[0] = entry;
+    let mut work: Vec<usize> = vec![0];
+    while let Some(bi) = work.pop() {
+        let mut out = in_states[bi];
+        for pc in cfg.blocks[bi].start..cfg.blocks[bi].end {
+            transfer(&mut out, pc);
+        }
+        for &s in &cfg.blocks[bi].succs {
+            let joined = in_states[s] | out;
+            if joined != in_states[s] {
+                in_states[s] = joined;
+                work.push(s);
+            }
+        }
+    }
+    in_states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remap_isa::Asm;
+    use remap_isa::Reg::*;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.id()).collect()
+    }
+
+    #[test]
+    fn clean_spl_program_has_no_diagnostics() {
+        let mut a = Asm::new("clean");
+        a.li(R1, 5);
+        a.spl_load(R1, 0, 4);
+        a.spl_init(1);
+        a.spl_store(R2);
+        a.halt();
+        let ctx = ProgramContext {
+            known_configs: Some(vec![1]),
+            ..ProgramContext::default()
+        };
+        let diags = verify_program(&a.assemble().unwrap(), &ctx);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn loop_with_reseal_each_iteration_is_clean() {
+        let mut a = Asm::new("loop");
+        a.li(R1, 0);
+        a.li(R2, 8);
+        a.label("loop");
+        a.spl_load(R1, 0, 4);
+        a.spl_init(1);
+        a.spl_store(R3);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "loop");
+        a.halt();
+        let ctx = ProgramContext {
+            known_configs: Some(vec![1]),
+            ..ProgramContext::default()
+        };
+        let diags = verify_program(&a.assemble().unwrap(), &ctx);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn empty_program_is_flagged() {
+        let diags = verify_program(&Program::new("e", vec![]), &ProgramContext::default());
+        assert_eq!(codes(&diags), ["RV004"]);
+    }
+
+    use remap_isa::Program;
+}

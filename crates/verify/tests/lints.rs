@@ -1,0 +1,636 @@
+//! One minimal triggering case and one near-miss per lint code.
+
+use remap_isa::Reg::*;
+use remap_isa::{Asm, Program};
+use remap_spl::{Dest, SplConfig, SplFunction};
+use remap_verify::{
+    verify_bundle, verify_program, Bundle, ClusterSpec, Code, ProgramContext, ThreadSpec,
+};
+
+fn codes(diags: &[remap_verify::Diagnostic]) -> Vec<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+fn lint(build: impl FnOnce(&mut Asm)) -> Vec<remap_verify::Diagnostic> {
+    let mut a = Asm::new("t");
+    build(&mut a);
+    verify_program(&a.assemble().unwrap(), &ProgramContext::default())
+}
+
+// --- RV001: write to r0 ---
+
+#[test]
+fn rv001_alu_write_to_zero_triggers() {
+    let d = lint(|a| {
+        a.addi(R0, R1, 1);
+        a.halt();
+    });
+    assert!(codes(&d).contains(&Code::Rv001WriteToZero));
+}
+
+#[test]
+fn rv001_jump_link_discard_is_the_j_idiom() {
+    // `j` assembles to `jal r0, target`: a deliberate discard, not a bug.
+    let d = lint(|a| {
+        a.j("end");
+        a.label("end");
+        a.halt();
+    });
+    assert!(!codes(&d).contains(&Code::Rv001WriteToZero));
+}
+
+// --- RV002: possibly-uninitialized read ---
+
+#[test]
+fn rv002_one_sided_definition_triggers() {
+    let d = lint(|a| {
+        a.beq(R2, R0, "skip");
+        a.li(R1, 5);
+        a.label("skip");
+        a.addi(R3, R1, 1); // r1 undefined when the branch is taken
+        a.halt();
+    });
+    assert!(codes(&d).contains(&Code::Rv002MaybeUninit));
+}
+
+#[test]
+fn rv002_both_sided_definition_is_clean() {
+    let d = lint(|a| {
+        a.li(R1, 0);
+        a.beq(R2, R0, "skip");
+        a.li(R1, 5);
+        a.label("skip");
+        a.addi(R3, R1, 1);
+        a.halt();
+    });
+    assert!(!codes(&d).contains(&Code::Rv002MaybeUninit));
+}
+
+#[test]
+fn rv002_never_defined_register_is_architectural_zero() {
+    // Reading a register the program never writes relies on the
+    // architecturally-defined zero reset value: idiomatic, not flagged.
+    let d = lint(|a| {
+        a.addi(R3, R9, 1);
+        a.halt();
+    });
+    assert!(!codes(&d).contains(&Code::Rv002MaybeUninit));
+}
+
+// --- RV003: unreachable block ---
+
+#[test]
+fn rv003_dead_code_after_jump_triggers() {
+    let d = lint(|a| {
+        a.j("end");
+        a.li(R1, 9);
+        a.label("end");
+        a.halt();
+    });
+    assert!(codes(&d).contains(&Code::Rv003Unreachable));
+}
+
+#[test]
+fn rv003_all_reachable_is_clean() {
+    let d = lint(|a| {
+        a.li(R1, 9);
+        a.halt();
+    });
+    assert!(!codes(&d).contains(&Code::Rv003Unreachable));
+}
+
+// --- RV004: path without halt ---
+
+#[test]
+fn rv004_falling_off_the_end_triggers() {
+    let d = lint(|a| {
+        a.li(R1, 1);
+    });
+    assert!(codes(&d).contains(&Code::Rv004MissingHalt));
+}
+
+#[test]
+fn rv004_halt_on_every_path_is_clean() {
+    let d = lint(|a| {
+        a.beq(R1, R0, "end");
+        a.li(R2, 1);
+        a.label("end");
+        a.halt();
+    });
+    assert!(!codes(&d).contains(&Code::Rv004MissingHalt));
+}
+
+// --- RV005: spl_store not dominated by spl_init ---
+
+#[test]
+fn rv005_store_without_init_triggers() {
+    let d = lint(|a| {
+        a.spl_store(R1);
+        a.halt();
+    });
+    assert!(codes(&d).contains(&Code::Rv005StoreNoInit));
+}
+
+#[test]
+fn rv005_init_before_store_is_clean() {
+    let d = lint(|a| {
+        a.spl_load(R1, 0, 4);
+        a.spl_init(1);
+        a.spl_store(R2);
+        a.halt();
+    });
+    assert!(!codes(&d).contains(&Code::Rv005StoreNoInit));
+}
+
+#[test]
+fn rv005_externally_fed_consumer_is_clean() {
+    // A consumer core fed through another thread's Dest::Thread routing
+    // legitimately pops without a local init.
+    let mut a = Asm::new("consumer");
+    a.spl_store(R1);
+    a.halt();
+    let ctx = ProgramContext {
+        external_feed: true,
+        ..ProgramContext::default()
+    };
+    let d = verify_program(&a.assemble().unwrap(), &ctx);
+    assert!(!codes(&d).contains(&Code::Rv005StoreNoInit));
+}
+
+// --- RV006: entry byte overlap ---
+
+#[test]
+fn rv006_restaging_same_bytes_triggers() {
+    let d = lint(|a| {
+        a.spl_load(R1, 0, 4);
+        a.spl_load(R2, 0, 4); // bytes 0..4 staged twice without a seal
+        a.spl_init(1);
+        a.spl_store(R3);
+        a.halt();
+    });
+    assert!(codes(&d).contains(&Code::Rv006EntryOverlap));
+}
+
+#[test]
+fn rv006_disjoint_stages_are_clean() {
+    let d = lint(|a| {
+        a.spl_load(R1, 0, 4);
+        a.spl_load(R2, 4, 4);
+        a.spl_init(1);
+        a.spl_store(R3);
+        a.halt();
+    });
+    assert!(!codes(&d).contains(&Code::Rv006EntryOverlap));
+}
+
+#[test]
+fn rv006_reseal_allows_restaging() {
+    let d = lint(|a| {
+        a.spl_load(R1, 0, 4);
+        a.spl_init(1);
+        a.spl_store(R3);
+        a.spl_load(R2, 0, 4); // new entry after the seal
+        a.spl_init(1);
+        a.spl_store(R4);
+        a.halt();
+    });
+    assert!(!codes(&d).contains(&Code::Rv006EntryOverlap));
+}
+
+// --- RV007: staging past the 16-byte entry ---
+
+#[test]
+fn rv007_overflowing_the_entry_triggers() {
+    let d = lint(|a| {
+        a.spl_load(R1, 14, 4); // bytes 14..18
+        a.spl_init(1);
+        a.spl_store(R2);
+        a.halt();
+    });
+    assert!(codes(&d).contains(&Code::Rv007EntryOverflow));
+}
+
+#[test]
+fn rv007_staging_more_than_a_register_triggers() {
+    let d = lint(|a| {
+        a.spl_load(R1, 0, 9); // a register holds 8 bytes
+        a.spl_init(1);
+        a.spl_store(R2);
+        a.halt();
+    });
+    assert!(codes(&d).contains(&Code::Rv007EntryOverflow));
+}
+
+#[test]
+fn rv007_exactly_filling_the_entry_is_clean() {
+    let d = lint(|a| {
+        a.spl_load(R1, 8, 8); // bytes 8..16
+        a.spl_init(1);
+        a.spl_store(R2);
+        a.halt();
+    });
+    assert!(!codes(&d).contains(&Code::Rv007EntryOverflow));
+}
+
+// --- RV008: unregistered configuration ---
+
+#[test]
+fn rv008_unknown_config_triggers() {
+    let mut a = Asm::new("t");
+    a.spl_load(R1, 0, 4);
+    a.spl_init(2);
+    a.spl_store(R2);
+    a.halt();
+    let ctx = ProgramContext {
+        known_configs: Some(vec![1]),
+        ..ProgramContext::default()
+    };
+    let d = verify_program(&a.assemble().unwrap(), &ctx);
+    assert!(codes(&d).contains(&Code::Rv008UnknownConfig));
+}
+
+#[test]
+fn rv008_registered_config_is_clean() {
+    let mut a = Asm::new("t");
+    a.spl_load(R1, 0, 4);
+    a.spl_init(1);
+    a.spl_store(R2);
+    a.halt();
+    let ctx = ProgramContext {
+        known_configs: Some(vec![1]),
+        ..ProgramContext::default()
+    };
+    let d = verify_program(&a.assemble().unwrap(), &ctx);
+    assert!(!codes(&d).contains(&Code::Rv008UnknownConfig));
+}
+
+// --- Bundle-level helpers ---
+
+fn prog(name: &str, build: impl FnOnce(&mut Asm)) -> Program {
+    let mut a = Asm::new(name);
+    build(&mut a);
+    a.halt();
+    a.assemble().unwrap()
+}
+
+fn thread(core: usize, p: &Program) -> ThreadSpec<'_> {
+    ThreadSpec {
+        core,
+        thread: core as u32,
+        program: p,
+        init_regs: Vec::new(),
+    }
+}
+
+// --- RV009: queue pairing ---
+
+#[test]
+fn rv009_recv_without_sender_triggers() {
+    let p = prog("t0", |a| a.hwq_recv(R1, 3));
+    let b = Bundle {
+        threads: vec![thread(0, &p)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(codes(&d).contains(&Code::Rv009QueuePairing));
+}
+
+#[test]
+fn rv009_paired_send_recv_is_clean() {
+    let p0 = prog("t0", |a| a.hwq_send(R1, 3));
+    let p1 = prog("t1", |a| a.hwq_recv(R1, 3));
+    let b = Bundle {
+        threads: vec![thread(0, &p0), thread(1, &p1)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(!codes(&d).contains(&Code::Rv009QueuePairing));
+}
+
+#[test]
+fn rv009_queue_outside_bank_triggers() {
+    let p0 = prog("t0", |a| a.hwq_send(R1, 5));
+    let p1 = prog("t1", |a| a.hwq_recv(R1, 5));
+    let b = Bundle {
+        threads: vec![thread(0, &p0), thread(1, &p1)],
+        hwq_queues: 2,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(codes(&d).contains(&Code::Rv009QueuePairing));
+}
+
+// --- RV010: barrier participant counts ---
+
+fn barrier_fn() -> SplFunction {
+    SplFunction::barrier("bar", 4, |entries| entries.len() as u64)
+}
+
+fn spl_barrier_prog(name: &str, cfg: u16) -> Program {
+    prog(name, |a| {
+        a.spl_load(R1, 0, 4);
+        a.spl_init(cfg);
+        a.spl_store(R2);
+    })
+}
+
+#[test]
+fn rv010_wrong_total_triggers() {
+    let f = barrier_fn();
+    let cfgc = SplConfig::paper(2);
+    let (p0, p1) = (spl_barrier_prog("t0", 7), spl_barrier_prog("t1", 7));
+    let b = Bundle {
+        threads: vec![thread(0, &p0), thread(1, &p1)],
+        clusters: vec![ClusterSpec {
+            config: &cfgc,
+            cores: vec![0, 1],
+        }],
+        functions: vec![(7, &f)],
+        barrier_totals: vec![(7, 3)], // three declared, two arrive
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(codes(&d).contains(&Code::Rv010BarrierCount));
+}
+
+#[test]
+fn rv010_matching_total_is_clean() {
+    let f = barrier_fn();
+    let cfgc = SplConfig::paper(2);
+    let (p0, p1) = (spl_barrier_prog("t0", 7), spl_barrier_prog("t1", 7));
+    let b = Bundle {
+        threads: vec![thread(0, &p0), thread(1, &p1)],
+        clusters: vec![ClusterSpec {
+            config: &cfgc,
+            cores: vec![0, 1],
+        }],
+        functions: vec![(7, &f)],
+        barrier_totals: vec![(7, 2)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(!codes(&d).contains(&Code::Rv010BarrierCount));
+}
+
+#[test]
+fn rv010_unconfigured_hw_barrier_triggers() {
+    let p = prog("t0", |a| a.hwbar(2));
+    let b = Bundle {
+        threads: vec![thread(0, &p)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(codes(&d).contains(&Code::Rv010BarrierCount));
+}
+
+#[test]
+fn rv010_configured_hw_barrier_is_clean() {
+    let p0 = prog("t0", |a| a.hwbar(2));
+    let p1 = prog("t1", |a| a.hwbar(2));
+    let b = Bundle {
+        threads: vec![thread(0, &p0), thread(1, &p1)],
+        hwbars: vec![(2, 2)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(!codes(&d).contains(&Code::Rv010BarrierCount));
+}
+
+// --- RV011: wait cycles ---
+
+#[test]
+fn rv011_mutual_recv_triggers() {
+    let p0 = prog("t0", |a| {
+        a.hwq_recv(R1, 0);
+        a.hwq_send(R1, 1);
+    });
+    let p1 = prog("t1", |a| {
+        a.hwq_recv(R1, 1);
+        a.hwq_send(R1, 0);
+    });
+    let b = Bundle {
+        threads: vec![thread(0, &p0), thread(1, &p1)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(codes(&d).contains(&Code::Rv011WaitCycle));
+}
+
+#[test]
+fn rv011_one_directional_pipeline_is_clean() {
+    let p0 = prog("t0", |a| a.hwq_send(R1, 0));
+    let p1 = prog("t1", |a| {
+        a.hwq_recv(R1, 0);
+        a.hwq_send(R1, 1);
+    });
+    let p2 = prog("t2", |a| a.hwq_recv(R1, 1));
+    let b = Bundle {
+        threads: vec![thread(0, &p0), thread(1, &p1), thread(2, &p2)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(!codes(&d).contains(&Code::Rv011WaitCycle));
+}
+
+// --- RV012: fabric configuration ---
+
+#[test]
+fn rv012_indivisible_partitioning_triggers() {
+    let mut cfgc = SplConfig::paper(1);
+    cfgc.rows = 10;
+    cfgc.partitions = 3; // 3 does not divide 10
+    let p = prog("t0", |a| a.nop());
+    let b = Bundle {
+        threads: vec![thread(0, &p)],
+        clusters: vec![ClusterSpec {
+            config: &cfgc,
+            cores: vec![0],
+        }],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(codes(&d).contains(&Code::Rv012FabricConfig));
+}
+
+#[test]
+fn rv012_paper_geometry_is_clean() {
+    let cfgc = SplConfig::partitioned(2, 2);
+    let p = prog("t0", |a| a.nop());
+    let p1 = prog("t1", |a| a.nop());
+    let b = Bundle {
+        threads: vec![thread(0, &p), thread(1, &p1)],
+        clusters: vec![ClusterSpec {
+            config: &cfgc,
+            cores: vec![0, 1],
+        }],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(!codes(&d).contains(&Code::Rv012FabricConfig));
+}
+
+#[test]
+fn rv012_core_in_two_clusters_triggers() {
+    let cfgc = SplConfig::paper(1);
+    let p = prog("t0", |a| a.nop());
+    let b = Bundle {
+        threads: vec![thread(0, &p)],
+        clusters: vec![
+            ClusterSpec {
+                config: &cfgc,
+                cores: vec![0],
+            },
+            ClusterSpec {
+                config: &cfgc,
+                cores: vec![0],
+            },
+        ],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(codes(&d).contains(&Code::Rv012FabricConfig));
+}
+
+// --- RV013: destination routing ---
+
+#[test]
+fn rv013_spl_use_without_cluster_triggers() {
+    let p = spl_barrier_prog("t0", 1);
+    let f = SplFunction::compute("f", 4, Dest::SelfCore, |e| e.u32(0) as u64);
+    let b = Bundle {
+        threads: vec![thread(0, &p)],
+        functions: vec![(1, &f)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(codes(&d).contains(&Code::Rv013BadDest));
+}
+
+#[test]
+fn rv013_unbound_dest_thread_triggers() {
+    let f = SplFunction::compute("f", 4, Dest::Thread(99), |e| e.u32(0) as u64);
+    let cfgc = SplConfig::paper(1);
+    let p = spl_barrier_prog("t0", 1);
+    let b = Bundle {
+        threads: vec![thread(0, &p)],
+        clusters: vec![ClusterSpec {
+            config: &cfgc,
+            cores: vec![0],
+        }],
+        functions: vec![(1, &f)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(codes(&d).contains(&Code::Rv013BadDest));
+}
+
+#[test]
+fn rv013_cross_cluster_dest_triggers() {
+    let f = SplFunction::compute("f", 4, Dest::Thread(1), |e| e.u32(0) as u64);
+    let cfgc = SplConfig::paper(1);
+    let p0 = spl_barrier_prog("t0", 1);
+    let p1 = prog("t1", |a| a.spl_store(R1));
+    let b = Bundle {
+        threads: vec![thread(0, &p0), thread(1, &p1)],
+        clusters: vec![
+            ClusterSpec {
+                config: &cfgc,
+                cores: vec![0],
+            },
+            ClusterSpec {
+                config: &cfgc,
+                cores: vec![1],
+            },
+        ],
+        functions: vec![(1, &f)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(codes(&d).contains(&Code::Rv013BadDest));
+}
+
+#[test]
+fn rv013_same_cluster_dest_is_clean() {
+    let f = SplFunction::compute("f", 4, Dest::Thread(1), |e| e.u32(0) as u64);
+    let cfgc = SplConfig::paper(2);
+    let p0 = spl_barrier_prog("t0", 1);
+    let p1 = prog("t1", |a| a.spl_store(R1)); // consumer, fed by t0
+    let b = Bundle {
+        threads: vec![thread(0, &p0), thread(1, &p1)],
+        clusters: vec![ClusterSpec {
+            config: &cfgc,
+            cores: vec![0, 1],
+        }],
+        functions: vec![(1, &f)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(!codes(&d).contains(&Code::Rv013BadDest));
+    // The consumer's init-less store is justified by the external feed.
+    assert!(!codes(&d).contains(&Code::Rv005StoreNoInit));
+}
+
+// --- RV014: virtualization / partition sanity ---
+
+#[test]
+fn rv014_barrier_across_partitions_triggers() {
+    let f = barrier_fn();
+    let cfgc = SplConfig::partitioned(2, 2); // cores 0/1 in partitions 0/1
+    let (p0, p1) = (spl_barrier_prog("t0", 7), spl_barrier_prog("t1", 7));
+    let b = Bundle {
+        threads: vec![thread(0, &p0), thread(1, &p1)],
+        clusters: vec![ClusterSpec {
+            config: &cfgc,
+            cores: vec![0, 1],
+        }],
+        functions: vec![(7, &f)],
+        barrier_totals: vec![(7, 2)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(codes(&d).contains(&Code::Rv014Virtualization));
+}
+
+#[test]
+fn rv014_unpartitioned_barrier_is_clean() {
+    let f = barrier_fn();
+    let cfgc = SplConfig::paper(2);
+    let (p0, p1) = (spl_barrier_prog("t0", 7), spl_barrier_prog("t1", 7));
+    let b = Bundle {
+        threads: vec![thread(0, &p0), thread(1, &p1)],
+        clusters: vec![ClusterSpec {
+            config: &cfgc,
+            cores: vec![0, 1],
+        }],
+        functions: vec![(7, &f)],
+        barrier_totals: vec![(7, 2)],
+        hwq_queues: 32,
+        ..Bundle::default()
+    };
+    let d = verify_bundle(&b);
+    assert!(!codes(&d).contains(&Code::Rv014Virtualization));
+}
+
+#[test]
+fn virtualization_ii_matches_ceiling_formula() {
+    let cfgc = SplConfig::partitioned(4, 2); // 24 rows, 12 per partition
+    assert_eq!(remap_verify::virtualization_ii(&cfgc, 12), 1);
+    assert_eq!(remap_verify::virtualization_ii(&cfgc, 13), 2);
+    assert_eq!(remap_verify::virtualization_ii(&cfgc, 24), 2);
+}

@@ -1,0 +1,108 @@
+//! Property tests: the verifier is total — it never panics, whatever
+//! program it is handed, including programs whose branch targets fall
+//! outside the instruction stream (exercised via truncation).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use remap_isa::{Asm, Program, Reg};
+use remap_spl::{Dest, SplConfig, SplFunction};
+use remap_verify::{
+    verify_bundle, verify_program, Bundle, ClusterSpec, ProgramContext, ThreadSpec,
+};
+
+/// Decodes one word of entropy into one `Asm` builder call. Labels `L0..L3`
+/// may be referenced before they are defined; `build_program` defines any
+/// leftovers at the end so assembly always succeeds.
+fn emit(a: &mut Asm, w: u32, defined: &mut [bool; 4]) {
+    let reg = |sel: u32| Reg::from_index((sel as usize) % 32).unwrap();
+    let (r1, r2, r3) = (reg(w >> 5), reg(w >> 10), reg(w >> 15));
+    let lbl = format!("L{}", (w >> 20) % 4);
+    let imm = (w >> 22) as i32 % 64;
+    match w % 18 {
+        0 => a.add(r1, r2, r3),
+        1 => a.addi(r1, r2, imm),
+        2 => a.li(r1, imm),
+        3 => a.mul(r1, r2, r3),
+        4 => a.lw(r1, r2, imm & !3),
+        5 => a.sw(r1, r2, imm & !3),
+        6 => a.beq(r1, r2, lbl),
+        7 => a.blt(r1, r2, lbl),
+        8 => a.j(lbl),
+        9 => a.jal(r1, lbl),
+        10 => a.jalr(r1, r2),
+        11 => a.spl_load(r1, (w >> 5) as u8 % 20, (w >> 10) as u8 % 12),
+        12 => a.spl_init((w >> 5) as u16 % 4),
+        13 => a.spl_store(r1),
+        14 => a.hwq_send(r1, (w >> 5) as u8 % 40),
+        15 => a.hwq_recv(r1, (w >> 5) as u8 % 40),
+        16 => a.hwbar((w >> 5) as u8 % 4),
+        _ => {
+            // Define the next not-yet-defined label here, creating back
+            // edges for branches already emitted against it.
+            if let Some(k) = defined.iter().position(|&d| !d) {
+                defined[k] = true;
+                a.label(format!("L{k}"));
+            } else {
+                a.nop();
+            }
+        }
+    }
+}
+
+fn build_program(words: &[u32]) -> Program {
+    let mut a = Asm::new("prop");
+    let mut defined = [false; 4];
+    for &w in words {
+        emit(&mut a, w, &mut defined);
+    }
+    for (k, d) in defined.iter().enumerate() {
+        if !d {
+            a.label(format!("L{k}"));
+        }
+    }
+    // Half the programs end without `halt` to exercise RV004 paths.
+    if words.len().is_multiple_of(2) {
+        a.halt();
+    }
+    a.assemble().expect("all labels defined")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn verify_program_never_panics(words in vec(any::<u32>(), 0..60)) {
+        let prog = build_program(&words);
+        let ctx = ProgramContext {
+            known_configs: Some(vec![0, 1]),
+            ..ProgramContext::default()
+        };
+        let _ = verify_program(&prog, &ctx);
+        // Truncation leaves branch/jump targets pointing past the end of
+        // the stream; the verifier must tolerate that too.
+        let cut = words.len() / 2;
+        let truncated = Program::new("prop-cut", prog.insts()[..cut.min(prog.insts().len())].to_vec());
+        let _ = verify_program(&truncated, &ProgramContext::default());
+    }
+
+    #[test]
+    fn verify_bundle_never_panics(pair in (vec(any::<u32>(), 0..40), vec(any::<u32>(), 0..40))) {
+        let (w0, w1) = pair;
+        let (p0, p1) = (build_program(&w0), build_program(&w1));
+        let cfg = SplConfig::paper(2);
+        let compute = SplFunction::compute("f", 4, Dest::Thread(1), |e| e.u64(0));
+        let barrier = SplFunction::barrier("b", 4, |es| es.len() as u64);
+        let bundle = Bundle {
+            threads: vec![
+                ThreadSpec { core: 0, thread: 0, program: &p0, init_regs: vec![Reg::R5] },
+                ThreadSpec { core: 1, thread: 1, program: &p1, init_regs: vec![] },
+            ],
+            clusters: vec![ClusterSpec { config: &cfg, cores: vec![0, 1] }],
+            functions: vec![(0, &compute), (1, &barrier)],
+            barrier_totals: vec![(1, 2)],
+            hwbars: vec![(0, 2)],
+            hwq_queues: 32,
+        };
+        let _ = verify_bundle(&bundle);
+    }
+}

@@ -147,8 +147,12 @@ pub enum BarrierBench {
 
 impl BarrierBench {
     /// All four benchmarks.
-    pub const ALL: [BarrierBench; 4] =
-        [BarrierBench::Ll2, BarrierBench::Ll3, BarrierBench::Ll6, BarrierBench::Dijkstra];
+    pub const ALL: [BarrierBench; 4] = [
+        BarrierBench::Ll2,
+        BarrierBench::Ll3,
+        BarrierBench::Ll6,
+        BarrierBench::Dijkstra,
+    ];
 
     /// Report name.
     pub fn name(self) -> &'static str {
@@ -189,14 +193,25 @@ impl BarrierBench {
             // SPL clusters come in power-of-two shapes; software and ideal
             // hardware barriers work for any count (e.g. the 6-core
             // homogeneous cluster of §V-C.2).
-            assert!(p.is_power_of_two(), "SPL modes need power-of-two threads, got {p}");
+            assert!(
+                p.is_power_of_two(),
+                "SPL modes need power-of-two threads, got {p}"
+            );
         }
         if matches!(mode, BarrierMode::RemapComp(_)) {
-            assert!(self.supports_comp(), "{} has no Barrier+Comp variant", self.name());
+            assert!(
+                self.supports_comp(),
+                "{} has no Barrier+Comp variant",
+                self.name()
+            );
         }
         match self {
             BarrierBench::Ll2 | BarrierBench::Ll3 => {
-                assert!(n.is_power_of_two(), "{} needs power-of-two sizes", self.name())
+                assert!(
+                    n.is_power_of_two(),
+                    "{} needs power-of-two sizes",
+                    self.name()
+                )
             }
             _ => {}
         }
@@ -256,7 +271,11 @@ impl BarrierBench {
         if got == expect {
             Ok(())
         } else {
-            let idx = got.iter().zip(&expect).position(|(a, b)| a != b).unwrap_or(0);
+            let idx = got
+                .iter()
+                .zip(&expect)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
             Err(format!(
                 "{}: mismatch at {idx}: got {} expected {}",
                 self.name(),
@@ -435,9 +454,10 @@ impl BarrierBench {
         let (bar_a, bar_b) = match mode {
             BarrierMode::Seq => (None, None),
             BarrierMode::Sw(_) => (Some(BarKind::Sw), Some(BarKind::Sw)),
-            BarrierMode::Remap(_) | BarrierMode::RemapComp(_) => {
-                (Some(BarKind::Spl(cfg::BAR_A)), Some(BarKind::Spl(cfg::BAR_B)))
-            }
+            BarrierMode::Remap(_) | BarrierMode::RemapComp(_) => (
+                Some(BarKind::Spl(cfg::BAR_A)),
+                Some(BarKind::Spl(cfg::BAR_B)),
+            ),
             BarrierMode::HwIdeal(_) => (Some(BarKind::Hw(0)), Some(BarKind::Hw(1))),
         };
         let comp = matches!(mode, BarrierMode::RemapComp(_));
@@ -491,7 +511,7 @@ fn ll2_thread(n: usize, p: usize, t: usize, bar: Option<BarKind>) -> Program {
     a.mv(R4, R3); // ipnt
     a.add(R3, R3, R2); // ipntp += ii
     a.srai(R2, R2, 1); // ii /= 2  (also the element count)
-    // slice bounds: lo = t*cnt/p, hi = (t+1)*cnt/p
+                       // slice bounds: lo = t*cnt/p, hi = (t+1)*cnt/p
     a.muli(R5, R2, t as i32);
     a.li(R6, p as i32);
     a.div(R5, R5, R6);
@@ -596,11 +616,14 @@ fn ll3_thread(
         a.li(R5, lo_u as i32);
         a.li(R6, hi_u as i32);
         a.li(R28, (lo_u + 4).min(hi_u) as i32);
+        // Empty slice: nothing to feed or drain. A non-empty slice always
+        // takes the prologue at least once, so every path to the
+        // `spl_store` below passes an `spl_init` (do-while prologue).
+        a.bge(R29, R6, "macdone");
         a.label("mac_pro");
-        a.bge(R29, R28, "mac_main");
         feed(&mut a, true);
         a.addi(R29, R29, 1);
-        a.j("mac_pro");
+        a.blt(R29, R28, "mac_pro");
         a.label("mac_main");
         a.bge(R5, R6, "macdone");
         a.spl_store(R19);
@@ -900,7 +923,7 @@ fn dij_thread(
     // --- unpack, removeMin, update my distances -----------------------------
     a.andi(R8, R27, 0xff); // gnode
     a.srai(R9, R27, 8); // gdist
-    // removeMin (only the owner's visited flag matters).
+                        // removeMin (only the owner's visited flag matters).
     {
         let skip = a.fresh_label("dij_notmine");
         a.slti(R5, R8, lo);
@@ -992,8 +1015,12 @@ mod tests {
 
     #[test]
     fn dijkstra_comp_beats_barrier_only() {
-        let bar = BarrierBench::Dijkstra.run(BarrierMode::Remap(4), 40).unwrap();
-        let comp = BarrierBench::Dijkstra.run(BarrierMode::RemapComp(4), 40).unwrap();
+        let bar = BarrierBench::Dijkstra
+            .run(BarrierMode::Remap(4), 40)
+            .unwrap();
+        let comp = BarrierBench::Dijkstra
+            .run(BarrierMode::RemapComp(4), 40)
+            .unwrap();
         assert!(
             comp.cycles < bar.cycles,
             "Barrier+Comp {} !< Barrier {}",
@@ -1004,7 +1031,9 @@ mod tests {
 
     #[test]
     fn sixteen_threads_four_clusters() {
-        let m = BarrierBench::Dijkstra.run(BarrierMode::RemapComp(16), 32).unwrap();
+        let m = BarrierBench::Dijkstra
+            .run(BarrierMode::RemapComp(16), 32)
+            .unwrap();
         assert!(m.cycles > 0);
     }
 
@@ -1057,13 +1086,19 @@ mod tests {
         for b in [32usize, 48, 56, 60, 62, 63] {
             assert_eq!(v[b], 0, "v[{b}] must be zeroed");
         }
-        assert_eq!(v.iter().filter(|&&x| x == 0).count(), 6, "only boundaries zeroed");
+        assert_eq!(
+            v.iter().filter(|&&x| x == 0).count(),
+            6,
+            "only boundaries zeroed"
+        );
     }
 
     #[test]
     fn six_threads_allowed_for_ideal_hardware() {
         // The §V-C.2 homogeneous cluster has six cores.
-        let m = BarrierBench::Dijkstra.run(BarrierMode::HwIdeal(6), 24).unwrap();
+        let m = BarrierBench::Dijkstra
+            .run(BarrierMode::HwIdeal(6), 24)
+            .unwrap();
         assert!(m.cycles > 0);
     }
 

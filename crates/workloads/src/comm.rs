@@ -86,8 +86,11 @@ impl CommBench {
         let mut b = SystemBuilder::new();
         match mode {
             CommMode::SeqOoo1 | CommMode::SeqOoo2 => {
-                let kind =
-                    if mode == CommMode::SeqOoo2 { CoreKind::Ooo2 } else { CoreKind::Ooo1 };
+                let kind = if mode == CommMode::SeqOoo2 {
+                    CoreKind::Ooo2
+                } else {
+                    CoreKind::Ooo1
+                };
                 b.add_core(kind, self.seq_program(n));
             }
             CommMode::Comp1T => {
@@ -139,7 +142,11 @@ impl CommBench {
         if got == expect {
             Ok(())
         } else {
-            let idx = got.iter().zip(&expect).position(|(a, b)| a != b).unwrap_or(0);
+            let idx = got
+                .iter()
+                .zip(&expect)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
             Err(format!(
                 "{}: output mismatch at {idx}: got {} expected {}",
                 self.name(),
@@ -207,8 +214,7 @@ impl CommBench {
                 let len = n + 1;
                 let mut arr = Vec::new();
                 for j in 0..13 {
-                    let vals: Vec<i32> =
-                        (0..len).map(|_| (r() % 2001) as i32 - 1000).collect();
+                    let vals: Vec<i32> = (0..len).map(|_| (r() % 2001) as i32 - 1000).collect();
                     m.write_words(ADDR_IN as u64 + (j * len * 4) as u64, &vals);
                     arr.push(vals);
                 }
@@ -224,8 +230,7 @@ impl CommBench {
                         arr[7][k],     // ms[k]
                     ];
                     for (f, v) in fields.iter().enumerate() {
-                        let addr =
-                            (HMMER_ILV + 16 * (k as i64 - 1) + 2 * f as i64) as u64;
+                        let addr = (HMMER_ILV + 16 * (k as i64 - 1) + 2 * f as i64) as u64;
                         m.write_u8(addr, *v as u8);
                         m.write_u8(addr + 1, (*v >> 8) as u8);
                     }
@@ -369,8 +374,7 @@ impl CommBench {
                 let len = m + 1;
                 let mut arr = Vec::new();
                 for _ in 0..13 {
-                    let vals: Vec<i64> =
-                        (0..len).map(|_| (r() % 2001) as i64 - 1000).collect();
+                    let vals: Vec<i64> = (0..len).map(|_| (r() % 2001) as i64 - 1000).collect();
                     arr.push(vals);
                 }
                 let (mpp, ip, dpp, tpmm) = (&arr[0], &arr[1], &arr[2], &arr[3]);
@@ -596,7 +600,9 @@ pub const DELTA_BASE: i64 = ADDR_IN + 0x14000;
 pub const HMMER_ILV: i64 = ADDR_IN + 0x40000;
 
 fn unepic_lut() -> Vec<i32> {
-    (0..16).map(|j| if j < 8 { j * 7 + 1 } else { -(j - 8) - 1 }).collect()
+    (0..16)
+        .map(|j| if j < 8 { j * 7 + 1 } else { -(j - 8) - 1 })
+        .collect()
 }
 
 fn unepic_lut2() -> Vec<i32> {
@@ -608,10 +614,10 @@ pub fn step_table() -> Vec<i32> {
     vec![
         7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60,
         66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371,
-        408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707,
-        1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
-        7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623,
-        27086, 29794, 32767,
+        408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878,
+        2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845,
+        8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086,
+        29794, 32767,
     ]
 }
 

@@ -6,8 +6,8 @@
 //! `r20`–`r26` reserved by the software queue, `r30`/`r31` feed indices.
 
 use crate::comm::{
-    swq_prologue, swq_recv, swq_send, CommBench, Transport, COST_BASE, DELTA_BASE,
-    HMMER_ILV, IDXT_BASE, LUT2_BASE, LUT_BASE, STEP_BASE, WAVE_BASE, XMB,
+    swq_prologue, swq_recv, swq_send, CommBench, Transport, COST_BASE, DELTA_BASE, HMMER_ILV,
+    IDXT_BASE, LUT2_BASE, LUT_BASE, STEP_BASE, WAVE_BASE, XMB,
 };
 use crate::comm::{CFG_MAIN, CFG_PASS};
 use crate::framework::{ADDR_IN, ADDR_OUT};
@@ -535,7 +535,7 @@ fn cjpeg_ycc_sw(a: &mut Asm, px: Reg) {
     a.andi(R8, R8, 0xff); // g
     a.srli(R9, px, 16);
     a.andi(R9, R9, 0xff); // b
-    // y
+                          // y
     a.muli(R14, R7, 77);
     a.muli(R15, R8, 150);
     a.add(R14, R14, R15);
@@ -1484,7 +1484,12 @@ mod tests {
                 progs.push(consumer(b, n, t));
             }
             for p in progs {
-                assert!(p.len() > 4, "{}: suspiciously short program {}", b.name(), p.name());
+                assert!(
+                    p.len() > 4,
+                    "{}: suspiciously short program {}",
+                    b.name(),
+                    p.name()
+                );
                 assert_eq!(
                     p.insts().last().copied(),
                     Some(remap_isa::Inst::Halt),

@@ -111,7 +111,11 @@ impl CompBench {
         if got == expect {
             Ok(())
         } else {
-            let idx = got.iter().zip(&expect).position(|(a, b)| a != b).unwrap_or(0);
+            let idx = got
+                .iter()
+                .zip(&expect)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
             Err(format!(
                 "{}: output mismatch at {idx}: got {} expected {}",
                 self.name(),
@@ -174,8 +178,12 @@ impl CompBench {
                 .collect(),
             CompBench::Mpeg2Dec => (0..mpeg2dec_outs(n))
                 .map(|i| {
-                    upsample(a[i] as i64, a[i + 1] as i64, a[i + 2] as i64, a[i + 3] as i64)
-                        as i32
+                    upsample(
+                        a[i] as i64,
+                        a[i + 1] as i64,
+                        a[i + 2] as i64,
+                        a[i + 3] as i64,
+                    ) as i32
                 })
                 .collect(),
             CompBench::Mpeg2Enc => {
@@ -220,9 +228,7 @@ impl CompBench {
                     })
                     .collect()
             }
-            CompBench::Libquantum => {
-                (0..n).map(|i| gate3(a[i] as i64) as i32).collect()
-            }
+            CompBench::Libquantum => (0..n).map(|i| gate3(a[i] as i64) as i32).collect(),
         }
     }
 
@@ -263,8 +269,7 @@ impl CompBench {
                 let s = |o: usize| ((e.u32(o * 2) & 0xffff) as u16 as i16) as i64;
                 let mut out = 0u64;
                 for j in 0..4 {
-                    let v =
-                        fir5(s(j), s(j + 1), s(j + 2), s(j + 3), s(j + 4)) as u64 & 0xffff;
+                    let v = fir5(s(j), s(j + 1), s(j + 2), s(j + 3), s(j + 4)) as u64 & 0xffff;
                     out |= v << (16 * j);
                 }
                 out
@@ -380,7 +385,14 @@ pub fn synth_step(input: i64, v: [i64; 4]) -> (i64, [i64; 3]) {
     for j in 0..4 {
         sri = sat16(sri - mult_r(RRP[j], v[j]));
     }
-    (sri, [mult_r(RRP[0], sri), mult_r(RRP[1], sri), mult_r(RRP[2], sri)])
+    (
+        sri,
+        [
+            mult_r(RRP[0], sri),
+            mult_r(RRP[1], sri),
+            mult_r(RRP[2], sri),
+        ],
+    )
 }
 
 /// libquantum's toffoli conditional bit flip.
@@ -441,7 +453,7 @@ fn g721_seq(name: &str, n: usize) -> Program {
     a.lw(R7, R6, 0); // an
     a.add(R6, R15, R5);
     a.lw(R8, R6, 0); // srn
-    // anmag = an & 0x1fff
+                     // anmag = an & 0x1fff
     a.andi(R9, R7, 0x1fff);
     // exponent loop: e in r10
     a.li(R10, 0);
@@ -453,7 +465,7 @@ fn g721_seq(name: &str, n: usize) -> Program {
     a.j("explo");
     a.label("expdone");
     a.addi(R10, R10, -6); // anexp
-    // anmant
+                          // anmant
     a.bne(R9, R0, "nz");
     a.li(R12, 32);
     a.j("mantdone");
@@ -643,7 +655,7 @@ fn mpeg2enc_spl(n: usize) -> Program {
     a.slli(R5, R1, 6);
     a.label("inner");
     a.blt(R17, R10, "scalar"); // s too close to the limit: go scalar
-    // Pack a[i..i+4] and b[i..i+4] as bytes into the SPL entry.
+                               // Pack a[i..i+4] and b[i..i+4] as bytes into the SPL entry.
     a.slli(R6, R11, 2);
     a.add(R6, R6, R5);
     a.add(R7, R3, R6);
@@ -779,7 +791,7 @@ fn gsmuntoast_seq(n: usize) -> Program {
     a.slli(R5, R1, 2);
     a.add(R6, R3, R5);
     a.lw(R7, R6, 0); // sri = in[k]
-    // four lattice stages: sri = sat16(sri - mult_r(rrp[j], v[j]))
+                     // four lattice stages: sri = sat16(sri - mult_r(rrp[j], v[j]))
     for (rrp, v) in [(R16, R10), (R17, R11), (R18, R12), (R19, R13)] {
         emit_mult_r(&mut a, R8, rrp, v); // r8 = mult_r
         a.sub(R7, R7, R8);
@@ -789,7 +801,7 @@ fn gsmuntoast_seq(n: usize) -> Program {
     emit_mult_r(&mut a, R8, R16, R7); // p0
     emit_mult_r(&mut a, R9, R17, R7); // p1
     emit_mult_r(&mut a, R14, R18, R7); // p2
-    // v3 = sat16(v2 + p2); v2 = sat16(v1 + p1); v1 = sat16(v0 + p0); v0 = sri
+                                       // v3 = sat16(v2 + p2); v2 = sat16(v1 + p1); v1 = sat16(v0 + p0); v0 = sri
     a.add(R13, R12, R14);
     emit_sat16(&mut a, R13);
     a.add(R12, R11, R9);
@@ -921,9 +933,7 @@ mod tests {
     fn all_benches_all_modes_match_oracle() {
         for bench in CompBench::ALL {
             for mode in CompMode::ALL {
-                let m = bench
-                    .run(mode, N)
-                    .unwrap_or_else(|e| panic!("{e}"));
+                let m = bench.run(mode, N).unwrap_or_else(|e| panic!("{e}"));
                 assert!(m.cycles > 0 && m.energy_pj > 0.0);
             }
         }

@@ -178,7 +178,11 @@ mod tests {
 
     #[test]
     fn measurement_ed() {
-        let m = Measurement { cycles: 10, energy_pj: 3.0, committed: 5 };
+        let m = Measurement {
+            cycles: 10,
+            energy_pj: 3.0,
+            committed: 5,
+        };
         assert_eq!(m.ed(), 30.0);
     }
 }
@@ -214,10 +218,18 @@ mod barrier_emitter_tests {
         sw_barrier(&mut a);
         a.halt();
         let p = a.assemble().unwrap();
-        let atomics = p.insts().iter().filter(|i| matches!(i, Inst::AmoAdd { .. })).count();
+        let atomics = p
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, Inst::AmoAdd { .. }))
+            .count();
         assert_eq!(atomics, 1);
         let last_fence = p.insts().iter().rposition(|i| matches!(i, Inst::Fence));
-        let halt = p.insts().iter().position(|i| matches!(i, Inst::Halt)).unwrap();
+        let halt = p
+            .insts()
+            .iter()
+            .position(|i| matches!(i, Inst::Halt))
+            .unwrap();
         assert_eq!(last_fence, Some(halt - 1), "barrier must end with a fence");
     }
 

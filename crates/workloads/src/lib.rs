@@ -25,8 +25,8 @@
 
 pub mod barriers;
 pub mod comm;
-pub mod comp;
 mod comm_progs;
+pub mod comp;
 mod framework;
 mod pipeline;
 

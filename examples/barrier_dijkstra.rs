@@ -13,7 +13,10 @@ fn main() {
     const NODES: usize = 120;
     let bench = BarrierBench::Dijkstra;
     println!("Dijkstra shortest paths, {NODES} nodes (validated against a host oracle)\n");
-    println!("{:<20} {:>12} {:>14} {:>10}", "mode", "cycles", "cycles/step", "speedup");
+    println!(
+        "{:<20} {:>12} {:>14} {:>10}",
+        "mode", "cycles", "cycles/step", "speedup"
+    );
     let base = bench.run(BarrierMode::Seq, NODES).expect("sequential");
     for mode in [
         BarrierMode::Seq,

@@ -82,15 +82,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut sys = b.build();
     // Feed deterministic data and compute the expected checksum on the host.
-    let data: Vec<i32> = (0..N as i32).map(|i| i.wrapping_mul(2654435761u32 as i32)).collect();
+    let data: Vec<i32> = (0..N as i32)
+        .map(|i| i.wrapping_mul(2654435761u32 as i32))
+        .collect();
     sys.mem_mut().write_words(IN as u64, &data);
-    let expect = data.iter().fold(0xffff_ffffu64, |acc, &w| crc_step(acc, w as u32 as u64));
+    let expect = data
+        .iter()
+        .fold(0xffff_ffffu64, |acc, &w| crc_step(acc, w as u32 as u64));
 
     let report = sys.run(10_000_000)?;
     let got = sys.mem().read_u32(OUT as u64) as u64;
     assert_eq!(got, expect, "fabric checksum must match the host");
     println!("streamed {N} words through a 30-virtual-row function on 24 physical rows");
-    println!("checksum = {got:#010x} (matches host), {} cycles", report.cycles);
+    println!(
+        "checksum = {got:#010x} (matches host), {} cycles",
+        report.cycles
+    );
     println!(
         "fabric: {} ops, {} row activations (II = 2 from virtualization)",
         sys.spl_stats(0).compute_ops,

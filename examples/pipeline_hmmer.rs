@@ -17,7 +17,10 @@ fn main() {
     const M: usize = 1024;
     let bench = CommBench::Hmmer;
     println!("456.hmmer P7Viterbi, M = {M} rows (validated against a host oracle)\n");
-    println!("{:<16} {:>12} {:>10} {:>12}", "mode", "cycles", "speedup", "energy (uJ)");
+    println!(
+        "{:<16} {:>12} {:>10} {:>12}",
+        "mode", "cycles", "speedup", "energy (uJ)"
+    );
     let base = bench.run(CommMode::SeqOoo1, M).expect("baseline");
     for mode in [
         CommMode::SeqOoo1,

@@ -8,4 +8,5 @@ pub use remap_isa as isa;
 pub use remap_mem as mem;
 pub use remap_power as power;
 pub use remap_spl as spl;
+pub use remap_verify as verify;
 pub use remap_workloads as workloads;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_partition-1c19ec12bf85ed8a.d: crates/bench/benches/ablation_partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_partition-1c19ec12bf85ed8a.rmeta: crates/bench/benches/ablation_partition.rs Cargo.toml
+
+crates/bench/benches/ablation_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_virtual-226bf0f2b4388587.d: crates/bench/benches/ablation_virtual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_virtual-226bf0f2b4388587.rmeta: crates/bench/benches/ablation_virtual.rs Cargo.toml
+
+crates/bench/benches/ablation_virtual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4c15c5563123f9bd.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4c15c5563123f9bd: tests/end_to_end.rs
+
+tests/end_to_end.rs:

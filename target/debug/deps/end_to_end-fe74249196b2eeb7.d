@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fe74249196b2eeb7.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fe74249196b2eeb7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-66709be4b2cce7f4.d: crates/bench/benches/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-66709be4b2cce7f4.rmeta: crates/bench/benches/fig12.rs Cargo.toml
+
+crates/bench/benches/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

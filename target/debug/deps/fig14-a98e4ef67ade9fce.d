@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14-a98e4ef67ade9fce.d: crates/bench/benches/fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14-a98e4ef67ade9fce.rmeta: crates/bench/benches/fig14.rs Cargo.toml
+
+crates/bench/benches/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

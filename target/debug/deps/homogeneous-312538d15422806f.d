@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/homogeneous-312538d15422806f.d: crates/bench/benches/homogeneous.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhomogeneous-312538d15422806f.rmeta: crates/bench/benches/homogeneous.rs Cargo.toml
+
+crates/bench/benches/homogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lints-1ee1fd16706781d6.d: crates/verify/tests/lints.rs
+
+/root/repo/target/debug/deps/lints-1ee1fd16706781d6: crates/verify/tests/lints.rs
+
+crates/verify/tests/lints.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lints-5dc9eafa50e21b85.d: crates/verify/tests/lints.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblints-5dc9eafa50e21b85.rmeta: crates/verify/tests/lints.rs Cargo.toml
+
+crates/verify/tests/lints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

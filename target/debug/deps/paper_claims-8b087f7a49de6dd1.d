@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-8b087f7a49de6dd1.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-8b087f7a49de6dd1: tests/paper_claims.rs
+
+tests/paper_claims.rs:

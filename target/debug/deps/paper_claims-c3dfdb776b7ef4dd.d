@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c3dfdb776b7ef4dd.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c3dfdb776b7ef4dd: tests/paper_claims.rs
+
+tests/paper_claims.rs:

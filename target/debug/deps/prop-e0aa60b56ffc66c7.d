@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-e0aa60b56ffc66c7.d: crates/verify/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-e0aa60b56ffc66c7: crates/verify/tests/prop.rs
+
+crates/verify/tests/prop.rs:

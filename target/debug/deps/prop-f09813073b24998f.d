@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-f09813073b24998f.d: crates/verify/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-f09813073b24998f.rmeta: crates/verify/tests/prop.rs Cargo.toml
+
+crates/verify/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

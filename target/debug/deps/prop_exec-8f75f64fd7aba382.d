@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_exec-8f75f64fd7aba382.d: crates/cpu/tests/prop_exec.rs
+
+/root/repo/target/debug/deps/prop_exec-8f75f64fd7aba382: crates/cpu/tests/prop_exec.rs
+
+crates/cpu/tests/prop_exec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_exec-9bb45ebbf8a4fefb.d: crates/cpu/tests/prop_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_exec-9bb45ebbf8a4fefb.rmeta: crates/cpu/tests/prop_exec.rs Cargo.toml
+
+crates/cpu/tests/prop_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

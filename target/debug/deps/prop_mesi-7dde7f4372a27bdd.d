@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_mesi-7dde7f4372a27bdd.d: crates/mem/tests/prop_mesi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_mesi-7dde7f4372a27bdd.rmeta: crates/mem/tests/prop_mesi.rs Cargo.toml
+
+crates/mem/tests/prop_mesi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

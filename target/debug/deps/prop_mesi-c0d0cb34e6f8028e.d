@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_mesi-c0d0cb34e6f8028e.d: crates/mem/tests/prop_mesi.rs
+
+/root/repo/target/debug/deps/prop_mesi-c0d0cb34e6f8028e: crates/mem/tests/prop_mesi.rs
+
+crates/mem/tests/prop_mesi.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-2ce4a1f9aa66b125.d: crates/isa/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-2ce4a1f9aa66b125.rmeta: crates/isa/tests/prop_roundtrip.rs Cargo.toml
+
+crates/isa/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

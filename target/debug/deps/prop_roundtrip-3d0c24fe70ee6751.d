@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-3d0c24fe70ee6751.d: crates/isa/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-3d0c24fe70ee6751: crates/isa/tests/prop_roundtrip.rs
+
+crates/isa/tests/prop_roundtrip.rs:

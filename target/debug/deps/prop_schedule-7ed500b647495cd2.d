@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_schedule-7ed500b647495cd2.d: crates/spl/tests/prop_schedule.rs
+
+/root/repo/target/debug/deps/prop_schedule-7ed500b647495cd2: crates/spl/tests/prop_schedule.rs
+
+crates/spl/tests/prop_schedule.rs:

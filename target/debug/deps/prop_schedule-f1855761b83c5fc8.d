@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_schedule-f1855761b83c5fc8.d: crates/spl/tests/prop_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_schedule-f1855761b83c5fc8.rmeta: crates/spl/tests/prop_schedule.rs Cargo.toml
+
+crates/spl/tests/prop_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

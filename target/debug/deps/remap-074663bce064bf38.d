@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/remap-074663bce064bf38.d: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libremap-074663bce064bf38.rlib: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libremap-074663bce064bf38.rmeta: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/hetero.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/remap-483fee1b77bddcc2.d: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/remap-483fee1b77bddcc2: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/hetero.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

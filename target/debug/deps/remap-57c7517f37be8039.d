@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remap-57c7517f37be8039.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/remap-57c7517f37be8039: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

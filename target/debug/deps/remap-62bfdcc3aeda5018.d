@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remap-62bfdcc3aeda5018.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/remap-62bfdcc3aeda5018: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

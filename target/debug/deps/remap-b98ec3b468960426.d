@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/remap-b98ec3b468960426.d: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libremap-b98ec3b468960426.rlib: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libremap-b98ec3b468960426.rmeta: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/hetero.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

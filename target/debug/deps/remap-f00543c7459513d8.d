@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/remap-f00543c7459513d8.d: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libremap-f00543c7459513d8.rlib: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libremap-f00543c7459513d8.rmeta: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/hetero.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

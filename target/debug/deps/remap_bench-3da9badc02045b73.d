@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/remap_bench-3da9badc02045b73.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libremap_bench-3da9badc02045b73.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libremap_bench-3da9badc02045b73.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remap_bench-be62a516bb267ea4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/remap_bench-be62a516bb267ea4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

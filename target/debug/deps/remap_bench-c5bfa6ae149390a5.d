@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remap_bench-c5bfa6ae149390a5.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremap_bench-c5bfa6ae149390a5.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/remap_comm-281ebc492367e2f4.d: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs
+
+/root/repo/target/debug/deps/libremap_comm-281ebc492367e2f4.rlib: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs
+
+/root/repo/target/debug/deps/libremap_comm-281ebc492367e2f4.rmeta: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/barrier.rs:
+crates/comm/src/bus.rs:
+crates/comm/src/hwbarrier.rs:
+crates/comm/src/hwqueue.rs:
+crates/comm/src/t2c.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/remap_comm-3e6f9b51de45cfec.d: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs
+
+/root/repo/target/debug/deps/remap_comm-3e6f9b51de45cfec: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/barrier.rs:
+crates/comm/src/bus.rs:
+crates/comm/src/hwbarrier.rs:
+crates/comm/src/hwqueue.rs:
+crates/comm/src/t2c.rs:

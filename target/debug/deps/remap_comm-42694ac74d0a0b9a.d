@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/remap_comm-42694ac74d0a0b9a.d: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs
+
+/root/repo/target/debug/deps/libremap_comm-42694ac74d0a0b9a.rlib: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs
+
+/root/repo/target/debug/deps/libremap_comm-42694ac74d0a0b9a.rmeta: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/barrier.rs:
+crates/comm/src/bus.rs:
+crates/comm/src/hwbarrier.rs:
+crates/comm/src/hwqueue.rs:
+crates/comm/src/t2c.rs:

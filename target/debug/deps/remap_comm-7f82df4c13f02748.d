@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/remap_comm-7f82df4c13f02748.d: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremap_comm-7f82df4c13f02748.rmeta: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/barrier.rs:
+crates/comm/src/bus.rs:
+crates/comm/src/hwbarrier.rs:
+crates/comm/src/hwqueue.rs:
+crates/comm/src/t2c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

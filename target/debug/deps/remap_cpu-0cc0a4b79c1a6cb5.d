@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/remap_cpu-0cc0a4b79c1a6cb5.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs
+
+/root/repo/target/debug/deps/libremap_cpu-0cc0a4b79c1a6cb5.rlib: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs
+
+/root/repo/target/debug/deps/libremap_cpu-0cc0a4b79c1a6cb5.rmeta: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/core.rs:
+crates/cpu/src/ports.rs:
+crates/cpu/src/stats.rs:

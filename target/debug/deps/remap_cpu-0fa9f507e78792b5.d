@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/remap_cpu-0fa9f507e78792b5.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs
+
+/root/repo/target/debug/deps/remap_cpu-0fa9f507e78792b5: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/core.rs:
+crates/cpu/src/ports.rs:
+crates/cpu/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/remap_cpu-ab0ad35cf1c9eb92.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremap_cpu-ab0ad35cf1c9eb92.rmeta: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs Cargo.toml
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/core.rs:
+crates/cpu/src/ports.rs:
+crates/cpu/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

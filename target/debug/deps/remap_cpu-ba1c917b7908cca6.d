@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/remap_cpu-ba1c917b7908cca6.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs
+
+/root/repo/target/debug/deps/libremap_cpu-ba1c917b7908cca6.rlib: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs
+
+/root/repo/target/debug/deps/libremap_cpu-ba1c917b7908cca6.rmeta: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/core.rs:
+crates/cpu/src/ports.rs:
+crates/cpu/src/stats.rs:

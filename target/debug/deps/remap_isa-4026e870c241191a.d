@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remap_isa-4026e870c241191a.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/remap_isa-4026e870c241191a: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/remap_isa-cd740e7f4f7f4776.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libremap_isa-cd740e7f4f7f4776.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libremap_isa-cd740e7f4f7f4776.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/remap_mem-2712509de55f462f.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/flat.rs crates/mem/src/hierarchy.rs
+
+/root/repo/target/debug/deps/remap_mem-2712509de55f462f: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/flat.rs crates/mem/src/hierarchy.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/flat.rs:
+crates/mem/src/hierarchy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/remap_mem-631c83be3de31b15.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/flat.rs crates/mem/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libremap_mem-631c83be3de31b15.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/flat.rs crates/mem/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libremap_mem-631c83be3de31b15.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/flat.rs crates/mem/src/hierarchy.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/flat.rs:
+crates/mem/src/hierarchy.rs:

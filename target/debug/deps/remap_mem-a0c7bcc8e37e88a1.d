@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/remap_mem-a0c7bcc8e37e88a1.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/flat.rs crates/mem/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libremap_mem-a0c7bcc8e37e88a1.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/flat.rs crates/mem/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libremap_mem-a0c7bcc8e37e88a1.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/flat.rs crates/mem/src/hierarchy.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/flat.rs:
+crates/mem/src/hierarchy.rs:

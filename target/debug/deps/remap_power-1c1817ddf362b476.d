@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/remap_power-1c1817ddf362b476.d: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libremap_power-1c1817ddf362b476.rlib: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libremap_power-1c1817ddf362b476.rmeta: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/area.rs:
+crates/power/src/energy.rs:
+crates/power/src/model.rs:

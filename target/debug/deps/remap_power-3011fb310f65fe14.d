@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/remap_power-3011fb310f65fe14.d: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremap_power-3011fb310f65fe14.rmeta: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/area.rs:
+crates/power/src/energy.rs:
+crates/power/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

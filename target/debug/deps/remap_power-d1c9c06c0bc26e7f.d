@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/remap_power-d1c9c06c0bc26e7f.d: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libremap_power-d1c9c06c0bc26e7f.rlib: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/libremap_power-d1c9c06c0bc26e7f.rmeta: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/area.rs:
+crates/power/src/energy.rs:
+crates/power/src/model.rs:

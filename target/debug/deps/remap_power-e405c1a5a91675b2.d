@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/remap_power-e405c1a5a91675b2.d: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/debug/deps/remap_power-e405c1a5a91675b2: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/area.rs:
+crates/power/src/energy.rs:
+crates/power/src/model.rs:

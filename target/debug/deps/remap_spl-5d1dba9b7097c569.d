@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/remap_spl-5d1dba9b7097c569.d: crates/spl/src/lib.rs crates/spl/src/fabric.rs crates/spl/src/function.rs crates/spl/src/queue.rs crates/spl/src/row.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremap_spl-5d1dba9b7097c569.rmeta: crates/spl/src/lib.rs crates/spl/src/fabric.rs crates/spl/src/function.rs crates/spl/src/queue.rs crates/spl/src/row.rs Cargo.toml
+
+crates/spl/src/lib.rs:
+crates/spl/src/fabric.rs:
+crates/spl/src/function.rs:
+crates/spl/src/queue.rs:
+crates/spl/src/row.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remap_spl-76a18f17c19d29cf.d: crates/spl/src/lib.rs crates/spl/src/fabric.rs crates/spl/src/function.rs crates/spl/src/queue.rs crates/spl/src/row.rs
+
+/root/repo/target/debug/deps/remap_spl-76a18f17c19d29cf: crates/spl/src/lib.rs crates/spl/src/fabric.rs crates/spl/src/function.rs crates/spl/src/queue.rs crates/spl/src/row.rs
+
+crates/spl/src/lib.rs:
+crates/spl/src/fabric.rs:
+crates/spl/src/function.rs:
+crates/spl/src/queue.rs:
+crates/spl/src/row.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/remap_spl-d48a72bed393fbce.d: crates/spl/src/lib.rs crates/spl/src/fabric.rs crates/spl/src/function.rs crates/spl/src/queue.rs crates/spl/src/row.rs
+
+/root/repo/target/debug/deps/libremap_spl-d48a72bed393fbce.rlib: crates/spl/src/lib.rs crates/spl/src/fabric.rs crates/spl/src/function.rs crates/spl/src/queue.rs crates/spl/src/row.rs
+
+/root/repo/target/debug/deps/libremap_spl-d48a72bed393fbce.rmeta: crates/spl/src/lib.rs crates/spl/src/fabric.rs crates/spl/src/function.rs crates/spl/src/queue.rs crates/spl/src/row.rs
+
+crates/spl/src/lib.rs:
+crates/spl/src/fabric.rs:
+crates/spl/src/function.rs:
+crates/spl/src/queue.rs:
+crates/spl/src/row.rs:

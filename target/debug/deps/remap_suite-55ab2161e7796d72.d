@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/remap_suite-55ab2161e7796d72.d: src/lib.rs
+
+/root/repo/target/debug/deps/libremap_suite-55ab2161e7796d72.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libremap_suite-55ab2161e7796d72.rmeta: src/lib.rs
+
+src/lib.rs:

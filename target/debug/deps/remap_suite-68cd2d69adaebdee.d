@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remap_suite-68cd2d69adaebdee.d: src/lib.rs
+
+/root/repo/target/debug/deps/remap_suite-68cd2d69adaebdee: src/lib.rs
+
+src/lib.rs:

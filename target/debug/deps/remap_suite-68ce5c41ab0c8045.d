@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remap_suite-68ce5c41ab0c8045.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremap_suite-68ce5c41ab0c8045.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

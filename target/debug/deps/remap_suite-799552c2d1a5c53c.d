@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remap_suite-799552c2d1a5c53c.d: src/lib.rs
+
+/root/repo/target/debug/deps/remap_suite-799552c2d1a5c53c: src/lib.rs
+
+src/lib.rs:

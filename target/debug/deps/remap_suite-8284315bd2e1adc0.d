@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/remap_suite-8284315bd2e1adc0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libremap_suite-8284315bd2e1adc0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libremap_suite-8284315bd2e1adc0.rmeta: src/lib.rs
+
+src/lib.rs:

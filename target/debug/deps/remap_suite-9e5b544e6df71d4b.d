@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/remap_suite-9e5b544e6df71d4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libremap_suite-9e5b544e6df71d4b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libremap_suite-9e5b544e6df71d4b.rmeta: src/lib.rs
+
+src/lib.rs:

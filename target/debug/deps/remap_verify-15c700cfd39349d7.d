@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remap_verify-15c700cfd39349d7.d: crates/verify/src/lib.rs crates/verify/src/bundle.rs crates/verify/src/cfg.rs crates/verify/src/diag.rs crates/verify/src/program.rs
+
+/root/repo/target/debug/deps/remap_verify-15c700cfd39349d7: crates/verify/src/lib.rs crates/verify/src/bundle.rs crates/verify/src/cfg.rs crates/verify/src/diag.rs crates/verify/src/program.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/bundle.rs:
+crates/verify/src/cfg.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/program.rs:

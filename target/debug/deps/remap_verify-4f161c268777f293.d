@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/remap_verify-4f161c268777f293.d: crates/verify/src/lib.rs crates/verify/src/bundle.rs crates/verify/src/cfg.rs crates/verify/src/diag.rs crates/verify/src/program.rs
+
+/root/repo/target/debug/deps/libremap_verify-4f161c268777f293.rlib: crates/verify/src/lib.rs crates/verify/src/bundle.rs crates/verify/src/cfg.rs crates/verify/src/diag.rs crates/verify/src/program.rs
+
+/root/repo/target/debug/deps/libremap_verify-4f161c268777f293.rmeta: crates/verify/src/lib.rs crates/verify/src/bundle.rs crates/verify/src/cfg.rs crates/verify/src/diag.rs crates/verify/src/program.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/bundle.rs:
+crates/verify/src/cfg.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/program.rs:

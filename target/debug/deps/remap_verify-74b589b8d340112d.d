@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/remap_verify-74b589b8d340112d.d: crates/verify/src/lib.rs crates/verify/src/bundle.rs crates/verify/src/cfg.rs crates/verify/src/diag.rs crates/verify/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremap_verify-74b589b8d340112d.rmeta: crates/verify/src/lib.rs crates/verify/src/bundle.rs crates/verify/src/cfg.rs crates/verify/src/diag.rs crates/verify/src/program.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/bundle.rs:
+crates/verify/src/cfg.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

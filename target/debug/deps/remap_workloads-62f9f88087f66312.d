@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/remap_workloads-62f9f88087f66312.d: crates/workloads/src/lib.rs crates/workloads/src/barriers.rs crates/workloads/src/comm.rs crates/workloads/src/comm_progs.rs crates/workloads/src/comp.rs crates/workloads/src/framework.rs crates/workloads/src/pipeline.rs
+
+/root/repo/target/debug/deps/libremap_workloads-62f9f88087f66312.rlib: crates/workloads/src/lib.rs crates/workloads/src/barriers.rs crates/workloads/src/comm.rs crates/workloads/src/comm_progs.rs crates/workloads/src/comp.rs crates/workloads/src/framework.rs crates/workloads/src/pipeline.rs
+
+/root/repo/target/debug/deps/libremap_workloads-62f9f88087f66312.rmeta: crates/workloads/src/lib.rs crates/workloads/src/barriers.rs crates/workloads/src/comm.rs crates/workloads/src/comm_progs.rs crates/workloads/src/comp.rs crates/workloads/src/framework.rs crates/workloads/src/pipeline.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/barriers.rs:
+crates/workloads/src/comm.rs:
+crates/workloads/src/comm_progs.rs:
+crates/workloads/src/comp.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/pipeline.rs:

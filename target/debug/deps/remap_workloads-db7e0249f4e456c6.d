@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/remap_workloads-db7e0249f4e456c6.d: crates/workloads/src/lib.rs crates/workloads/src/barriers.rs crates/workloads/src/comm.rs crates/workloads/src/comm_progs.rs crates/workloads/src/comp.rs crates/workloads/src/framework.rs crates/workloads/src/pipeline.rs
+
+/root/repo/target/debug/deps/remap_workloads-db7e0249f4e456c6: crates/workloads/src/lib.rs crates/workloads/src/barriers.rs crates/workloads/src/comm.rs crates/workloads/src/comm_progs.rs crates/workloads/src/comp.rs crates/workloads/src/framework.rs crates/workloads/src/pipeline.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/barriers.rs:
+crates/workloads/src/comm.rs:
+crates/workloads/src/comm_progs.rs:
+crates/workloads/src/comp.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/pipeline.rs:

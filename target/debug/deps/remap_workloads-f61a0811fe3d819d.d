@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/remap_workloads-f61a0811fe3d819d.d: crates/workloads/src/lib.rs crates/workloads/src/barriers.rs crates/workloads/src/comm.rs crates/workloads/src/comm_progs.rs crates/workloads/src/comp.rs crates/workloads/src/framework.rs crates/workloads/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremap_workloads-f61a0811fe3d819d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/barriers.rs crates/workloads/src/comm.rs crates/workloads/src/comm_progs.rs crates/workloads/src/comp.rs crates/workloads/src/framework.rs crates/workloads/src/pipeline.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/barriers.rs:
+crates/workloads/src/comm.rs:
+crates/workloads/src/comm_progs.rs:
+crates/workloads/src/comp.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sw_queues-e4be290ad0377048.d: crates/bench/benches/sw_queues.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsw_queues-e4be290ad0377048.rmeta: crates/bench/benches/sw_queues.rs Cargo.toml
+
+crates/bench/benches/sw_queues.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_workloads-bf2482ee2d555a14.d: tests/verify_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_workloads-bf2482ee2d555a14.rmeta: tests/verify_workloads.rs Cargo.toml
+
+tests/verify_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

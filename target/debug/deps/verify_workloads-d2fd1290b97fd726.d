@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_workloads-d2fd1290b97fd726.d: tests/verify_workloads.rs
+
+/root/repo/target/debug/deps/verify_workloads-d2fd1290b97fd726: tests/verify_workloads.rs
+
+tests/verify_workloads.rs:

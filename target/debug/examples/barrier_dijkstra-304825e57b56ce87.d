@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/barrier_dijkstra-304825e57b56ce87.d: examples/barrier_dijkstra.rs
+
+/root/repo/target/debug/examples/barrier_dijkstra-304825e57b56ce87: examples/barrier_dijkstra.rs
+
+examples/barrier_dijkstra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/barrier_dijkstra-5faf922c40721814.d: examples/barrier_dijkstra.rs
+
+/root/repo/target/debug/examples/barrier_dijkstra-5faf922c40721814: examples/barrier_dijkstra.rs
+
+examples/barrier_dijkstra.rs:

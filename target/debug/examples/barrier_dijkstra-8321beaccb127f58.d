@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/barrier_dijkstra-8321beaccb127f58.d: examples/barrier_dijkstra.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbarrier_dijkstra-8321beaccb127f58.rmeta: examples/barrier_dijkstra.rs Cargo.toml
+
+examples/barrier_dijkstra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_accelerator-0900cc9c3198fcef.d: examples/custom_accelerator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_accelerator-0900cc9c3198fcef.rmeta: examples/custom_accelerator.rs Cargo.toml
+
+examples/custom_accelerator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

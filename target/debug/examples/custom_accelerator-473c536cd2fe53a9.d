@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_accelerator-473c536cd2fe53a9.d: examples/custom_accelerator.rs
+
+/root/repo/target/debug/examples/custom_accelerator-473c536cd2fe53a9: examples/custom_accelerator.rs
+
+examples/custom_accelerator.rs:

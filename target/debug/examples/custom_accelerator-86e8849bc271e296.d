@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_accelerator-86e8849bc271e296.d: examples/custom_accelerator.rs
+
+/root/repo/target/debug/examples/custom_accelerator-86e8849bc271e296: examples/custom_accelerator.rs
+
+examples/custom_accelerator.rs:

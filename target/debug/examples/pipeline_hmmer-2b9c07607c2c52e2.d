@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_hmmer-2b9c07607c2c52e2.d: examples/pipeline_hmmer.rs
+
+/root/repo/target/debug/examples/pipeline_hmmer-2b9c07607c2c52e2: examples/pipeline_hmmer.rs
+
+examples/pipeline_hmmer.rs:

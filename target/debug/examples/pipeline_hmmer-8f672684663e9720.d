@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_hmmer-8f672684663e9720.d: examples/pipeline_hmmer.rs
+
+/root/repo/target/debug/examples/pipeline_hmmer-8f672684663e9720: examples/pipeline_hmmer.rs
+
+examples/pipeline_hmmer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_hmmer-aadeb9d7b9b2000b.d: examples/pipeline_hmmer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_hmmer-aadeb9d7b9b2000b.rmeta: examples/pipeline_hmmer.rs Cargo.toml
+
+examples/pipeline_hmmer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

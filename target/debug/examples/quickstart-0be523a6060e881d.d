@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0be523a6060e881d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0be523a6060e881d: examples/quickstart.rs
+
+examples/quickstart.rs:

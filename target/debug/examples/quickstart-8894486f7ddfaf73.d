@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8894486f7ddfaf73.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8894486f7ddfaf73: examples/quickstart.rs
+
+examples/quickstart.rs:

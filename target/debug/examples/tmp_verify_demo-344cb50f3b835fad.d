@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tmp_verify_demo-344cb50f3b835fad.d: examples/tmp_verify_demo.rs
+
+/root/repo/target/debug/examples/tmp_verify_demo-344cb50f3b835fad: examples/tmp_verify_demo.rs
+
+examples/tmp_verify_demo.rs:

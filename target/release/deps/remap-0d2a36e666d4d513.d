@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/remap-0d2a36e666d4d513.d: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libremap-0d2a36e666d4d513.rlib: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libremap-0d2a36e666d4d513.rmeta: crates/core/src/lib.rs crates/core/src/hetero.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/hetero.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

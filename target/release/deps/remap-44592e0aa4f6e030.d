@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/remap-44592e0aa4f6e030.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/remap-44592e0aa4f6e030: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

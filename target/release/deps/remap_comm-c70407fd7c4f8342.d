@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/remap_comm-c70407fd7c4f8342.d: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs
+
+/root/repo/target/release/deps/libremap_comm-c70407fd7c4f8342.rlib: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs
+
+/root/repo/target/release/deps/libremap_comm-c70407fd7c4f8342.rmeta: crates/comm/src/lib.rs crates/comm/src/barrier.rs crates/comm/src/bus.rs crates/comm/src/hwbarrier.rs crates/comm/src/hwqueue.rs crates/comm/src/t2c.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/barrier.rs:
+crates/comm/src/bus.rs:
+crates/comm/src/hwbarrier.rs:
+crates/comm/src/hwqueue.rs:
+crates/comm/src/t2c.rs:

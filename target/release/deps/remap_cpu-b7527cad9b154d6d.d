@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/remap_cpu-b7527cad9b154d6d.d: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs
+
+/root/repo/target/release/deps/libremap_cpu-b7527cad9b154d6d.rlib: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs
+
+/root/repo/target/release/deps/libremap_cpu-b7527cad9b154d6d.rmeta: crates/cpu/src/lib.rs crates/cpu/src/bpred.rs crates/cpu/src/config.rs crates/cpu/src/core.rs crates/cpu/src/ports.rs crates/cpu/src/stats.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/bpred.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/core.rs:
+crates/cpu/src/ports.rs:
+crates/cpu/src/stats.rs:

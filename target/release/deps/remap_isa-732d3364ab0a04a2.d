@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/remap_isa-732d3364ab0a04a2.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libremap_isa-732d3364ab0a04a2.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libremap_isa-732d3364ab0a04a2.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/remap_mem-02ad04a88290763a.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/flat.rs crates/mem/src/hierarchy.rs
+
+/root/repo/target/release/deps/libremap_mem-02ad04a88290763a.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/flat.rs crates/mem/src/hierarchy.rs
+
+/root/repo/target/release/deps/libremap_mem-02ad04a88290763a.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/flat.rs crates/mem/src/hierarchy.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/flat.rs:
+crates/mem/src/hierarchy.rs:

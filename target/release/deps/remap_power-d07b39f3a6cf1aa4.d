@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/remap_power-d07b39f3a6cf1aa4.d: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/release/deps/libremap_power-d07b39f3a6cf1aa4.rlib: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+/root/repo/target/release/deps/libremap_power-d07b39f3a6cf1aa4.rmeta: crates/power/src/lib.rs crates/power/src/area.rs crates/power/src/energy.rs crates/power/src/model.rs
+
+crates/power/src/lib.rs:
+crates/power/src/area.rs:
+crates/power/src/energy.rs:
+crates/power/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/remap_spl-74ef842fa01bd5cd.d: crates/spl/src/lib.rs crates/spl/src/fabric.rs crates/spl/src/function.rs crates/spl/src/queue.rs crates/spl/src/row.rs
+
+/root/repo/target/release/deps/libremap_spl-74ef842fa01bd5cd.rlib: crates/spl/src/lib.rs crates/spl/src/fabric.rs crates/spl/src/function.rs crates/spl/src/queue.rs crates/spl/src/row.rs
+
+/root/repo/target/release/deps/libremap_spl-74ef842fa01bd5cd.rmeta: crates/spl/src/lib.rs crates/spl/src/fabric.rs crates/spl/src/function.rs crates/spl/src/queue.rs crates/spl/src/row.rs
+
+crates/spl/src/lib.rs:
+crates/spl/src/fabric.rs:
+crates/spl/src/function.rs:
+crates/spl/src/queue.rs:
+crates/spl/src/row.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/remap_suite-132fa3f4acd27c76.d: src/lib.rs
+
+/root/repo/target/release/deps/libremap_suite-132fa3f4acd27c76.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libremap_suite-132fa3f4acd27c76.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/remap_suite-b906b34371c2be7a.d: src/lib.rs
+
+/root/repo/target/release/deps/libremap_suite-b906b34371c2be7a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libremap_suite-b906b34371c2be7a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/remap_verify-079885f062c5ad68.d: crates/verify/src/lib.rs crates/verify/src/bundle.rs crates/verify/src/cfg.rs crates/verify/src/diag.rs crates/verify/src/program.rs
+
+/root/repo/target/release/deps/libremap_verify-079885f062c5ad68.rlib: crates/verify/src/lib.rs crates/verify/src/bundle.rs crates/verify/src/cfg.rs crates/verify/src/diag.rs crates/verify/src/program.rs
+
+/root/repo/target/release/deps/libremap_verify-079885f062c5ad68.rmeta: crates/verify/src/lib.rs crates/verify/src/bundle.rs crates/verify/src/cfg.rs crates/verify/src/diag.rs crates/verify/src/program.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/bundle.rs:
+crates/verify/src/cfg.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/program.rs:

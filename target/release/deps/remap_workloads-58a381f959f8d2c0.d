@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/remap_workloads-58a381f959f8d2c0.d: crates/workloads/src/lib.rs crates/workloads/src/barriers.rs crates/workloads/src/comm.rs crates/workloads/src/comm_progs.rs crates/workloads/src/comp.rs crates/workloads/src/framework.rs crates/workloads/src/pipeline.rs
+
+/root/repo/target/release/deps/libremap_workloads-58a381f959f8d2c0.rlib: crates/workloads/src/lib.rs crates/workloads/src/barriers.rs crates/workloads/src/comm.rs crates/workloads/src/comm_progs.rs crates/workloads/src/comp.rs crates/workloads/src/framework.rs crates/workloads/src/pipeline.rs
+
+/root/repo/target/release/deps/libremap_workloads-58a381f959f8d2c0.rmeta: crates/workloads/src/lib.rs crates/workloads/src/barriers.rs crates/workloads/src/comm.rs crates/workloads/src/comm_progs.rs crates/workloads/src/comp.rs crates/workloads/src/framework.rs crates/workloads/src/pipeline.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/barriers.rs:
+crates/workloads/src/comm.rs:
+crates/workloads/src/comm_progs.rs:
+crates/workloads/src/comp.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tmp_verify_demo-68062a825c8b9bfe.d: examples/tmp_verify_demo.rs
+
+/root/repo/target/release/examples/tmp_verify_demo-68062a825c8b9bfe: examples/tmp_verify_demo.rs
+
+examples/tmp_verify_demo.rs:

@@ -28,9 +28,10 @@ fn figure1a_individual_computation() {
         b.add_core(CoreKind::Ooo1, mk(i + 1));
     }
     b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
-    b.register_spl(1, SplFunction::compute("x2+1", 5, Dest::SelfCore, |e| {
-        (2 * e.u32(0) + 1) as u64
-    }));
+    b.register_spl(
+        1,
+        SplFunction::compute("x2+1", 5, Dest::SelfCore, |e| (2 * e.u32(0) + 1) as u64),
+    );
     let mut sys = b.build();
     sys.run(1_000_000).unwrap();
     for i in 0..4 {
@@ -76,10 +77,13 @@ fn figure1b_two_pairs_share_fabric() {
     b.add_core(CoreKind::Ooo1, consumer(32));
     b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
     // Pair-specific destination threads need two configurations.
-    b.register_spl(1, SplFunction::compute("sq_a", 6, Dest::Thread(1), |e| {
-        let x = e.u32(0) as u64;
-        x * x
-    }));
+    b.register_spl(
+        1,
+        SplFunction::compute("sq_a", 6, Dest::Thread(1), |e| {
+            let x = e.u32(0) as u64;
+            x * x
+        }),
+    );
     let sys = b.build();
     // Rebind config for the second pair by registering a second function id
     // is cleaner, but here both producers use cfg 1 → both consumers must be
@@ -102,14 +106,20 @@ fn figure1b_two_pairs_share_fabric() {
     });
     b.add_core(CoreKind::Ooo1, consumer(32));
     b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
-    b.register_spl(1, SplFunction::compute("sq_a", 6, Dest::Thread(1), |e| {
-        let x = e.u32(0) as u64;
-        x * x
-    }));
-    b.register_spl(2, SplFunction::compute("sq_b", 6, Dest::Thread(3), |e| {
-        let x = e.u32(0) as u64;
-        x * x + 1
-    }));
+    b.register_spl(
+        1,
+        SplFunction::compute("sq_a", 6, Dest::Thread(1), |e| {
+            let x = e.u32(0) as u64;
+            x * x
+        }),
+    );
+    b.register_spl(
+        2,
+        SplFunction::compute("sq_b", 6, Dest::Thread(3), |e| {
+            let x = e.u32(0) as u64;
+            x * x + 1
+        }),
+    );
     let mut sys = b.build();
     sys.run(1_000_000).unwrap();
     let sq_sum: i64 = (0..32).map(|x: i64| x * x).sum();
@@ -139,9 +149,12 @@ fn figure1c_barrier_with_global_function() {
         b.add_core(CoreKind::Ooo1, mk(10 * (i + 1)));
     }
     b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
-    b.register_spl(7, SplFunction::barrier("gmax", 5, |es| {
-        es.iter().map(|e| e.u32(0)).max().unwrap_or(0) as u64
-    }));
+    b.register_spl(
+        7,
+        SplFunction::barrier("gmax", 5, |es| {
+            es.iter().map(|e| e.u32(0)).max().unwrap_or(0) as u64
+        }),
+    );
     b.barrier_spec(7, 1, 4);
     let mut sys = b.build();
     sys.run(1_000_000).unwrap();

@@ -75,14 +75,21 @@ fn remap_barriers_beat_sw_everywhere() {
 #[test]
 fn dijkstra_comp_benefit_shrinks_with_size() {
     let gain = |n: usize| {
-        let bar = BarrierBench::Dijkstra.run(BarrierMode::Remap(8), n).unwrap();
-        let cmp = BarrierBench::Dijkstra.run(BarrierMode::RemapComp(8), n).unwrap();
+        let bar = BarrierBench::Dijkstra
+            .run(BarrierMode::Remap(8), n)
+            .unwrap();
+        let cmp = BarrierBench::Dijkstra
+            .run(BarrierMode::RemapComp(8), n)
+            .unwrap();
         bar.cycles as f64 / cmp.cycles as f64
     };
     let small = gain(20);
     let large = gain(160);
     assert!(small > 1.0, "comp must help at small sizes (got {small})");
-    assert!(small > large, "benefit should shrink with size ({small} vs {large})");
+    assert!(
+        small > large,
+        "benefit should shrink with size ({small} vs {large})"
+    );
 }
 
 /// Figure 14 shape: energy×delay break-even requires larger problems than

@@ -1,0 +1,103 @@
+//! Tier-1 gate: every registered workload program must verify clean, and
+//! verifier-clean communication/barrier bundles must complete under
+//! `System::run` without a `RunError`.
+
+use remap_suite::verify::render;
+use remap_suite::workloads::barriers::{BarrierBench, BarrierMode};
+use remap_suite::workloads::comm::CommBench;
+use remap_suite::workloads::comp::CompBench;
+use remap_suite::workloads::{CommMode, CompMode};
+
+const COMP_MODES: [CompMode; 3] = [CompMode::SeqOoo1, CompMode::SeqOoo2, CompMode::Spl];
+const COMM_MODES: [CommMode; 7] = [
+    CommMode::SeqOoo1,
+    CommMode::SeqOoo2,
+    CommMode::Comp1T,
+    CommMode::Comm2T,
+    CommMode::CompComm2T,
+    CommMode::Ooo2Comm,
+    CommMode::SwQueue2T,
+];
+
+fn barrier_modes(b: BarrierBench) -> Vec<BarrierMode> {
+    let mut m = vec![
+        BarrierMode::Seq,
+        BarrierMode::Sw(4),
+        BarrierMode::Remap(4),
+        BarrierMode::HwIdeal(4),
+    ];
+    if b.supports_comp() {
+        m.push(BarrierMode::RemapComp(4));
+    }
+    m
+}
+
+fn assert_clean(label: &str, sys: &remap_suite::system::System) {
+    let diags = sys.verify();
+    assert!(
+        diags.is_empty(),
+        "{label} has findings:\n{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn every_computation_workload_verifies_clean() {
+    for b in CompBench::ALL {
+        for m in COMP_MODES {
+            assert_clean(&format!("{} {m:?}", b.name()), &b.build(m, 64));
+        }
+    }
+}
+
+#[test]
+fn every_communication_workload_verifies_clean() {
+    for b in CommBench::ALL {
+        for m in COMM_MODES {
+            assert_clean(&format!("{} {m:?}", b.name()), &b.build(m, 64));
+        }
+    }
+}
+
+#[test]
+fn every_barrier_workload_verifies_clean() {
+    for b in BarrierBench::ALL {
+        let n = match b {
+            BarrierBench::Dijkstra => 20,
+            _ => 32,
+        };
+        for m in barrier_modes(b) {
+            assert_clean(&format!("{} {m:?}", b.name()), &b.build(m, n));
+        }
+    }
+}
+
+/// The static guarantee the verifier is meant to provide: a clean
+/// communication or barrier bundle actually completes.
+#[test]
+fn clean_comm_bundles_complete_without_runerror() {
+    for b in [CommBench::Wc, CommBench::Adpcm] {
+        for m in [CommMode::Comm2T, CommMode::CompComm2T] {
+            let mut sys = b.build(m, 64);
+            assert_clean(&format!("{} {m:?}", b.name()), &sys);
+            sys.run(20_000_000)
+                .unwrap_or_else(|e| panic!("{} {m:?} failed: {e:?}", b.name()));
+        }
+    }
+}
+
+#[test]
+fn clean_barrier_bundles_complete_without_runerror() {
+    for b in [BarrierBench::Ll3, BarrierBench::Dijkstra] {
+        let n = match b {
+            BarrierBench::Dijkstra => 20,
+            _ => 32,
+        };
+        for m in [BarrierMode::Remap(4), BarrierMode::RemapComp(4)] {
+            let mut sys = b.build(m, n);
+            assert_clean(&format!("{b:?} {m:?}"), &sys);
+            sys.run(20_000_000)
+                .unwrap_or_else(|e| panic!("{b:?} {m:?} failed: {e:?}"));
+        }
+    }
+}
