@@ -9,99 +9,6 @@
 //! to each core, possibly leading to degraded throughput due to increased
 //! virtualization."
 
-use remap::{CoreKind, SystemBuilder};
-use remap_bench::banner;
-use remap_isa::{Asm, Reg::*};
-use remap_spl::{Dest, SplConfig, SplFunction};
-
-/// Builds a kernel of `n` back-to-back SPL ops (fed 8 deep).
-fn kernel(n: usize) -> remap_isa::Program {
-    let mut a = Asm::new("ablate");
-    a.li(R1, 0);
-    a.li(R2, n as i32);
-    a.li(R30, 0);
-    a.li(R31, 8.min(n) as i32);
-    a.label("pro");
-    a.spl_load(R30, 0, 4);
-    a.spl_init(1);
-    a.addi(R30, R30, 1);
-    a.blt(R30, R31, "pro");
-    a.label("main");
-    a.spl_store(R7);
-    a.add(R10, R10, R7);
-    a.addi(R1, R1, 1);
-    a.bge(R30, R2, "nofeed");
-    a.spl_load(R30, 0, 4);
-    a.spl_init(1);
-    a.addi(R30, R30, 1);
-    a.label("nofeed");
-    a.blt(R1, R2, "main");
-    a.halt();
-    a.assemble().expect("kernel assembles")
-}
-
-/// A trivial program for cores that stay off the fabric.
-fn idle() -> remap_isa::Program {
-    let mut a = Asm::new("idle");
-    a.halt();
-    a.assemble().expect("idle assembles")
-}
-
-fn run(partitions: usize, rows: u32, ops: usize, active_cores: usize) -> u64 {
-    let mut b = SystemBuilder::new();
-    for i in 0..4 {
-        b.add_core(
-            CoreKind::Ooo1,
-            if i < active_cores {
-                kernel(ops)
-            } else {
-                idle()
-            },
-        );
-    }
-    let mut cfg = SplConfig::partitioned(4, partitions);
-    cfg.rows = 24;
-    b.add_spl_cluster(cfg, vec![0, 1, 2, 3]);
-    b.register_spl(
-        1,
-        SplFunction::compute("f", rows, Dest::SelfCore, |e| e.u32(0) as u64 + 1),
-    );
-    let mut sys = b.build();
-    sys.run(50_000_000).expect("runs").cycles
-}
-
 fn main() {
-    banner(
-        "Ablation A1",
-        "spatial partitioning (24-row fabric, 512 ops per active core)",
-    );
-    println!("all four cores active:");
-    println!(
-        "{:<24} {:>12} {:>12} {:>12}",
-        "function rows", "1 part", "2 parts", "4 parts"
-    );
-    for rows in [4u32, 12, 24] {
-        let c1 = run(1, rows, 512, 4);
-        let c2 = run(2, rows, 512, 4);
-        let c4 = run(4, rows, 512, 4);
-        println!("{:<24} {:>12} {:>12} {:>12}", rows, c1, c2, c4);
-    }
-    println!();
-    println!("single active core (its partition shrinks with the count):");
-    println!(
-        "{:<24} {:>12} {:>12} {:>12}",
-        "function rows", "1 part", "2 parts", "4 parts"
-    );
-    for rows in [4u32, 12, 24] {
-        let c1 = run(1, rows, 512, 1);
-        let c2 = run(2, rows, 512, 1);
-        let c4 = run(4, rows, 512, 1);
-        println!("{:<24} {:>12} {:>12} {:>12}", rows, c1, c2, c4);
-    }
-    println!();
-    println!("expected shapes: with all cores contending, partitioning isolates small");
-    println!("functions; with one active core, partitioning only shrinks its fabric —");
-    println!("the 24-row function's initiation interval grows 1 → 2 → 4 (virtualization).");
-    println!("Four cores sharing 24 rows and each owning 6 rows sustain the same");
-    println!("steady-state throughput: temporal sharing conserves fabric bandwidth.");
+    remap_bench::figures::ablation_partition(remap_bench::runner::jobs());
 }

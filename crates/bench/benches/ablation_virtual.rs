@@ -3,69 +3,6 @@
 //! by the initiation interval `ceil(V/24)` (§II-A / PipeRench-style
 //! virtualization).
 
-use remap::{CoreKind, SystemBuilder};
-use remap_bench::banner;
-use remap_isa::{Asm, Reg::*};
-use remap_spl::{Dest, SplConfig, SplFunction};
-
-fn kernel(n: usize) -> remap_isa::Program {
-    let mut a = Asm::new("virt");
-    a.li(R1, 0);
-    a.li(R2, n as i32);
-    a.li(R30, 0);
-    a.li(R31, 6.min(n) as i32);
-    a.label("pro");
-    a.spl_load(R30, 0, 4);
-    a.spl_init(1);
-    a.addi(R30, R30, 1);
-    a.blt(R30, R31, "pro");
-    a.label("main");
-    a.spl_store(R7);
-    a.addi(R1, R1, 1);
-    a.bge(R30, R2, "nofeed");
-    a.spl_load(R30, 0, 4);
-    a.spl_init(1);
-    a.addi(R30, R30, 1);
-    a.label("nofeed");
-    a.blt(R1, R2, "main");
-    a.halt();
-    a.assemble().expect("kernel assembles")
-}
-
-fn run(rows: u32, ops: usize) -> u64 {
-    let mut b = SystemBuilder::new();
-    b.add_core(CoreKind::Ooo1, kernel(ops));
-    b.add_spl_cluster(SplConfig::paper(1), vec![0]);
-    b.register_spl(
-        1,
-        SplFunction::compute("f", rows, Dest::SelfCore, |e| e.u32(0) as u64),
-    );
-    let mut sys = b.build();
-    sys.run(50_000_000).expect("runs").cycles
-}
-
 fn main() {
-    banner(
-        "Ablation A2",
-        "virtualization: V virtual rows on 24 physical (1024 pipelined ops)",
-    );
-    println!(
-        "{:<14} {:>6} {:>12} {:>18}",
-        "virtual rows", "II", "cycles", "cycles/op"
-    );
-    let ops = 1024;
-    for rows in [6u32, 12, 24, 36, 48, 72, 96] {
-        let c = run(rows, ops);
-        let ii = rows.div_ceil(24);
-        println!(
-            "{:<14} {:>6} {:>12} {:>18.2}",
-            rows,
-            ii,
-            c,
-            c as f64 / ops as f64
-        );
-    }
-    println!();
-    println!("expected shape: cycles/op tracks the initiation interval (×4 core cycles per SPL");
-    println!("cycle) once V exceeds 24 — guaranteed execution at reduced throughput");
+    remap_bench::figures::ablation_virtual(remap_bench::runner::jobs());
 }

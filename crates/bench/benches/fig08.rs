@@ -6,39 +6,6 @@
 //! fraction, the non-region code running on an OOO2 core, and 500-cycle
 //! migrations in the ReMAP configuration.
 
-use remap_bench::{banner, whole_program_rows};
-
 fn main() {
-    banner(
-        "Figure 8",
-        "whole-program performance improvement vs 1-thread OOO1",
-    );
-    println!(
-        "{:<12} {:>16} {:>16}",
-        "benchmark", "ReMAP (%)", "OOO2+Comm (%)"
-    );
-    let rows = whole_program_rows();
-    let mut remap_over_comm = Vec::new();
-    for r in &rows {
-        println!(
-            "{:<12} {:>16.1} {:>16.1}",
-            r.name,
-            (r.remap.speedup - 1.0) * 100.0,
-            (r.ooo2comm.speedup - 1.0) * 100.0
-        );
-        remap_over_comm.push((r.name, r.remap.speedup / r.ooo2comm.speedup));
-    }
-    println!();
-    let wins = remap_over_comm.iter().filter(|(_, x)| *x > 1.0).count();
-    let geo: f64 =
-        remap_over_comm.iter().map(|(_, x)| x.ln()).sum::<f64>() / remap_over_comm.len() as f64;
-    println!(
-        "ReMAP beats OOO2+Comm on {wins}/{} benchmarks; geomean advantage {:.1}%",
-        remap_over_comm.len(),
-        (geo.exp() - 1.0) * 100.0
-    );
-    for (n, x) in remap_over_comm.iter().filter(|(_, x)| *x <= 1.0) {
-        println!("exception: {n} ({x:.2}x)");
-    }
-    println!("paper: ReMAP wins everywhere except twolf; +49% (comp-only), +41% (comm) on average");
+    remap_bench::figures::fig08(remap_bench::runner::jobs());
 }

@@ -2,35 +2,6 @@
 //! configurations relative to the single-threaded OOO1 baseline
 //! (lower is better; < 1.0 beats the baseline).
 
-use remap_bench::{banner, whole_program_rows};
-
 fn main() {
-    banner(
-        "Figure 9",
-        "whole-program energy×delay relative to 1-thread OOO1",
-    );
-    println!("{:<12} {:>12} {:>12}", "benchmark", "ReMAP", "OOO2+Comm");
-    let rows = whole_program_rows();
-    let mut remap_better = 0;
-    let mut ed_ratios = Vec::new();
-    for r in &rows {
-        println!(
-            "{:<12} {:>12.2} {:>12.2}",
-            r.name, r.remap.rel_ed, r.ooo2comm.rel_ed
-        );
-        if r.remap.rel_ed < r.ooo2comm.rel_ed {
-            remap_better += 1;
-        }
-        ed_ratios.push(r.remap.rel_ed / r.ooo2comm.rel_ed);
-    }
-    println!();
-    let geo = (ed_ratios.iter().map(|x| x.ln()).sum::<f64>() / ed_ratios.len() as f64).exp();
-    println!(
-        "ReMAP has lower ED than OOO2+Comm on {remap_better}/{} benchmarks; geomean ED ratio {:.2}",
-        rows.len(),
-        geo
-    );
-    println!(
-        "paper: ReMAP better ED than baseline and OOO2+Comm in all but twolf (~44% ED reduction)"
-    );
+    remap_bench::figures::fig09(remap_bench::runner::jobs());
 }

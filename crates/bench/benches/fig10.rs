@@ -2,53 +2,6 @@
 //! to the single-threaded OOO1 baseline, for 1Th+Comp, 2Th+Comm,
 //! 2Th+CompComm and OOO2+Comm.
 
-use remap_bench::{banner, improvement_pct, region_rows};
-
 fn main() {
-    banner(
-        "Figure 10",
-        "optimized-region performance improvement vs 1-thread OOO1",
-    );
-    println!(
-        "{:<12} {:>10} {:>10} {:>14} {:>11}",
-        "benchmark", "1Th+Comp", "2Th+Comm", "2Th+CompComm", "OOO2+Comm"
-    );
-    let rows = region_rows();
-    let mut comp_only_gain = Vec::new();
-    let mut cc_beats_comm = 0;
-    let mut cc_beats_ooo2 = 0;
-    let mut comm_count = 0;
-    for r in &rows {
-        let base = r.base.cycles;
-        let comp = improvement_pct(base, r.comp1t.cycles);
-        let comm = r.comm2t.as_ref().map(|m| improvement_pct(base, m.cycles));
-        let cc = r.compcomm.as_ref().map(|m| improvement_pct(base, m.cycles));
-        let o2 = improvement_pct(base, r.ooo2comm.cycles);
-        println!(
-            "{:<12} {:>9.0}% {:>10} {:>14} {:>10.0}%",
-            r.name,
-            comp,
-            comm.map_or("-".to_string(), |x| format!("{x:.0}%")),
-            cc.map_or("-".to_string(), |x| format!("{x:.0}%")),
-            o2
-        );
-        match (&r.comm2t, &r.compcomm) {
-            (Some(comm2t), Some(compcomm)) => {
-                comm_count += 1;
-                if compcomm.cycles < comm2t.cycles {
-                    cc_beats_comm += 1;
-                }
-                if compcomm.cycles < r.ooo2comm.cycles {
-                    cc_beats_ooo2 += 1;
-                }
-            }
-            _ => comp_only_gain.push(comp),
-        }
-    }
-    println!();
-    let avg = comp_only_gain.iter().sum::<f64>() / comp_only_gain.len() as f64;
-    println!("computation-only 1Th+Comp average improvement: {avg:.0}%");
-    println!("CompComm beats Comm-only on {cc_beats_comm}/{comm_count} communicating benchmarks");
-    println!("CompComm beats OOO2+Comm on {cc_beats_ooo2}/{comm_count} communicating benchmarks");
-    println!("paper: 1Th+Comp +289% (comp-only) / +105% (comm); 2Th+Comm +38%; 2Th+CompComm +223%, beating OOO2+Comm everywhere (+79% avg)");
+    remap_bench::figures::fig10(remap_bench::runner::jobs());
 }

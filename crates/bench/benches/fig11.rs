@@ -1,42 +1,6 @@
 //! Figure 11: energy×delay of the optimized functions relative to the
 //! single-threaded OOO1 baseline (lower is better).
 
-use remap_bench::{banner, region_rows, rel_ed};
-
 fn main() {
-    banner(
-        "Figure 11",
-        "optimized-region energy×delay relative to 1-thread OOO1",
-    );
-    println!(
-        "{:<12} {:>10} {:>10} {:>14} {:>11}",
-        "benchmark", "1Th+Comp", "2Th+Comm", "2Th+CompComm", "OOO2+Comm"
-    );
-    let rows = region_rows();
-    let mut cc_always_below_one = true;
-    for r in &rows {
-        let comp = rel_ed(&r.base, &r.comp1t);
-        let comm = r.comm2t.as_ref().map(|m| rel_ed(&r.base, m));
-        let cc = r.compcomm.as_ref().map(|m| rel_ed(&r.base, m));
-        let o2 = rel_ed(&r.base, &r.ooo2comm);
-        println!(
-            "{:<12} {:>10.2} {:>10} {:>14} {:>11.2}",
-            r.name,
-            comp,
-            comm.map_or("-".to_string(), |x| format!("{x:.2}")),
-            cc.map_or("-".to_string(), |x| format!("{x:.2}")),
-            o2
-        );
-        if let Some(x) = cc {
-            if x >= 1.0 {
-                cc_always_below_one = false;
-            }
-        }
-    }
-    println!();
-    println!(
-        "2Th+CompComm below the baseline ED everywhere: {}",
-        if cc_always_below_one { "yes" } else { "no" }
-    );
-    println!("paper: communication+computation is the only option with better ED than the baseline in all cases");
+    remap_bench::figures::fig11(remap_bench::runner::jobs());
 }

@@ -3,65 +3,6 @@
 //! and ReMAP barriers (plus Barrier+Comp where it exists) at 8 and 16
 //! threads.
 
-use remap_bench::{banner, barrier_sweep, sweep_sizes};
-use remap_workloads::barriers::{BarrierBench, BarrierMode};
-
 fn main() {
-    for bench in BarrierBench::ALL {
-        banner(
-            "Figure 12",
-            &format!("{} per-iteration cycles vs problem size", bench.name()),
-        );
-        let sizes = sweep_sizes(bench);
-        let mut modes = vec![
-            BarrierMode::Seq,
-            BarrierMode::Sw(8),
-            BarrierMode::Sw(16),
-            BarrierMode::Remap(8),
-            BarrierMode::Remap(16),
-        ];
-        if bench.supports_comp() {
-            modes.push(BarrierMode::RemapComp(8));
-            modes.push(BarrierMode::RemapComp(16));
-        }
-        print!("{:<10}", "size");
-        for m in &modes {
-            print!(" {:>18}", m.label());
-        }
-        println!();
-        let series: Vec<Vec<(usize, f64, f64)>> = modes
-            .iter()
-            .map(|&m| barrier_sweep(bench, m, &sizes))
-            .collect();
-        for (i, &n) in sizes.iter().enumerate() {
-            print!("{:<10}", n);
-            for s in &series {
-                print!(" {:>18.0}", s[i].1);
-            }
-            println!();
-        }
-        // Crossover commentary: where ReMAP barriers start beating Seq.
-        let seq = &series[0];
-        let remap8 = &series[3];
-        let cross = sizes
-            .iter()
-            .enumerate()
-            .find(|(i, _)| remap8[*i].1 < seq[*i].1)
-            .map(|(_, n)| *n);
-        match cross {
-            Some(n) => println!("Barrier-p8 beats Seq from size {n}"),
-            None => println!("Barrier-p8 never beats Seq in this range"),
-        }
-        let sw8 = &series[1];
-        let always = sizes
-            .iter()
-            .enumerate()
-            .all(|(i, _)| remap8[i].1 <= sw8[i].1);
-        println!(
-            "ReMAP barriers ≤ SW barriers at every size (p8): {}",
-            if always { "yes" } else { "no" }
-        );
-    }
-    println!();
-    println!("paper: ReMAP barriers always beat SW barriers and cross over Seq at much smaller problem sizes");
+    remap_bench::figures::fig12(remap_bench::runner::jobs());
 }

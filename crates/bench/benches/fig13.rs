@@ -7,43 +7,6 @@
 //! tiny sizes with many threads, where too few SPL operations exist to
 //! pipeline.
 
-use remap_bench::{banner, sweep_sizes};
-use remap_workloads::barriers::{BarrierBench, BarrierMode};
-
 fn main() {
-    for bench in [BarrierBench::Ll3, BarrierBench::Dijkstra] {
-        banner(
-            "Figure 13",
-            &format!(
-                "{}: Barrier+Comp improvement over Barrier alone",
-                bench.name()
-            ),
-        );
-        let sizes = sweep_sizes(bench);
-        let threads = [2usize, 4, 8, 16];
-        print!("{:<10}", "size");
-        for p in threads {
-            print!(" {:>10}", format!("p{p}"));
-        }
-        println!();
-        let mut table = Vec::new();
-        for &n in &sizes {
-            let mut row = Vec::new();
-            for &p in &threads {
-                let bar = bench.run(BarrierMode::Remap(p), n).expect("validates");
-                let cmp = bench.run(BarrierMode::RemapComp(p), n).expect("validates");
-                row.push((bar.cycles as f64 / cmp.cycles as f64 - 1.0) * 100.0);
-            }
-            table.push((n, row));
-        }
-        for (n, row) in &table {
-            print!("{:<10}", n);
-            for v in row {
-                print!(" {:>9.1}%", v);
-            }
-            println!();
-        }
-    }
-    println!();
-    println!("paper: dijkstra up to +9% (16 threads, small sizes); LL3 +15-26% at large sizes, negative at tiny sizes with many threads");
+    remap_bench::figures::fig13(remap_bench::runner::jobs());
 }

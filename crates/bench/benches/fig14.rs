@@ -1,60 +1,6 @@
 //! Figure 14: energy×delay of the barrier workloads relative to sequential
 //! execution, across problem sizes (lower is better; < 1.0 breaks even).
 
-use remap_bench::{banner, barrier_sweep, sweep_sizes};
-use remap_workloads::barriers::{BarrierBench, BarrierMode};
-
 fn main() {
-    for bench in BarrierBench::ALL {
-        banner(
-            "Figure 14",
-            &format!("{} energy×delay relative to sequential", bench.name()),
-        );
-        let sizes = sweep_sizes(bench);
-        let mut modes = vec![
-            BarrierMode::Sw(8),
-            BarrierMode::Sw(16),
-            BarrierMode::Remap(8),
-            BarrierMode::Remap(16),
-        ];
-        if bench.supports_comp() {
-            modes.push(BarrierMode::RemapComp(8));
-            modes.push(BarrierMode::RemapComp(16));
-        }
-        print!("{:<10}", "size");
-        for m in &modes {
-            print!(" {:>18}", m.label());
-        }
-        println!();
-        let series: Vec<Vec<(usize, f64, f64)>> = modes
-            .iter()
-            .map(|&m| barrier_sweep(bench, m, &sizes))
-            .collect();
-        for (i, &n) in sizes.iter().enumerate() {
-            print!("{:<10}", n);
-            for s in &series {
-                print!(" {:>18.2}", s[i].2);
-            }
-            println!();
-        }
-        // Shape checks: ReMAP always better ED than SW; SW-p16 break-even.
-        let sw8 = &series[0];
-        let remap8 = &series[2];
-        let always = sizes
-            .iter()
-            .enumerate()
-            .all(|(i, _)| remap8[i].2 <= sw8[i].2);
-        println!(
-            "ReMAP barriers always better ED than SW (p8): {}",
-            if always { "yes" } else { "no" }
-        );
-        let sw16 = &series[1];
-        let breaks_even = sizes.iter().enumerate().any(|(i, _)| sw16[i].2 < 1.0);
-        println!(
-            "SW-p16 ever breaks even in this range: {}",
-            if breaks_even { "yes" } else { "no" }
-        );
-    }
-    println!();
-    println!("paper: ED break-even needs larger sizes than performance break-even; 16-thread SW barriers never break even on LL2/LL6; ReMAP barriers always beat SW on ED");
+    remap_bench::figures::fig14(remap_bench::runner::jobs());
 }

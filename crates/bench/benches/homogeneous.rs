@@ -7,45 +7,6 @@
 //! runs 6 threads with the ideal hardware barrier network. The paper finds
 //! ReMAP up to 25.9% (dijkstra) and 62.5% (LL3) lower ED.
 
-use remap_bench::banner;
-use remap_workloads::barriers::{BarrierBench, BarrierMode};
-
 fn main() {
-    banner(
-        "§V-C.2",
-        "ReMAP barriers+comp (4 cores + SPL) vs homogeneous (6 cores + ideal barrier net)",
-    );
-    for (bench, sizes) in [
-        (BarrierBench::Dijkstra, vec![40usize, 80, 120, 160, 200]),
-        (BarrierBench::Ll3, vec![64usize, 128, 256, 512, 1024]),
-    ] {
-        println!();
-        println!("{}:", bench.name());
-        println!(
-            "{:<10} {:>16} {:>16} {:>16}",
-            "size", "ReMAP+Comp ED", "Homogeneous ED", "ReMAP advantage"
-        );
-        let mut best = f64::MIN;
-        for &n in &sizes {
-            // Equal area: the SPL occupies two single-issue cores' worth of
-            // silicon, so the homogeneous side runs six threads on six
-            // cores with the free barrier network.
-            let remap = bench.run(BarrierMode::RemapComp(4), n).expect("validates");
-            let homog = bench.run(BarrierMode::HwIdeal(6), n).expect("validates");
-            let adv = (1.0 - remap.ed() / homog.ed()) * 100.0;
-            best = best.max(adv);
-            println!(
-                "{:<10} {:>16.3e} {:>16.3e} {:>15.1}%",
-                n,
-                remap.ed(),
-                homog.ed(),
-                adv
-            );
-        }
-        println!("best ReMAP ED advantage for {}: {:.1}%", bench.name(), best);
-    }
-    println!();
-    println!(
-        "paper: up to 25.9% (dijkstra) and 62.5% (LL3) lower ED for ReMAP barriers+computation"
-    );
+    remap_bench::figures::homogeneous(remap_bench::runner::jobs());
 }

@@ -93,9 +93,98 @@ fn bench_assembler(c: &mut Criterion) {
     });
 }
 
+/// A kernel that keeps the SPL fed: exercises the reused fetch-group
+/// scratch in `Core::fetch` and the reused event buffer in
+/// `SplFabric::tick_into` on every simulated cycle.
+fn spl_feed_program(n: i32) -> remap_isa::Program {
+    let mut a = Asm::new("feed");
+    a.li(R1, 0);
+    a.li(R2, n);
+    a.li(R30, 0);
+    a.li(R31, 6.min(n));
+    a.label("pro");
+    a.spl_load(R30, 0, 4);
+    a.spl_init(1);
+    a.addi(R30, R30, 1);
+    a.blt(R30, R31, "pro");
+    a.label("main");
+    a.spl_store(R7);
+    a.addi(R1, R1, 1);
+    a.bge(R30, R2, "nofeed");
+    a.spl_load(R30, 0, 4);
+    a.spl_init(1);
+    a.addi(R30, R30, 1);
+    a.label("nofeed");
+    a.blt(R1, R2, "main");
+    a.halt();
+    a.assemble().unwrap()
+}
+
+/// End-to-end simulator throughput on the allocation-free steady-state
+/// path: reports via the Criterion timing how many host-ns one simulated
+/// SPL-active run costs (`RunReport::sim_kcps` gives the same number as
+/// kilocycles per second).
+fn bench_sim_throughput(c: &mut Criterion) {
+    c.bench_function("system_spl_steady_state_run", |b| {
+        b.iter(|| {
+            let mut sb = SystemBuilder::new();
+            sb.add_core(CoreKind::Ooo1, spl_feed_program(512));
+            sb.add_spl_cluster(SplConfig::paper(1), vec![0]);
+            sb.register_spl(
+                1,
+                SplFunction::compute("f", 8, Dest::SelfCore, |e| e.u32(0) as u64),
+            );
+            let mut sys = sb.build();
+            let r = sys.run(10_000_000).unwrap();
+            black_box(r.sim_kcps());
+            black_box(r.cycles)
+        })
+    });
+    c.bench_function("system_core_only_run", |b| {
+        b.iter(|| {
+            let mut sb = SystemBuilder::new();
+            sb.add_core(CoreKind::Ooo1, loop_program(4000));
+            let mut sys = sb.build();
+            black_box(sys.run(1_000_000).unwrap().cycles)
+        })
+    });
+}
+
+/// The drained-into-caller-buffer SPL tick path in isolation: 100k idle
+/// and busy ticks against one reused event vector.
+fn bench_spl_tick_into(c: &mut Criterion) {
+    c.bench_function("spl_tick_into_100k", |b| {
+        b.iter(|| {
+            let mut spl = Spl::new(SplConfig::paper(4));
+            spl.register(
+                1,
+                SplFunction::compute("f", 8, Dest::SelfCore, |e| e.u32(0) as u64),
+            );
+            let mut events = Vec::new();
+            let mut popped = 0u64;
+            for t in 0..100_000u64 {
+                let core = (t % 4) as usize;
+                if spl.input_pending(core) < 4 {
+                    spl.stage(core, 0, 4, t);
+                    let _ = spl.request(core, 1, core);
+                }
+                events.clear();
+                spl.tick_into(t, &mut events);
+                for c0 in 0..4 {
+                    if spl.pop_output(c0).is_some() {
+                        popped += 1;
+                    }
+                }
+            }
+            black_box(popped)
+        })
+    });
+}
+
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(10);
-    targets = bench_core_step, bench_cache, bench_spl, bench_assembler
+    targets = bench_core_step, bench_cache, bench_spl, bench_assembler,
+        bench_sim_throughput, bench_spl_tick_into
 );
 criterion_main!(micro);

@@ -4,36 +4,6 @@
 //! more than 180% average degradation) — confirming that hardware-based
 //! communication is necessary.
 
-use remap_bench::{banner, REGION_N};
-use remap_workloads::comm::CommBench;
-use remap_workloads::CommMode;
-
 fn main() {
-    banner("§V-B", "software queues vs sequential baseline");
-    println!(
-        "{:<12} {:>14} {:>14} {:>14}",
-        "benchmark", "seq cycles", "swq cycles", "slowdown"
-    );
-    let mut slowdowns = Vec::new();
-    for b in CommBench::ALL {
-        let seq = b.run(CommMode::SeqOoo1, REGION_N).expect("validates");
-        let swq = b.run(CommMode::SwQueue2T, REGION_N).expect("validates");
-        let slow = swq.cycles as f64 / seq.cycles as f64;
-        println!(
-            "{:<12} {:>14} {:>14} {:>13.2}x",
-            b.name(),
-            seq.cycles,
-            swq.cycles,
-            slow
-        );
-        slowdowns.push(slow);
-    }
-    let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
-    println!();
-    println!(
-        "average software-queue degradation: {:.0}% ({:.2}x)",
-        (avg - 1.0) * 100.0,
-        avg
-    );
-    println!("paper: software queues degraded performance by more than 180% on average");
+    remap_bench::figures::sw_queues(remap_bench::runner::jobs());
 }

@@ -19,6 +19,10 @@
 //! | `ablation_*` | partitioning / virtualization studies |
 //! | `micro` | Criterion microbenchmarks of the simulator itself |
 
+pub mod figures;
+pub mod runner;
+pub mod simperf;
+
 use remap::{CoreCalibration, RegionMeasurement, WholeProgram, WholeProgramResult};
 use remap_workloads::barriers::{BarrierBench, BarrierMode};
 use remap_workloads::comm::CommBench;
@@ -124,36 +128,40 @@ pub struct WholeRow {
 
 /// Runs the whole-program composition for every benchmark (the paper's
 /// heterogeneous-CMP methodology: simulate the optimized region, scale by
-/// Table III's execution fraction, charge 500-cycle migrations).
+/// Table III's execution fraction, charge 500-cycle migrations), fanning
+/// the fourteen independent benchmarks across `jobs` worker threads.
+pub fn whole_program_rows_jobs(jobs: usize) -> Vec<WholeRow> {
+    let benches = Bench::all();
+    runner::run_with_jobs(jobs, &benches, |_, b| {
+        let base = b.seq_ooo1();
+        let base_m = RegionMeasurement::new(base.cycles, base.energy_pj);
+        let o2 = b.seq_ooo2();
+        let calib =
+            CoreCalibration::from_runs(base_m, RegionMeasurement::new(o2.cycles, o2.energy_pj));
+        let wp = WholeProgram::new(b.exec_fraction(), b.region_entries());
+        let remap_r = b.remap_region();
+        let comm_r = b.ooo2comm_region();
+        WholeRow {
+            name: b.name(),
+            remap: wp.compose(
+                base_m,
+                RegionMeasurement::new(remap_r.cycles, remap_r.energy_pj),
+                calib,
+                true,
+            ),
+            ooo2comm: wp.compose(
+                base_m,
+                RegionMeasurement::new(comm_r.cycles, comm_r.energy_pj),
+                calib,
+                false,
+            ),
+        }
+    })
+}
+
+/// [`whole_program_rows_jobs`] with the default job count.
 pub fn whole_program_rows() -> Vec<WholeRow> {
-    Bench::all()
-        .into_iter()
-        .map(|b| {
-            let base = b.seq_ooo1();
-            let base_m = RegionMeasurement::new(base.cycles, base.energy_pj);
-            let o2 = b.seq_ooo2();
-            let calib =
-                CoreCalibration::from_runs(base_m, RegionMeasurement::new(o2.cycles, o2.energy_pj));
-            let wp = WholeProgram::new(b.exec_fraction(), b.region_entries());
-            let remap_r = b.remap_region();
-            let comm_r = b.ooo2comm_region();
-            WholeRow {
-                name: b.name(),
-                remap: wp.compose(
-                    base_m,
-                    RegionMeasurement::new(remap_r.cycles, remap_r.energy_pj),
-                    calib,
-                    true,
-                ),
-                ooo2comm: wp.compose(
-                    base_m,
-                    RegionMeasurement::new(comm_r.cycles, comm_r.energy_pj),
-                    calib,
-                    false,
-                ),
-            }
-        })
-        .collect()
+    whole_program_rows_jobs(runner::jobs())
 }
 
 /// One row of the optimized-region experiments (Figures 10 and 11).
@@ -173,30 +181,33 @@ pub struct RegionRow {
     pub ooo2comm: Measurement,
 }
 
-/// Runs the optimized-region modes for every benchmark.
-pub fn region_rows() -> Vec<RegionRow> {
-    let mut rows = Vec::new();
-    for b in CompBench::ALL {
-        rows.push(RegionRow {
+/// Runs the optimized-region modes for every benchmark, fanning the
+/// fourteen independent benchmarks across `jobs` worker threads.
+pub fn region_rows_jobs(jobs: usize) -> Vec<RegionRow> {
+    let benches = Bench::all();
+    runner::run_with_jobs(jobs, &benches, |_, bench| match *bench {
+        Bench::Comp(b) => RegionRow {
             name: b.name(),
             base: b.run(CompMode::SeqOoo1, REGION_N).expect("validates"),
             comp1t: b.run(CompMode::Spl, REGION_N).expect("validates"),
             comm2t: None,
             compcomm: None,
             ooo2comm: b.run(CompMode::SeqOoo2, REGION_N).expect("validates"),
-        });
-    }
-    for b in CommBench::ALL {
-        rows.push(RegionRow {
+        },
+        Bench::Comm(b) => RegionRow {
             name: b.name(),
             base: b.run(CommMode::SeqOoo1, REGION_N).expect("validates"),
             comp1t: b.run(CommMode::Comp1T, REGION_N).expect("validates"),
             comm2t: Some(b.run(CommMode::Comm2T, REGION_N).expect("validates")),
             compcomm: Some(b.run(CommMode::CompComm2T, REGION_N).expect("validates")),
             ooo2comm: b.run(CommMode::Ooo2Comm, REGION_N).expect("validates"),
-        });
-    }
-    rows
+        },
+    })
+}
+
+/// [`region_rows_jobs`] with the default job count.
+pub fn region_rows() -> Vec<RegionRow> {
+    region_rows_jobs(runner::jobs())
 }
 
 /// Percentage improvement of `cycles` against a baseline cycle count.
@@ -209,22 +220,33 @@ pub fn rel_ed(base: &Measurement, m: &Measurement) -> f64 {
     m.ed() / base.ed()
 }
 
-/// Problem-size sweep of one barrier benchmark in one mode; returns
-/// `(size, per-iteration cycles, relative ED vs sequential)` triples.
+/// One point of a barrier sweep: `(size, per-iteration cycles, relative
+/// ED vs sequential)`.
+pub fn barrier_point(bench: BarrierBench, mode: BarrierMode, n: usize) -> (usize, f64, f64) {
+    let seq = bench.run(BarrierMode::Seq, n).expect("seq validates");
+    let m = bench.run(mode, n).expect("mode validates");
+    let per_iter = m.cycles as f64 / bench.iterations(n) as f64;
+    (n, per_iter, m.ed() / seq.ed())
+}
+
+/// Problem-size sweep of one barrier benchmark in one mode, with the
+/// independent sizes fanned across `jobs` worker threads.
+pub fn barrier_sweep_jobs(
+    bench: BarrierBench,
+    mode: BarrierMode,
+    sizes: &[usize],
+    jobs: usize,
+) -> Vec<(usize, f64, f64)> {
+    runner::run_with_jobs(jobs, sizes, |_, &n| barrier_point(bench, mode, n))
+}
+
+/// [`barrier_sweep_jobs`] with the default job count.
 pub fn barrier_sweep(
     bench: BarrierBench,
     mode: BarrierMode,
     sizes: &[usize],
 ) -> Vec<(usize, f64, f64)> {
-    sizes
-        .iter()
-        .map(|&n| {
-            let seq = bench.run(BarrierMode::Seq, n).expect("seq validates");
-            let m = bench.run(mode, n).expect("mode validates");
-            let per_iter = m.cycles as f64 / bench.iterations(n) as f64;
-            (n, per_iter, m.ed() / seq.ed())
-        })
-        .collect()
+    barrier_sweep_jobs(bench, mode, sizes, runner::jobs())
 }
 
 /// The paper's sweep sizes for each barrier benchmark (Figure 12 axes).

@@ -1,0 +1,177 @@
+//! Parallel sweep runner for the experiment harness.
+//!
+//! Every figure of the paper is a sweep over independent workload
+//! configurations: each `(benchmark, mode, size)` triple builds its own
+//! [`System`](remap::System) from scratch, so the simulations share no
+//! mutable state and can fan out across host cores. This module provides a
+//! std-only worker pool (no rayon, no registry dependencies) used by the
+//! `benches/` targets and the `remap bench` CLI subcommand:
+//!
+//! * work is pulled from a shared atomic index, so long configs don't
+//!   stall a statically partitioned worker;
+//! * results are returned **in item order**, independent of the job count
+//!   or scheduling — a parallel sweep is bit-identical to a serial one;
+//! * a panicking worker propagates its payload to the caller via
+//!   [`std::panic::resume_unwind`] once the pool drains;
+//! * the default job count honours the `REMAP_JOBS` environment variable
+//!   and otherwise uses [`std::thread::available_parallelism`].
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: `REMAP_JOBS` if set to a positive
+/// integer, otherwise the host's available parallelism.
+pub fn jobs() -> usize {
+    jobs_from(std::env::var("REMAP_JOBS").ok().as_deref())
+}
+
+/// [`jobs`] with the environment value passed explicitly (testable without
+/// mutating process-global state). Invalid or non-positive values fall back
+/// to the host parallelism.
+pub fn jobs_from(env: Option<&str>) -> usize {
+    if let Some(v) = env {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(index, &items[index])` for every item on a pool of `jobs`
+/// worker threads and returns the results in item order.
+///
+/// `jobs <= 1` (or a single item) degrades to a plain serial loop on the
+/// calling thread — the serial baseline of the speedup measurements runs
+/// through exactly this code path with `jobs == 1`.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic (by spawn order) on the caller.
+pub fn run_with_jobs<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let workers = jobs.min(items.len());
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        // Catch so one bad config doesn't abort the whole
+                        // pool mid-drain; the payload is re-raised below.
+                        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                            Ok(t) => out.push((i, t)),
+                            Err(p) => return Err(p),
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        let mut first_panic = None;
+        for h in handles {
+            match h.join().expect("worker thread itself never panics") {
+                Ok(chunk) => indexed.extend(chunk),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+/// [`run_with_jobs`] with the default job count from [`jobs`].
+pub fn run<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    run_with_jobs(jobs(), items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_item_order_any_job_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = run_with_jobs(jobs, &items, |_, &x| x * x);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item() {
+        let items: Vec<usize> = (0..20).collect();
+        let got = run_with_jobs(4, &items, |i, &x| (i, x));
+        for (i, &(idx, x)) in got.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = vec![];
+        assert!(run_with_jobs(8, &none, |_, &x| x).is_empty());
+        assert_eq!(run_with_jobs(8, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..16).collect();
+        let r = std::panic::catch_unwind(|| {
+            run_with_jobs(4, &items, |_, &x| {
+                if x == 9 {
+                    panic!("config 9 failed validation");
+                }
+                x
+            })
+        });
+        let payload = r.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(msg.contains("config 9"));
+    }
+
+    #[test]
+    fn jobs_env_parsing() {
+        assert_eq!(jobs_from(Some("3")), 3);
+        assert_eq!(jobs_from(Some(" 12 ")), 12);
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(jobs_from(Some("0")), host);
+        assert_eq!(jobs_from(Some("not-a-number")), host);
+        assert_eq!(jobs_from(None), host);
+    }
+}

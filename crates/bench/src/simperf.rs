@@ -1,0 +1,269 @@
+//! Simulator-performance benchmark: host throughput of the cycle-level
+//! simulator itself, and serial-vs-parallel wall time of the Figure 8–11
+//! sweep, written as machine-readable JSON (`BENCH_simperf.json`).
+//!
+//! Two questions are answered:
+//!
+//! 1. **How fast does the simulator run?** Every `(benchmark, mode)`
+//!    configuration of the Figure 8–11 experiments is run once and its
+//!    simulated-kilocycles-per-host-second recorded (measured on the
+//!    uncontended serial pass).
+//! 2. **What does the worker pool buy?** The same 70-config sweep is timed
+//!    end to end with one job and with the default job count; the ratio is
+//!    the sweep speedup on this host.
+
+use crate::{runner, REGION_N};
+use remap_workloads::comm::CommBench;
+use remap_workloads::comp::CompBench;
+use remap_workloads::{CommMode, CompMode, Measurement};
+use std::time::Instant;
+
+/// One simulator-performance configuration: a benchmark in one mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Mode label.
+    pub mode: &'static str,
+    run: RunKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RunKind {
+    Comp(CompBench, CompMode),
+    Comm(CommBench, CommMode),
+}
+
+/// One timed result.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// The configuration.
+    pub config: Config,
+    /// Simulated cycles of the run.
+    pub cycles: u64,
+    /// Instructions retired across all cores.
+    pub committed: u64,
+    /// Host wall-clock seconds of the run (build + simulate + validate).
+    pub wall_seconds: f64,
+}
+
+impl Record {
+    /// Simulated kilocycles per host second.
+    pub fn sim_kcps(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.cycles as f64 / 1000.0 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full Figure 8–11 configuration grid: every computation benchmark in
+/// every [`CompMode`] and every communicating benchmark in every
+/// [`CommMode`] (70 configs).
+pub fn configs() -> Vec<Config> {
+    let mut v = Vec::new();
+    for b in CompBench::ALL {
+        for m in CompMode::ALL {
+            v.push(Config {
+                bench: b.name(),
+                mode: m.label(),
+                run: RunKind::Comp(b, m),
+            });
+        }
+    }
+    for b in CommBench::ALL {
+        for m in CommMode::ALL {
+            v.push(Config {
+                bench: b.name(),
+                mode: m.label(),
+                run: RunKind::Comm(b, m),
+            });
+        }
+    }
+    v
+}
+
+fn run_one(cfg: &Config) -> Record {
+    let start = Instant::now();
+    let m: Measurement = match cfg.run {
+        RunKind::Comp(b, mode) => b.run(mode, REGION_N).expect("config validates"),
+        RunKind::Comm(b, mode) => b.run(mode, REGION_N).expect("config validates"),
+    };
+    Record {
+        config: *cfg,
+        cycles: m.cycles,
+        committed: m.committed,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Outcome of the two timed sweeps.
+#[derive(Debug, Clone)]
+pub struct SimPerf {
+    /// Job count of the parallel pass.
+    pub jobs: usize,
+    /// End-to-end wall seconds of the one-job pass.
+    pub serial_wall_seconds: f64,
+    /// End-to-end wall seconds of the `jobs`-job pass.
+    pub parallel_wall_seconds: f64,
+    /// Per-config records from the serial (uncontended) pass.
+    pub records: Vec<Record>,
+}
+
+impl SimPerf {
+    /// Serial / parallel wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_wall_seconds > 0.0 {
+            self.serial_wall_seconds / self.parallel_wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate simulator throughput of the serial pass in kilocycles per
+    /// host second.
+    pub fn aggregate_kcps(&self) -> f64 {
+        let cycles: u64 = self.records.iter().map(|r| r.cycles).sum();
+        if self.serial_wall_seconds > 0.0 {
+            cycles as f64 / 1000.0 / self.serial_wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the machine-readable report (hand-rolled JSON — the
+    /// workspace deliberately carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!(
+            "  \"serial_wall_seconds\": {:.6},\n",
+            self.serial_wall_seconds
+        ));
+        s.push_str(&format!(
+            "  \"parallel_wall_seconds\": {:.6},\n",
+            self.parallel_wall_seconds
+        ));
+        s.push_str(&format!("  \"sweep_speedup\": {:.3},\n", self.speedup()));
+        s.push_str(&format!(
+            "  \"aggregate_sim_kcps\": {:.1},\n",
+            self.aggregate_kcps()
+        ));
+        s.push_str("  \"configs\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"cycles\": {}, \"committed\": {}, \"wall_seconds\": {:.6}, \"sim_kcps\": {:.1}}}{}\n",
+                r.config.bench,
+                r.config.mode,
+                r.cycles,
+                r.committed,
+                r.wall_seconds,
+                r.sim_kcps(),
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Runs the serial and parallel sweeps and returns the timing report.
+pub fn measure(jobs: usize) -> SimPerf {
+    let grid = configs();
+    let serial_start = Instant::now();
+    let records = runner::run_with_jobs(1, &grid, |_, c| run_one(c));
+    let serial_wall_seconds = serial_start.elapsed().as_secs_f64();
+    let parallel_start = Instant::now();
+    let parallel = runner::run_with_jobs(jobs, &grid, |_, c| run_one(c));
+    let parallel_wall_seconds = parallel_start.elapsed().as_secs_f64();
+    // The simulations are deterministic: the pooled pass must reproduce
+    // the serial cycle counts exactly.
+    for (a, b) in records.iter().zip(parallel.iter()) {
+        assert_eq!(
+            (a.cycles, a.committed),
+            (b.cycles, b.committed),
+            "parallel run of {}/{} diverged from serial",
+            a.config.bench,
+            a.config.mode
+        );
+    }
+    SimPerf {
+        jobs,
+        serial_wall_seconds,
+        parallel_wall_seconds,
+        records,
+    }
+}
+
+/// Runs [`measure`], prints a human summary, and writes
+/// `BENCH_simperf.json` to `path`.
+pub fn report(jobs: usize, path: &str) {
+    crate::banner("simperf", "simulator throughput and sweep parallelism");
+    let perf = measure(jobs);
+    println!(
+        "{:<12} {:<14} {:>12} {:>12} {:>10}",
+        "benchmark", "mode", "cycles", "wall (s)", "kcyc/s"
+    );
+    for r in &perf.records {
+        println!(
+            "{:<12} {:<14} {:>12} {:>12.3} {:>10.0}",
+            r.config.bench,
+            r.config.mode,
+            r.cycles,
+            r.wall_seconds,
+            r.sim_kcps()
+        );
+    }
+    println!();
+    println!(
+        "serial sweep: {:.2}s   {}-job sweep: {:.2}s   speedup: {:.2}x",
+        perf.serial_wall_seconds,
+        perf.jobs,
+        perf.parallel_wall_seconds,
+        perf.speedup()
+    );
+    println!(
+        "aggregate simulator throughput: {:.0} kcycles/s",
+        perf.aggregate_kcps()
+    );
+    match std::fs::write(path, perf.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_seventy_configs() {
+        assert_eq!(configs().len(), 70);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let perf = SimPerf {
+            jobs: 4,
+            serial_wall_seconds: 2.0,
+            parallel_wall_seconds: 0.5,
+            records: vec![Record {
+                config: Config {
+                    bench: "adpcm",
+                    mode: "1Th+Comp",
+                    run: RunKind::Comp(CompBench::ALL[0], CompMode::Spl),
+                },
+                cycles: 1000,
+                committed: 500,
+                wall_seconds: 0.001,
+            }],
+        };
+        assert!((perf.speedup() - 4.0).abs() < 1e-12);
+        let j = perf.to_json();
+        assert!(j.contains("\"sweep_speedup\": 4.000"));
+        assert!(j.contains("\"bench\": \"adpcm\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -1,0 +1,64 @@
+//! The parallel sweep runner must be invisible in the results: fanning a
+//! sweep across worker threads yields bit-identical measurements, in the
+//! same order, as running it serially. One workload of each class
+//! (computation, communication, barrier) is swept both ways and compared
+//! with `Measurement`'s exact equality.
+
+use remap_bench::runner::run_with_jobs;
+use remap_workloads::barriers::{BarrierBench, BarrierMode};
+use remap_workloads::comm::CommBench;
+use remap_workloads::comp::CompBench;
+use remap_workloads::{CommMode, CompMode, Measurement};
+
+const JOBS: usize = 4;
+
+fn assert_identical(serial: &[Measurement], parallel: &[Measurement], what: &str) {
+    assert_eq!(serial.len(), parallel.len(), "{what}: length");
+    for (i, (s, p)) in serial.iter().zip(parallel.iter()).enumerate() {
+        assert_eq!(
+            s, p,
+            "{what}: config {i} diverged between serial and pooled"
+        );
+    }
+}
+
+#[test]
+fn comp_sweep_is_deterministic_under_parallelism() {
+    let bench = CompBench::ALL[0];
+    let grid: Vec<(CompMode, usize)> = CompMode::ALL
+        .into_iter()
+        .flat_map(|m| [64usize, 128].into_iter().map(move |n| (m, n)))
+        .collect();
+    let run = |_: usize, &(m, n): &(CompMode, usize)| bench.run(m, n).expect("validates");
+    let serial = run_with_jobs(1, &grid, run);
+    let parallel = run_with_jobs(JOBS, &grid, run);
+    assert_identical(&serial, &parallel, "comp");
+}
+
+#[test]
+fn comm_sweep_is_deterministic_under_parallelism() {
+    let bench = CommBench::ALL[0];
+    let modes = [CommMode::SeqOoo1, CommMode::Comm2T, CommMode::CompComm2T];
+    let grid: Vec<(CommMode, usize)> = modes
+        .into_iter()
+        .flat_map(|m| [64usize, 128].into_iter().map(move |n| (m, n)))
+        .collect();
+    let run = |_: usize, &(m, n): &(CommMode, usize)| bench.run(m, n).expect("validates");
+    let serial = run_with_jobs(1, &grid, run);
+    let parallel = run_with_jobs(JOBS, &grid, run);
+    assert_identical(&serial, &parallel, "comm");
+}
+
+#[test]
+fn barrier_sweep_is_deterministic_under_parallelism() {
+    let bench = BarrierBench::Ll2;
+    let modes = [BarrierMode::Seq, BarrierMode::Sw(4), BarrierMode::Remap(4)];
+    let grid: Vec<(BarrierMode, usize)> = modes
+        .into_iter()
+        .flat_map(|m| [8usize, 16].into_iter().map(move |n| (m, n)))
+        .collect();
+    let run = |_: usize, &(m, n): &(BarrierMode, usize)| bench.run(m, n).expect("validates");
+    let serial = run_with_jobs(1, &grid, run);
+    let parallel = run_with_jobs(JOBS, &grid, run);
+    assert_identical(&serial, &parallel, "barrier");
+}

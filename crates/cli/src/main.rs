@@ -22,6 +22,7 @@ fn main() -> ExitCode {
         Some("table1") => cmd_table1(),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -46,6 +47,7 @@ fn print_usage() {
     println!("  remap table1                        print Table I (relative area/power)");
     println!("  remap run <bench> <mode> [size]     run one validated workload");
     println!("  remap sweep <bench> <mode> [sizes]  sweep a barrier workload");
+    println!("  remap bench <target>                regenerate a paper figure (parallel sweep)");
     println!("  remap verify [bench]                statically verify workload programs");
     println!();
     println!("modes (computation benchmarks): seq, seq2, spl");
@@ -184,6 +186,67 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     Err(format!("unknown benchmark `{bench}` (try `remap list`)"))
+}
+
+/// A `remap bench` figure target: name and report function taking the job
+/// count.
+type BenchTarget = (&'static str, fn(usize));
+
+/// Figure targets of `remap bench`, in help order.
+const BENCH_TARGETS: [BenchTarget; 12] = [
+    ("fig08", remap_bench::figures::fig08),
+    ("fig09", remap_bench::figures::fig09),
+    ("fig10", remap_bench::figures::fig10),
+    ("fig11", remap_bench::figures::fig11),
+    ("fig12", remap_bench::figures::fig12),
+    ("fig13", remap_bench::figures::fig13),
+    ("fig14", remap_bench::figures::fig14),
+    ("sw_queues", remap_bench::figures::sw_queues),
+    ("homogeneous", remap_bench::figures::homogeneous),
+    (
+        "ablation_partition",
+        remap_bench::figures::ablation_partition,
+    ),
+    ("ablation_virtual", remap_bench::figures::ablation_virtual),
+    ("smoke", remap_bench::figures::smoke),
+];
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let jobs = remap_bench::runner::jobs();
+    let usage = || {
+        let names: Vec<&str> = BENCH_TARGETS
+            .iter()
+            .map(|(n, _)| *n)
+            .chain(["simperf", "all"])
+            .collect();
+        format!(
+            "usage: remap bench <target>\ntargets: {}\n(job count: REMAP_JOBS, currently {jobs})",
+            names.join(" ")
+        )
+    };
+    let [target] = args else {
+        return Err(usage());
+    };
+    match target.as_str() {
+        "simperf" => {
+            remap_bench::simperf::report(jobs, "BENCH_simperf.json");
+            Ok(())
+        }
+        "all" => {
+            for (_, f) in BENCH_TARGETS.iter().filter(|(n, _)| *n != "smoke") {
+                f(jobs);
+            }
+            remap_bench::simperf::report(jobs, "BENCH_simperf.json");
+            Ok(())
+        }
+        name => match BENCH_TARGETS.iter().find(|(n, _)| *n == name) {
+            Some((_, f)) => {
+                f(jobs);
+                Ok(())
+            }
+            None => Err(format!("unknown bench target `{name}`\n{}", usage())),
+        },
+    }
 }
 
 /// Every (bench, mode) combination the verifier covers, with a small build
@@ -357,6 +420,15 @@ mod tests {
     fn run_command_executes_small_workload() {
         let args: Vec<String> = vec!["wc".into(), "seq".into(), "64".into()];
         cmd_run(&args).expect("wc seq runs and validates");
+    }
+
+    #[test]
+    fn bench_command_rejects_unknown_target() {
+        let args: Vec<String> = vec!["fig99".into()];
+        let err = cmd_bench(&args).expect_err("fig99 is not a target");
+        assert!(err.contains("fig99"));
+        assert!(err.contains("fig08"), "usage lists valid targets");
+        assert!(cmd_bench(&[]).is_err(), "missing target is an error");
     }
 
     #[test]

@@ -75,6 +75,16 @@ impl BarrierBus {
         ready
     }
 
+    /// Removes (and counts) all messages that have arrived by `now` without
+    /// returning them. Allocation-free: the per-cycle path of callers that
+    /// only need delivery side-effects (energy counters already accumulated
+    /// at [`BarrierBus::send`]) uses this instead of [`BarrierBus::deliver`].
+    pub fn drain_ready(&mut self, now: u64) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|m| m.deliver_at > now);
+        before - self.queue.len()
+    }
+
     /// Messages still in flight.
     pub fn in_flight(&self) -> usize {
         self.queue.len()
@@ -113,5 +123,17 @@ mod tests {
     #[test]
     fn paper_width() {
         assert_eq!(BarrierBus::new(1).data_lines(), 16);
+    }
+
+    #[test]
+    fn drain_ready_matches_deliver() {
+        let mut bus = BarrierBus::new(4);
+        bus.send(1, 0, 0, 10); // delivers at 14
+        bus.send(2, 0, 1, 10); // serialized → delivers at 18
+        assert_eq!(bus.drain_ready(13), 0);
+        assert_eq!(bus.drain_ready(14), 1);
+        assert_eq!(bus.in_flight(), 1);
+        assert_eq!(bus.drain_ready(100), 1);
+        assert_eq!(bus.in_flight(), 0);
     }
 }

@@ -55,6 +55,8 @@ pub struct RunReport {
     pub cycles: u64,
     /// Per-core statistics snapshot at completion.
     pub core_stats: Vec<CoreStats>,
+    /// Host wall-clock seconds spent inside [`System::run`](crate::System::run).
+    pub wall_seconds: f64,
 }
 
 impl RunReport {
@@ -69,6 +71,16 @@ impl RunReport {
             0.0
         } else {
             self.total_committed() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Simulator throughput: simulated kilocycles per host second. Zero when
+    /// the wall time was unmeasurably small.
+    pub fn sim_kcps(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.cycles as f64 / 1000.0 / self.wall_seconds
+        } else {
+            0.0
         }
     }
 }
@@ -90,9 +102,16 @@ mod tests {
         let r = RunReport {
             cycles: 20,
             core_stats: vec![a, b],
+            wall_seconds: 0.002,
         };
         assert_eq!(r.total_committed(), 40);
         assert_eq!(r.aggregate_ipc(), 2.0);
+        assert!((r.sim_kcps() - 10.0).abs() < 1e-9);
+        let zero = RunReport {
+            wall_seconds: 0.0,
+            ..r.clone()
+        };
+        assert_eq!(zero.sim_kcps(), 0.0);
     }
 
     #[test]

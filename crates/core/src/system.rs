@@ -209,18 +209,21 @@ impl Env {
         }
     }
 
+    /// Forwards due barrier releases to their clusters. Allocation-free on
+    /// the happy path: the pending list is scanned in place (it is almost
+    /// always empty) and due entries are removed as they are found.
     fn process_releases(&mut self) {
         let now = self.cycle;
-        let due: Vec<PendingRelease> = {
-            let (d, rest): (Vec<_>, Vec<_>) =
-                self.pending_releases.drain(..).partition(|p| p.at <= now);
-            self.pending_releases = rest;
-            d
-        };
-        for p in due {
-            self.clusters[p.cluster]
-                .spl
-                .release_barrier(p.cfg, p.local_cores);
+        let mut i = 0;
+        while i < self.pending_releases.len() {
+            if self.pending_releases[i].at <= now {
+                let p = self.pending_releases.remove(i);
+                self.clusters[p.cluster]
+                    .spl
+                    .release_barrier(p.cfg, p.local_cores);
+            } else {
+                i += 1;
+            }
         }
     }
 }
@@ -382,6 +385,10 @@ impl SystemBuilder {
             cores[c].set_reg(r, v);
         }
         System {
+            running: (0..cores.len()).collect(),
+            last_committed: vec![0; cores.len()],
+            committed_total: 0,
+            spl_events: Vec::new(),
             cores,
             kinds,
             init_regs: self.init_regs,
@@ -413,6 +420,17 @@ pub struct System {
     init_regs: Vec<(usize, Reg, i64)>,
     /// Hardware-barrier configuration, retained for static verification.
     hwbars: Vec<(u8, u32)>,
+    /// IDs of cores that have not halted, in stepping (insertion) order.
+    /// Maintained incrementally so [`System::step`] skips halted cores and
+    /// the run loop never rescans the core list on the happy path.
+    running: Vec<usize>,
+    /// Per-core committed-instruction count at the last step, used to
+    /// maintain `committed_total` incrementally.
+    last_committed: Vec<u64>,
+    /// Instructions committed across all cores since construction.
+    committed_total: u64,
+    /// Reused SPL delivery-event buffer (cleared each SPL cycle).
+    spl_events: Vec<remap_spl::SplEvent>,
     env: Env,
 }
 
@@ -429,7 +447,14 @@ impl System {
 
     /// Whether every core has halted.
     pub fn all_halted(&self) -> bool {
-        self.cores.iter().all(|c| c.halted())
+        self.running.is_empty()
+    }
+
+    /// Instructions committed across all cores so far. Maintained
+    /// incrementally by [`System::step`], so the run loop's progress check
+    /// does not rescan every core each cycle.
+    pub fn total_committed(&self) -> u64 {
+        self.committed_total
     }
 
     /// Shared functional memory (workload setup and result inspection).
@@ -470,10 +495,13 @@ impl System {
             self.env.process_releases();
             let spl_cycle = self.env.cycle / SPL_CLOCK_DIVISOR;
             // Drain bus deliveries (energy accounting happens via counters).
-            let _ = self.env.bus.deliver(self.env.cycle);
+            let _ = self.env.bus.drain_ready(self.env.cycle);
             for ci in 0..self.env.clusters.len() {
-                let events = self.env.clusters[ci].spl.tick(spl_cycle);
-                for e in events {
+                self.spl_events.clear();
+                self.env.clusters[ci]
+                    .spl
+                    .tick_into(spl_cycle, &mut self.spl_events);
+                for e in &self.spl_events {
                     if e.from_core != usize::MAX {
                         let dest_global = self.env.clusters[ci].cores[e.dest_core];
                         self.env.t2c.dec_in_flight(dest_global);
@@ -481,12 +509,25 @@ impl System {
                 }
             }
         }
+        // Step only the still-running cores, compacting the list in place
+        // (order-preserving: stepping order is architecturally visible) and
+        // folding each core's newly committed instructions into the
+        // incrementally maintained total.
         let mut any = false;
-        for core in &mut self.cores {
-            if core.step(&mut self.env) {
+        let mut w = 0;
+        for r in 0..self.running.len() {
+            let id = self.running[r];
+            let still_running = self.cores[id].step(&mut self.env);
+            let committed = self.cores[id].stats().committed;
+            self.committed_total += committed - self.last_committed[id];
+            self.last_committed[id] = committed;
+            if still_running {
+                self.running[w] = id;
+                w += 1;
                 any = true;
             }
         }
+        self.running.truncate(w);
         any
     }
 
@@ -514,8 +555,9 @@ impl System {
                 );
             }
         }
+        let wall_start = std::time::Instant::now();
         let mut last_progress = self.env.cycle;
-        let mut last_committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+        let mut last_committed = self.committed_total;
         while !self.all_halted() {
             if self.env.cycle >= max_cycles {
                 return Err(RunError::Timeout {
@@ -524,9 +566,10 @@ impl System {
                 });
             }
             self.step();
-            let committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
-            if committed != last_committed {
-                last_committed = committed;
+            // `step` maintains the committed counter incrementally; the
+            // progress check is a single comparison, never a core rescan.
+            if self.committed_total != last_committed {
+                last_committed = self.committed_total;
                 last_progress = self.env.cycle;
             } else if self.env.cycle - last_progress > STALL_WINDOW {
                 return Err(RunError::Deadlock {
@@ -538,6 +581,7 @@ impl System {
         Ok(RunReport {
             cycles: self.env.cycle,
             core_stats: self.cores.iter().map(|c| c.stats().clone()).collect(),
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
         })
     }
 
@@ -594,13 +638,11 @@ impl System {
         })
     }
 
+    /// IDs of cores that have not halted. Only called on error paths; the
+    /// list is maintained incrementally by [`System::step`], so this is a
+    /// clone rather than a rescan.
     fn running_cores(&self) -> Vec<usize> {
-        self.cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| !c.halted())
-            .map(|(i, _)| i)
-            .collect()
+        self.running.clone()
     }
 
     /// SPL results currently in flight toward `core` (the Thread-to-Core

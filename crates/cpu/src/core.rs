@@ -106,8 +106,12 @@ pub struct Core {
     rob: Vec<RobEntry>,
     fetch_buf: Vec<Fetched>,
     fetch_pc: u32,
-    /// In-flight I-cache access: instructions arrive at this cycle.
-    fetch_inflight: Option<(u64, Vec<Fetched>)>,
+    /// In-flight I-cache access: instructions arrive at this cycle. The
+    /// group itself lives in `fetch_group`, a scratch buffer reused across
+    /// fetches so the per-cycle path never allocates.
+    fetch_inflight_at: Option<u64>,
+    /// The fetch group in flight (or being assembled); reused allocation.
+    fetch_group: Vec<Fetched>,
     /// Fetch is blocked on an unpredictable indirect jump.
     fetch_blocked: bool,
     /// Fetch may not start a new group before this cycle (BTB-miss bubble).
@@ -119,6 +123,8 @@ pub struct Core {
     halted: bool,
     cycle: u64,
     next_seq: u64,
+    /// Scratch list of ROB indices completed this cycle (reused allocation).
+    wb_completed: Vec<usize>,
     stats: CoreStats,
 }
 
@@ -136,7 +142,8 @@ impl Core {
             rob: Vec::with_capacity(cfg.rob),
             fetch_buf: Vec::new(),
             fetch_pc: 0,
-            fetch_inflight: None,
+            fetch_inflight_at: None,
+            fetch_group: Vec::new(),
             fetch_blocked: false,
             fetch_bubble_until: 0,
             store_buf: Vec::new(),
@@ -146,6 +153,7 @@ impl Core {
             halted: false,
             cycle: 0,
             next_seq: 0,
+            wb_completed: Vec::new(),
             stats: CoreStats::default(),
         }
     }
@@ -220,14 +228,16 @@ impl Core {
 
     fn fetch<P: CorePorts + ?Sized>(&mut self, ports: &mut P) {
         // Land a completed I-cache access.
-        if let Some((done_at, _)) = self.fetch_inflight {
+        if let Some(done_at) = self.fetch_inflight_at {
             if self.cycle >= done_at && self.fetch_buf.len() < 2 * self.cfg.fetch_width as usize {
-                let (_, group) = self.fetch_inflight.take().expect("checked above");
-                self.stats.fetched += group.len() as u64;
-                self.fetch_buf.extend(group);
+                self.fetch_inflight_at = None;
+                self.stats.fetched += self.fetch_group.len() as u64;
+                // `append` moves the elements but leaves `fetch_group`'s
+                // capacity in place for the next group.
+                self.fetch_buf.append(&mut self.fetch_group);
             }
         }
-        if self.fetch_inflight.is_some()
+        if self.fetch_inflight_at.is_some()
             || self.fetch_blocked
             || self.halted
             || self.cycle < self.fetch_bubble_until
@@ -235,8 +245,9 @@ impl Core {
         {
             return;
         }
-        // Assemble the next fetch group.
-        let mut group = Vec::new();
+        // Assemble the next fetch group into the reused scratch buffer.
+        let mut group = std::mem::take(&mut self.fetch_group);
+        group.clear();
         let mut pc = self.fetch_pc;
         let first_pc = pc;
         let mut blocked = false;
@@ -307,7 +318,8 @@ impl Core {
             self.fetch_bubble_until = self.cycle + 2;
         }
         let lat = ports.inst_fetch(self.id, CODE_BASE + 4 * first_pc as u64);
-        self.fetch_inflight = Some((self.cycle + lat as u64, group));
+        self.fetch_group = group;
+        self.fetch_inflight_at = Some(self.cycle + lat as u64);
     }
 
     // --- dispatch -----------------------------------------------------------
@@ -703,8 +715,10 @@ impl Core {
 
     fn writeback(&mut self) {
         let cycle = self.cycle;
-        // Complete executions.
-        let mut completed: Vec<usize> = Vec::new();
+        // Complete executions. The index list is a reused scratch buffer so
+        // steady-state cycles do not allocate.
+        let mut completed = std::mem::take(&mut self.wb_completed);
+        completed.clear();
         for (i, e) in self.rob.iter_mut().enumerate() {
             if let Status::Executing(t) = e.status {
                 if cycle >= t {
@@ -764,10 +778,12 @@ impl Core {
                     self.fetch_pc = self.rob[i].actual_next;
                     // Discard any speculative wrong-path fetch state.
                     self.fetch_buf.clear();
-                    self.fetch_inflight = None;
+                    self.fetch_inflight_at = None;
+                    self.fetch_group.clear();
                 }
             }
         }
+        self.wb_completed = completed;
     }
 
     fn squash_after(&mut self, seq: u64, redirect: u32) {
@@ -788,7 +804,8 @@ impl Core {
             }
         }
         self.fetch_buf.clear();
-        self.fetch_inflight = None;
+        self.fetch_inflight_at = None;
+        self.fetch_group.clear();
         self.fetch_blocked = false;
         self.fetch_pc = redirect;
         // One-cycle redirect penalty on top of the refetch latency.

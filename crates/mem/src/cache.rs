@@ -126,8 +126,11 @@ impl Cache {
             "line size must be a power of two"
         );
         Cache {
+            // Reserve every set's full associativity up front so cold-set
+            // fills never allocate on the simulator's per-cycle path
+            // (`Vec::clone` would drop the capacity, hence no `vec!`).
+            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways)).collect(),
             cfg,
-            sets: vec![Vec::new(); sets],
             tick: 0,
             stats: CacheStats::default(),
         }

@@ -118,11 +118,29 @@ pub struct SplEvent {
     pub cfg: u16,
 }
 
+/// Destination set of an in-flight operation. Compute operations have
+/// exactly one destination and must not allocate on the issue path; only
+/// barrier broadcasts (rare) carry a heap-allocated participant list.
+#[derive(Debug, Clone)]
+enum Dests {
+    One(usize),
+    Many(Vec<usize>),
+}
+
+impl Dests {
+    fn as_slice(&self) -> &[usize] {
+        match self {
+            Dests::One(d) => std::slice::from_ref(d),
+            Dests::Many(v) => v,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Inflight {
     done_at: u64,
     result: u64,
-    dests: Vec<usize>,
+    dests: Dests,
     from: usize,
     cfg: u16,
     barrier: bool,
@@ -291,15 +309,29 @@ impl Spl {
     /// Advances the fabric by one SPL cycle (`now` is the SPL cycle number,
     /// monotonically increasing). Returns delivery events for Thread-to-Core
     /// in-flight bookkeeping.
+    ///
+    /// Convenience wrapper over [`Spl::tick_into`] that allocates a fresh
+    /// event vector; hot loops should hold a reusable buffer and call
+    /// `tick_into` directly.
     pub fn tick(&mut self, now: u64) -> Vec<SplEvent> {
         let mut events = Vec::new();
+        self.tick_into(now, &mut events);
+        events
+    }
+
+    /// Advances the fabric by one SPL cycle, appending delivery events to
+    /// `events` (which the caller clears and reuses across cycles). The
+    /// per-cycle path performs no heap allocation: completions drain into
+    /// the caller's buffer and compute issues carry a single inline
+    /// destination.
+    pub fn tick_into(&mut self, now: u64, events: &mut Vec<SplEvent>) {
         // 1. Complete in-flight operations.
         for part in &mut self.parts {
             let mut i = 0;
             while i < part.inflight.len() {
                 if part.inflight[i].done_at <= now {
                     let op = part.inflight.remove(i);
-                    for &d in &op.dests {
+                    for &d in op.dests.as_slice() {
                         self.outputs[d].deliver(op.result);
                         self.stats.results_delivered += 1;
                         events.push(SplEvent {
@@ -335,7 +367,6 @@ impl Spl {
             self.try_issue_compute(core, now);
         }
         self.rr = (self.rr + 1) % n.max(1);
-        events
     }
 
     fn ii_for(&self, rows: u32) -> u64 {
@@ -373,7 +404,7 @@ impl Spl {
         part.inflight.push(Inflight {
             done_at: now + rows as u64 + 1,
             result,
-            dests: vec![dest],
+            dests: Dests::One(dest),
             from: core,
             cfg: cfg_id,
             barrier: false,
@@ -430,7 +461,7 @@ impl Spl {
         part.inflight.push(Inflight {
             done_at: now + rows as u64 + 1,
             result,
-            dests: participants,
+            dests: Dests::Many(participants),
             from: usize::MAX,
             cfg: cfg_id,
             barrier: true,

@@ -1,0 +1,76 @@
+//! The simulator's per-cycle path must not touch the heap once warmed up:
+//! `Core::fetch` reuses its fetch-group scratch, `SplFabric::tick_into`
+//! drains into a caller-owned buffer, and `System::step` maintains its
+//! running-core list and committed counter in place. This test installs a
+//! counting global allocator, warms a computation workload past every
+//! buffer-growth transient, and then asserts that thousands of further
+//! cycles allocate nothing.
+//!
+//! Kept in its own integration-test binary so no concurrent test pollutes
+//! the allocation counter.
+
+use remap_workloads::comp::CompBench;
+use remap_workloads::CompMode;
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        SystemAlloc.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        SystemAlloc.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        SystemAlloc.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_cycles_do_not_allocate() {
+    // An SPL-active computation workload: every cycle exercises fetch,
+    // dispatch/issue/commit, the fabric tick, and the stats plumbing.
+    let mut sys = CompBench::ALL[0].build(CompMode::Spl, 4096);
+
+    // Warm-up: long enough for the fetch buffer, ROB, store buffer, SPL
+    // queues, event scratch, and cache metadata to reach their
+    // steady-state capacities.
+    let mut warm = 0u32;
+    while warm < 20_000 && !sys.all_halted() {
+        sys.step();
+        warm += 1;
+    }
+    assert!(
+        !sys.all_halted(),
+        "workload halted during warm-up; pick a larger problem size"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut measured = 0u32;
+    while measured < 5_000 && !sys.all_halted() {
+        sys.step();
+        measured += 1;
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(
+        measured >= 5_000,
+        "workload halted during the measured window after {measured} cycles"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state cycles allocated {} times over {measured} cycles",
+        after - before
+    );
+}
