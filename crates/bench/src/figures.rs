@@ -599,8 +599,11 @@ pub fn ablation_virtual(jobs: usize) {
 }
 
 /// CI smoke: a short sweep run twice — serially and through the worker
-/// pool — asserting identical measurements. Exercises the parallel runner
-/// end to end in seconds.
+/// pool — asserting identical measurements, plus a guard that the
+/// quiescence skip engine is actually engaging on a barrier workload
+/// (barrier spins are its bread and butter; a 0% skip rate there means the
+/// engine has silently stopped working). Exercises the parallel runner end
+/// to end in seconds.
 pub fn smoke(jobs: usize) {
     let start = Instant::now();
     banner("smoke", "parallel-sweep smoke: serial vs pooled results");
@@ -612,5 +615,20 @@ pub fn smoke(jobs: usize) {
         println!("ll2 Barrier-p8 n={n}: {per_iter:.0} cycles/iter, relative ED {rel:.2}");
     }
     println!("serial and {jobs}-job sweeps identical: yes");
+    let m = BarrierBench::Ll2
+        .run(BarrierMode::Remap(8), 64)
+        .expect("smoke workload validates");
+    assert!(
+        m.skipped_cycles > 0,
+        "skip engine reported a 0% skip rate on a barrier workload \
+         ({} cycles, 0 skipped) — quiescence detection is broken",
+        m.cycles
+    );
+    println!(
+        "skip engine active: {}/{} cycles bulk-skipped ({:.1}%)",
+        m.skipped_cycles,
+        m.cycles,
+        m.skipped_cycles as f64 / m.cycles as f64 * 100.0
+    );
     footer("smoke", jobs, start);
 }

@@ -5,14 +5,17 @@
 //! Two questions are answered:
 //!
 //! 1. **How fast does the simulator run?** Every `(benchmark, mode)`
-//!    configuration of the Figure 8–11 experiments is run once and its
+//!    configuration of the Figure 8–14 experiments is run once and its
 //!    simulated-kilocycles-per-host-second recorded (measured on the
-//!    uncontended serial pass).
-//! 2. **What does the worker pool buy?** The same 70-config sweep is timed
+//!    uncontended serial pass), along with how many cycles the quiescence
+//!    skip engine bulk-advanced (see DESIGN.md §11).
+//! 2. **What does the worker pool buy?** The same 94-config sweep is timed
 //!    end to end with one job and with the default job count; the ratio is
-//!    the sweep speedup on this host.
+//!    the sweep speedup on this host. The report records the host's
+//!    `available_parallelism` and flags a pool degraded to one worker.
 
-use crate::{runner, REGION_N};
+use crate::{runner, sweep_sizes, REGION_N};
+use remap_workloads::barriers::{BarrierBench, BarrierMode};
 use remap_workloads::comm::CommBench;
 use remap_workloads::comp::CompBench;
 use remap_workloads::{CommMode, CompMode, Measurement};
@@ -32,6 +35,7 @@ pub struct Config {
 enum RunKind {
     Comp(CompBench, CompMode),
     Comm(CommBench, CommMode),
+    Barrier(BarrierBench, BarrierMode),
 }
 
 /// One timed result.
@@ -41,26 +45,77 @@ pub struct Record {
     pub config: Config,
     /// Simulated cycles of the run.
     pub cycles: u64,
+    /// Of those, cycles bulk-advanced by the quiescence skip engine.
+    pub skipped_cycles: u64,
     /// Instructions retired across all cores.
     pub committed: u64,
-    /// Host wall-clock seconds of the run (build + simulate + validate).
+    /// Host wall-clock seconds of the whole run (build + simulate +
+    /// validate).
     pub wall_seconds: f64,
+    /// Host wall-clock seconds of the simulation loop alone — the
+    /// denominator of the throughput columns, so they measure the
+    /// simulator rather than workload assembly (which dominates the wall
+    /// of small configurations).
+    pub sim_wall_seconds: f64,
 }
 
 impl Record {
-    /// Simulated kilocycles per host second.
+    /// Simulated kilocycles per host second of simulation loop.
     pub fn sim_kcps(&self) -> f64 {
-        if self.wall_seconds > 0.0 {
-            self.cycles as f64 / 1000.0 / self.wall_seconds
+        if self.sim_wall_seconds > 0.0 {
+            self.cycles as f64 / 1000.0 / self.sim_wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of simulated cycles covered by bulk skips, in `[0, 1]`.
+    pub fn skip_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.skipped_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Throughput over cycles actually stepped (excluding skipped ones).
+    pub fn effective_kcps(&self) -> f64 {
+        if self.sim_wall_seconds > 0.0 {
+            (self.cycles - self.skipped_cycles) as f64 / 1000.0 / self.sim_wall_seconds
         } else {
             0.0
         }
     }
 }
 
-/// The full Figure 8–11 configuration grid: every computation benchmark in
-/// every [`CompMode`] and every communicating benchmark in every
-/// [`CommMode`] (70 configs).
+/// Static label for a barrier mode of the Figure 12–14 grid (which fixes
+/// `p` at 8 and 16 threads, matching the paper's scaled configurations).
+fn barrier_mode_label(m: BarrierMode) -> &'static str {
+    match m {
+        BarrierMode::Seq => "Seq",
+        BarrierMode::Sw(8) => "SW-p8",
+        BarrierMode::Sw(16) => "SW-p16",
+        BarrierMode::Remap(8) => "Barrier-p8",
+        BarrierMode::Remap(16) => "Barrier-p16",
+        BarrierMode::RemapComp(8) => "Barrier+Comp-p8",
+        BarrierMode::RemapComp(16) => "Barrier+Comp-p16",
+        _ => unreachable!("mode outside the simperf barrier grid"),
+    }
+}
+
+/// Problem size for a barrier benchmark: the median point of its figure
+/// sweep. The largest point would overweight the slowest runs, the
+/// smallest finishes too fast to time reliably; the median is the
+/// representative cost of one sweep cell.
+fn barrier_n(b: BarrierBench) -> usize {
+    let sizes = sweep_sizes(b);
+    sizes[(sizes.len() - 1) / 2]
+}
+
+/// The full Figure 8–14 configuration grid: every computation benchmark in
+/// every [`CompMode`], every communicating benchmark in every [`CommMode`],
+/// and every barrier benchmark in the Figure 12–14 [`BarrierMode`] set
+/// (8- and 16-thread configurations) at its median sweep size (94 configs).
 pub fn configs() -> Vec<Config> {
     let mut v = Vec::new();
     for b in CompBench::ALL {
@@ -81,6 +136,26 @@ pub fn configs() -> Vec<Config> {
             });
         }
     }
+    for b in BarrierBench::ALL {
+        let mut modes = vec![
+            BarrierMode::Seq,
+            BarrierMode::Sw(8),
+            BarrierMode::Sw(16),
+            BarrierMode::Remap(8),
+            BarrierMode::Remap(16),
+        ];
+        if b.supports_comp() {
+            modes.push(BarrierMode::RemapComp(8));
+            modes.push(BarrierMode::RemapComp(16));
+        }
+        for m in modes {
+            v.push(Config {
+                bench: b.name(),
+                mode: barrier_mode_label(m),
+                run: RunKind::Barrier(b, m),
+            });
+        }
+    }
     v
 }
 
@@ -89,12 +164,15 @@ fn run_one(cfg: &Config) -> Record {
     let m: Measurement = match cfg.run {
         RunKind::Comp(b, mode) => b.run(mode, REGION_N).expect("config validates"),
         RunKind::Comm(b, mode) => b.run(mode, REGION_N).expect("config validates"),
+        RunKind::Barrier(b, mode) => b.run(mode, barrier_n(b)).expect("config validates"),
     };
     Record {
         config: *cfg,
         cycles: m.cycles,
+        skipped_cycles: m.skipped_cycles,
         committed: m.committed,
         wall_seconds: start.elapsed().as_secs_f64(),
+        sim_wall_seconds: m.sim_wall_seconds,
     }
 }
 
@@ -103,6 +181,9 @@ fn run_one(cfg: &Config) -> Record {
 pub struct SimPerf {
     /// Job count of the parallel pass.
     pub jobs: usize,
+    /// Host hardware parallelism (`std::thread::available_parallelism`) at
+    /// measurement time; 0 when the host could not report it.
+    pub host_parallelism: usize,
     /// End-to-end wall seconds of the one-job pass.
     pub serial_wall_seconds: f64,
     /// End-to-end wall seconds of the `jobs`-job pass.
@@ -132,12 +213,35 @@ impl SimPerf {
         }
     }
 
+    /// Aggregate fraction of simulated cycles covered by bulk skips.
+    pub fn aggregate_skip_rate(&self) -> f64 {
+        let cycles: u64 = self.records.iter().map(|r| r.cycles).sum();
+        let skipped: u64 = self.records.iter().map(|r| r.skipped_cycles).sum();
+        if cycles == 0 {
+            0.0
+        } else {
+            skipped as f64 / cycles as f64
+        }
+    }
+
+    /// Whether the worker pool degraded to a single worker (either because
+    /// the host reports one CPU or `REMAP_JOBS=1` forced it) — the
+    /// "parallel" pass then measures nothing.
+    pub fn pool_degraded(&self) -> bool {
+        self.jobs <= 1
+    }
+
     /// Renders the machine-readable report (hand-rolled JSON — the
     /// workspace deliberately carries no serialization dependency).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        s.push_str(&format!("  \"pool_degraded\": {},\n", self.pool_degraded()));
         s.push_str(&format!(
             "  \"serial_wall_seconds\": {:.6},\n",
             self.serial_wall_seconds
@@ -151,16 +255,24 @@ impl SimPerf {
             "  \"aggregate_sim_kcps\": {:.1},\n",
             self.aggregate_kcps()
         ));
+        s.push_str(&format!(
+            "  \"aggregate_skip_rate\": {:.4},\n",
+            self.aggregate_skip_rate()
+        ));
         s.push_str("  \"configs\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"cycles\": {}, \"committed\": {}, \"wall_seconds\": {:.6}, \"sim_kcps\": {:.1}}}{}\n",
+                "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"cycles\": {}, \"skipped_cycles\": {}, \"skip_rate\": {:.4}, \"committed\": {}, \"wall_seconds\": {:.6}, \"sim_wall_seconds\": {:.6}, \"sim_kcps\": {:.1}, \"effective_kcps\": {:.1}}}{}\n",
                 r.config.bench,
                 r.config.mode,
                 r.cycles,
+                r.skipped_cycles,
+                r.skip_rate(),
                 r.committed,
                 r.wall_seconds,
+                r.sim_wall_seconds,
                 r.sim_kcps(),
+                r.effective_kcps(),
                 if i + 1 < self.records.len() { "," } else { "" }
             ));
         }
@@ -191,6 +303,9 @@ pub fn measure(jobs: usize) -> SimPerf {
     }
     SimPerf {
         jobs,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0),
         serial_wall_seconds,
         parallel_wall_seconds,
         records,
@@ -203,31 +318,52 @@ pub fn report(jobs: usize, path: &str) {
     crate::banner("simperf", "simulator throughput and sweep parallelism");
     let perf = measure(jobs);
     println!(
-        "{:<12} {:<14} {:>12} {:>12} {:>10}",
-        "benchmark", "mode", "cycles", "wall (s)", "kcyc/s"
+        "{:<12} {:<16} {:>12} {:>12} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark",
+        "mode",
+        "cycles",
+        "skipped",
+        "skip%",
+        "wall (s)",
+        "sim (s)",
+        "kcyc/s",
+        "eff-kc/s"
     );
     for r in &perf.records {
         println!(
-            "{:<12} {:<14} {:>12} {:>12.3} {:>10.0}",
+            "{:<12} {:<16} {:>12} {:>12} {:>6.1}% {:>10.3} {:>10.3} {:>10.0} {:>10.0}",
             r.config.bench,
             r.config.mode,
             r.cycles,
+            r.skipped_cycles,
+            r.skip_rate() * 100.0,
             r.wall_seconds,
-            r.sim_kcps()
+            r.sim_wall_seconds,
+            r.sim_kcps(),
+            r.effective_kcps()
         );
     }
     println!();
     println!(
-        "serial sweep: {:.2}s   {}-job sweep: {:.2}s   speedup: {:.2}x",
+        "serial sweep: {:.2}s   {}-job sweep: {:.2}s   speedup: {:.2}x   (host parallelism: {})",
         perf.serial_wall_seconds,
         perf.jobs,
         perf.parallel_wall_seconds,
-        perf.speedup()
+        perf.speedup(),
+        perf.host_parallelism
     );
     println!(
-        "aggregate simulator throughput: {:.0} kcycles/s",
-        perf.aggregate_kcps()
+        "aggregate simulator throughput: {:.0} kcycles/s   aggregate skip rate: {:.1}%",
+        perf.aggregate_kcps(),
+        perf.aggregate_skip_rate() * 100.0
     );
+    if perf.pool_degraded() {
+        println!(
+            "warning: worker pool degraded to 1 worker (host parallelism {}); \
+             the parallel pass duplicates the serial one — set REMAP_JOBS to override",
+            perf.host_parallelism
+        );
+    }
     match std::fs::write(path, perf.to_json()) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => println!("could not write {path}: {e}"),
@@ -239,14 +375,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn grid_is_seventy_configs() {
-        assert_eq!(configs().len(), 70);
+    fn grid_is_ninety_four_configs() {
+        // 7 comp × 3 modes + 7 comm × 7 modes + 4 barrier × 5 modes
+        // + 2 RemapComp-capable barrier benches × 2 thread counts.
+        assert_eq!(configs().len(), 94);
     }
 
     #[test]
     fn json_is_well_formed_enough() {
         let perf = SimPerf {
             jobs: 4,
+            host_parallelism: 8,
             serial_wall_seconds: 2.0,
             parallel_wall_seconds: 0.5,
             records: vec![Record {
@@ -256,14 +395,36 @@ mod tests {
                     run: RunKind::Comp(CompBench::ALL[0], CompMode::Spl),
                 },
                 cycles: 1000,
+                skipped_cycles: 250,
                 committed: 500,
-                wall_seconds: 0.001,
+                wall_seconds: 0.002,
+                sim_wall_seconds: 0.001,
             }],
         };
         assert!((perf.speedup() - 4.0).abs() < 1e-12);
+        assert!(!perf.pool_degraded());
+        assert!((perf.aggregate_skip_rate() - 0.25).abs() < 1e-12);
         let j = perf.to_json();
         assert!(j.contains("\"sweep_speedup\": 4.000"));
         assert!(j.contains("\"bench\": \"adpcm\""));
+        assert!(j.contains("\"host_parallelism\": 8"));
+        assert!(j.contains("\"skipped_cycles\": 250"));
+        assert!(j.contains("\"skip_rate\": 0.2500"));
+        assert!(j.contains("\"sim_wall_seconds\": 0.001000"));
+        assert!(j.contains("\"effective_kcps\": 750.0"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn degraded_pool_is_flagged() {
+        let perf = SimPerf {
+            jobs: 1,
+            host_parallelism: 1,
+            serial_wall_seconds: 1.0,
+            parallel_wall_seconds: 1.0,
+            records: Vec::new(),
+        };
+        assert!(perf.pool_degraded());
+        assert!(perf.to_json().contains("\"pool_degraded\": true"));
     }
 }

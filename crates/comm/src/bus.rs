@@ -89,6 +89,12 @@ impl BarrierBus {
     pub fn in_flight(&self) -> usize {
         self.queue.len()
     }
+
+    /// Earliest cycle at which an in-flight message becomes deliverable, or
+    /// `None` when the bus is empty (quiescence probe).
+    pub fn next_event(&self) -> Option<u64> {
+        self.queue.iter().map(|m| m.deliver_at).min()
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,18 @@ impl HwBarrierNet {
             }
         }
     }
+
+    /// Whether the next [`HwBarrierNet::poll`] by `core` would make progress
+    /// (arrive or observe a release), without mutating anything. A core that
+    /// has not yet arrived always progresses (its first poll counts it); a
+    /// waiting core progresses only once a newer generation has released.
+    pub fn poll_ready(&self, core: usize, id: u8) -> bool {
+        let b = self.barriers.get(&id).expect("barrier not configured");
+        match b.waiting.get(&core).copied() {
+            None => true,
+            Some(gen) => b.generation > gen,
+        }
+    }
 }
 
 #[cfg(test)]

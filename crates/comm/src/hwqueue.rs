@@ -58,6 +58,11 @@ impl HwQueueNet {
     pub fn is_empty(&self, q: usize) -> bool {
         self.queues[q].is_empty()
     }
+
+    /// Whether queue `q` would reject a send right now (quiescence probe).
+    pub fn is_full(&self, q: usize) -> bool {
+        self.queues[q].len() >= self.capacity
+    }
 }
 
 #[cfg(test)]

@@ -139,6 +139,13 @@ impl ThreadToCoreTable {
     pub fn in_flight(&self, core: usize) -> u8 {
         self.entries[core].map(|e| e.in_flight).unwrap_or(0)
     }
+
+    /// Whether another in-flight SPL instruction toward `core` would be
+    /// admitted right now (pure probe: the quiescence analysis uses this to
+    /// mirror [`ThreadToCoreTable::inc_in_flight`] without mutating).
+    pub fn has_capacity(&self, core: usize) -> bool {
+        matches!(&self.entries[core], Some(e) if e.in_flight < self.max_in_flight)
+    }
 }
 
 #[cfg(test)]

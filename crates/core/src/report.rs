@@ -53,6 +53,10 @@ impl Error for RunError {}
 pub struct RunReport {
     /// Cycles until the last core halted.
     pub cycles: u64,
+    /// Of those, cycles bulk-advanced by the quiescence skip engine rather
+    /// than simulated one at a time (zero with `REMAP_NO_SKIP`). Skipping is
+    /// bit-identical to ticking, so this is a pure performance statistic.
+    pub skipped_cycles: u64,
     /// Per-core statistics snapshot at completion.
     pub core_stats: Vec<CoreStats>,
     /// Host wall-clock seconds spent inside [`System::run`](crate::System::run).
@@ -83,6 +87,25 @@ impl RunReport {
             0.0
         }
     }
+
+    /// Fraction of simulated cycles covered by bulk skips, in `[0, 1]`.
+    pub fn skip_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.skipped_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Throughput over cycles actually stepped (excluding skipped ones):
+    /// the per-cycle cost of the simulator proper.
+    pub fn effective_kcps(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            (self.cycles - self.skipped_cycles) as f64 / 1000.0 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -101,12 +124,15 @@ mod tests {
         };
         let r = RunReport {
             cycles: 20,
+            skipped_cycles: 5,
             core_stats: vec![a, b],
             wall_seconds: 0.002,
         };
         assert_eq!(r.total_committed(), 40);
         assert_eq!(r.aggregate_ipc(), 2.0);
         assert!((r.sim_kcps() - 10.0).abs() < 1e-9);
+        assert!((r.skip_rate() - 0.25).abs() < 1e-9);
+        assert!((r.effective_kcps() - 7.5).abs() < 1e-9);
         let zero = RunReport {
             wall_seconds: 0.0,
             ..r.clone()

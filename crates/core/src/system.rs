@@ -53,6 +53,13 @@ struct Env {
     core_thread: Vec<u32>,
     app_id: u32,
     cycle: u64,
+    /// Communication-state generation counter: bumped by every mutation that
+    /// any [`Core::next_event`] port probe could observe (queue seals/pops,
+    /// hardware-queue traffic, barrier completions, SPL fabric activity).
+    /// Cached per-core quiescence windows are valid only while it is
+    /// unchanged; plain memory traffic does not bump it because the probes
+    /// never read memory.
+    epoch: u64,
 }
 
 impl Env {
@@ -77,6 +84,8 @@ impl CorePorts for Env {
     }
 
     fn spl_load(&mut self, core: usize, offset: u8, nbytes: u8, value: u64) -> PortPush {
+        // No epoch bump: staging only touches the caller's own input queue,
+        // and the caller is mid-step (its window is already dead).
         let (ci, local) = self.cluster_of(core);
         self.clusters[ci].spl.stage(local, offset, nbytes, value);
         PortPush::Accepted
@@ -103,6 +112,11 @@ impl CorePorts for Env {
         if is_barrier {
             match self.clusters[ci].spl.request(local, cfg, usize::MAX) {
                 Ok(()) => {
+                    // No epoch bump: the seal touches only the caller's own
+                    // queue, and a completing arrival becomes probe-visible
+                    // through `process_releases` and the fabric's busy edges
+                    // — so waiters parked on their barrier result stay
+                    // parked through the whole arrival phase.
                     self.barrier_arrive(cfg, ci, core);
                     PortPush::Accepted
                 }
@@ -130,7 +144,10 @@ impl CorePorts for Env {
                 return PortPush::Stall;
             }
             match self.clusters[ci].spl.request(local, cfg, dlocal) {
-                Ok(()) => PortPush::Accepted,
+                Ok(()) => {
+                    self.epoch += 1;
+                    PortPush::Accepted
+                }
                 Err(RequestError::QueueFull) => {
                     self.t2c.dec_in_flight(dest_global);
                     PortPush::Stall
@@ -142,21 +159,82 @@ impl CorePorts for Env {
 
     fn spl_store(&mut self, core: usize) -> Option<u64> {
         let (ci, local) = self.cluster_of(core);
-        self.clusters[ci].spl.pop_output(local)
+        let out = self.clusters[ci].spl.pop_output(local);
+        if out.is_some() {
+            self.epoch += 1;
+        }
+        out
     }
 
     fn hwq_send(&mut self, _core: usize, q: u8, value: u64) -> PortPush {
         if self.hwq.send(q as usize, value) {
+            self.epoch += 1;
             PortPush::Accepted
         } else {
             PortPush::Stall
         }
     }
     fn hwq_recv(&mut self, _core: usize, q: u8) -> Option<u64> {
-        self.hwq.recv(q as usize)
+        let out = self.hwq.recv(q as usize);
+        if out.is_some() {
+            self.epoch += 1;
+        }
+        out
     }
     fn hwbar(&mut self, core: usize, id: u8) -> bool {
-        self.hwbar.poll(core, id)
+        // Only a `true` poll is probe-visible: a non-final arrival changes
+        // nothing any `hwbar_ready` probe reads (waiters stay unreleased),
+        // while the completing poll bumps the generation every waiter checks.
+        let released = self.hwbar.poll(core, id);
+        if released {
+            self.epoch += 1;
+        }
+        released
+    }
+
+    // Quiescence probes: pure mirrors of the mutating operations above, used
+    // by `Core::next_event`. Each must answer exactly "would the mutating
+    // call make progress right now?" — an over-approximation merely prevents
+    // skipping, an under-approximation would break bit-parity.
+
+    fn spl_store_ready(&self, core: usize) -> bool {
+        let (ci, local) = self.cluster_of(core);
+        self.clusters[ci].spl.output_ready(local) > 0
+    }
+
+    fn spl_init_ready(&self, core: usize, cfg: u16) -> bool {
+        let (ci, local) = self.cluster_of(core);
+        let spl = &self.clusters[ci].spl;
+        let Some(func) = spl.function(cfg) else {
+            return true; // the mutating call will panic; force the tick
+        };
+        if func.is_barrier() {
+            spl.can_seal(local)
+        } else {
+            let dest_global = match func.kind() {
+                FunctionKind::Compute {
+                    dest: Dest::Thread(t),
+                    ..
+                } => match self.t2c.lookup(*t) {
+                    Some(c) => c,
+                    None => return false, // stalls until the consumer binds
+                },
+                _ => core,
+            };
+            self.t2c.has_capacity(dest_global) && spl.can_seal(local)
+        }
+    }
+
+    fn hwq_send_ready(&self, _core: usize, q: u8) -> bool {
+        !self.hwq.is_full(q as usize)
+    }
+
+    fn hwq_recv_ready(&self, _core: usize, q: u8) -> bool {
+        !self.hwq.is_empty(q as usize)
+    }
+
+    fn hwbar_ready(&self, core: usize, id: u8) -> bool {
+        self.hwbar.poll_ready(core, id)
     }
 }
 
@@ -218,6 +296,7 @@ impl Env {
         while i < self.pending_releases.len() {
             if self.pending_releases[i].at <= now {
                 let p = self.pending_releases.remove(i);
+                self.epoch += 1;
                 self.clusters[p.cluster]
                     .spl
                     .release_barrier(p.cfg, p.local_cores);
@@ -389,6 +468,12 @@ impl SystemBuilder {
             last_committed: vec![0; cores.len()],
             committed_total: 0,
             spl_events: Vec::new(),
+            skip_enabled: skip_enabled_from_env(),
+            skipped_cycles: 0,
+            probe_hint: 0,
+            core_quiet: vec![(0, 0); cores.len()],
+            core_streak: vec![0; cores.len()],
+            core_next_probe: vec![0; cores.len()],
             cores,
             kinds,
             init_regs: self.init_regs,
@@ -407,6 +492,7 @@ impl SystemBuilder {
                 core_thread,
                 app_id: 0,
                 cycle: 0,
+                epoch: 0,
             },
         }
     }
@@ -431,7 +517,36 @@ pub struct System {
     committed_total: u64,
     /// Reused SPL delivery-event buffer (cleared each SPL cycle).
     spl_events: Vec<remap_spl::SplEvent>,
+    /// Whether the quiescence skip engine is enabled (default on; disabled by
+    /// `REMAP_NO_SKIP` or [`System::set_skip`]).
+    skip_enabled: bool,
+    /// Cycles bulk-advanced by the skip engine (subset of `env.cycle`).
+    skipped_cycles: u64,
+    /// Core that defeated the most recent quiescence probe. Probed first on
+    /// the next attempt so failed probes cost one core scan, not `n`.
+    probe_hint: usize,
+    /// Per-core cached quiescence window `(epoch, wake)`: while `env.epoch`
+    /// still equals `epoch` and `env.cycle < wake`, the core's step is
+    /// provably inert and is replaced by `Core::skip_cycles(1)`. `wake == 0`
+    /// marks the window invalid.
+    core_quiet: Vec<(u64, u64)>,
+    /// Consecutive real steps of each core that committed nothing; a window
+    /// probe is only attempted once this passes a small threshold.
+    core_streak: Vec<u32>,
+    /// Earliest cycle at which each core may be window-probed again after a
+    /// failed probe.
+    core_next_probe: Vec<u64>,
     env: Env,
+}
+
+/// Reads the `REMAP_NO_SKIP` escape hatch once at system construction.
+/// Setting it to any non-empty value other than `0` forces pure per-cycle
+/// ticking (useful for debugging and for parity testing).
+fn skip_enabled_from_env() -> bool {
+    match std::env::var("REMAP_NO_SKIP") {
+        Ok(v) => v.is_empty() || v == "0",
+        Err(_) => true,
+    }
 }
 
 impl System {
@@ -477,6 +592,16 @@ impl System {
         self.cores[core].stats()
     }
 
+    /// A core's branch-predictor statistics.
+    pub fn pred_stats(&self, core: usize) -> &remap_cpu::PredStats {
+        self.cores[core].pred_stats()
+    }
+
+    /// Number of SPL clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.env.clusters.len()
+    }
+
     /// A cluster's SPL statistics.
     pub fn spl_stats(&self, cluster: usize) -> &SplStats {
         self.env.clusters[cluster].spl.stats()
@@ -497,6 +622,16 @@ impl System {
             // Drain bus deliveries (energy accounting happens via counters).
             let _ = self.env.bus.drain_ready(self.env.cycle);
             for ci in 0..self.env.clusters.len() {
+                // An edge where the fabric acts (issues, completes, or counts
+                // a stall) is probe-visible; an inert edge only rotates the
+                // round-robin pointer, which no probe reads.
+                let acts = match self.env.clusters[ci].spl.next_event(spl_cycle - 1) {
+                    None => true,
+                    Some(t) => t <= spl_cycle,
+                };
+                if acts {
+                    self.env.epoch += 1;
+                }
                 self.spl_events.clear();
                 self.env.clusters[ci]
                     .spl
@@ -513,30 +648,187 @@ impl System {
         // (order-preserving: stepping order is architecturally visible) and
         // folding each core's newly committed instructions into the
         // incrementally maintained total.
+        //
+        // A core holding a valid quiescence window takes the arithmetic
+        // idle-tick fast path instead of a full pipeline step. Windows are
+        // established lazily (after a few commit-less real steps) and die on
+        // the core's next real step or on any probe-visible communication
+        // mutation (`env.epoch`). Because cores step in list order and every
+        // such mutation bumps the epoch before later slots run, a fast-pathed
+        // core can never miss state it would have observed when ticked.
+        const CORE_PROBE_STREAK: u32 = 3;
+        const CORE_PROBE_BACKOFF: u64 = 12;
         let mut any = false;
         let mut w = 0;
         for r in 0..self.running.len() {
             let id = self.running[r];
+            let (qep, qwake) = self.core_quiet[id];
+            if self.skip_enabled && qwake != 0 && qep == self.env.epoch && self.env.cycle < qwake {
+                self.cores[id].skip_cycles(1);
+                self.running[w] = id;
+                w += 1;
+                any = true;
+                continue;
+            }
+            self.core_quiet[id].1 = 0;
             let still_running = self.cores[id].step(&mut self.env);
             let committed = self.cores[id].stats().committed;
+            let progressed = committed != self.last_committed[id];
             self.committed_total += committed - self.last_committed[id];
             self.last_committed[id] = committed;
             if still_running {
                 self.running[w] = id;
                 w += 1;
                 any = true;
+                if self.skip_enabled {
+                    if progressed {
+                        self.core_streak[id] = 0;
+                    } else {
+                        self.core_streak[id] += 1;
+                        if self.core_streak[id] >= CORE_PROBE_STREAK
+                            && self.env.cycle >= self.core_next_probe[id]
+                        {
+                            match self.cores[id].next_event(&self.env) {
+                                Some(wk) if wk > self.env.cycle + 1 => {
+                                    self.core_quiet[id] = (self.env.epoch, wk);
+                                }
+                                _ => {
+                                    self.core_next_probe[id] = self.env.cycle + CORE_PROBE_BACKOFF;
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
         self.running.truncate(w);
         any
     }
 
+    /// Enables or disables the quiescence skip engine. Equivalent to the
+    /// `REMAP_NO_SKIP` environment knob, but per-system (tests use this to
+    /// run skip-on and skip-off instances in one process).
+    pub fn set_skip(&mut self, enabled: bool) {
+        self.skip_enabled = enabled;
+    }
+
+    /// Cycles bulk-advanced by the skip engine so far.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Computes the earliest future cycle at which any component could make
+    /// observable progress, or `None` if some component is (or may be) busy
+    /// at `env.cycle + 1` and the system must tick normally.
+    ///
+    /// Every cycle in `(env.cycle, wake)` is provably inert: no core
+    /// fetches, issues, writes back, or commits, no SPL row completes or
+    /// issues, no barrier releases, and no bus message delivers. The only
+    /// per-cycle state those cycles carry — stall statistics and the SPL
+    /// round-robin pointer — is replicated arithmetically by
+    /// [`System::skip_to`], which is what makes bulk advancement
+    /// bit-identical to ticking (see DESIGN.md §11).
+    fn quiescent_wake(&mut self) -> Option<u64> {
+        let now = self.env.cycle;
+        // Fast-fail: the core that defeated the previous probe is usually
+        // still the busy one, so checking it first turns the common failed
+        // probe into a single core scan instead of `n`. (A halted hint core
+        // reports `Some(u64::MAX)` and falls through to the full scan.)
+        self.cores[self.probe_hint].next_event(&self.env)?;
+        let mut wake = u64::MAX;
+        for &id in &self.running {
+            match self.cores[id].next_event(&self.env) {
+                Some(w) => wake = wake.min(w),
+                None => {
+                    self.probe_hint = id;
+                    return None;
+                }
+            }
+        }
+        // The SPL fabric, pending barrier releases, and the barrier bus are
+        // only serviced on SPL clock edges (core cycles divisible by the
+        // divisor), so their wake points round up to the next edge.
+        let next_edge = (now / SPL_CLOCK_DIVISOR + 1) * SPL_CLOCK_DIVISOR;
+        let spl_now = now / SPL_CLOCK_DIVISOR;
+        for cl in &self.env.clusters {
+            match cl.spl.next_event(spl_now) {
+                // Busy fabric: it acts on the very next edge.
+                None => wake = wake.min(next_edge),
+                Some(u64::MAX) => {}
+                Some(t) => wake = wake.min((t * SPL_CLOCK_DIVISOR).max(next_edge)),
+            }
+        }
+        for p in &self.env.pending_releases {
+            // A release scheduled at `at` fires at the first edge at or
+            // after it — except that an entry created mid-cycle after its
+            // own edge already passed (at <= now) fires at the next edge,
+            // which the `.max(next_edge)` clamp supplies.
+            let at_edge = p.at.div_ceil(SPL_CLOCK_DIVISOR) * SPL_CLOCK_DIVISOR;
+            wake = wake.min(at_edge.max(next_edge));
+        }
+        if let Some(d) = self.env.bus.next_event() {
+            let at_edge = d.div_ceil(SPL_CLOCK_DIVISOR) * SPL_CLOCK_DIVISOR;
+            wake = wake.min(at_edge.max(next_edge));
+        }
+        // The blocking-latency hierarchy never schedules events of its own
+        // (misses live in core-side timestamps), and the thread-to-core,
+        // hardware-queue, and hardware-barrier tables are purely reactive.
+        debug_assert!(self.env.hier.next_event().is_none());
+        Some(wake)
+    }
+
+    /// Bulk-advances the system to `target` without simulating the
+    /// intervening cycles. Caller must have established (via
+    /// [`System::quiescent_wake`]) that every cycle in `(env.cycle, target]`
+    /// is inert.
+    fn skip_to(&mut self, target: u64) {
+        let from = self.env.cycle;
+        debug_assert!(target > from);
+        let delta = target - from;
+        for &id in &self.running {
+            self.cores[id].skip_cycles(delta);
+        }
+        // Idle SPL edges crossed by the jump still rotate the fabric's
+        // round-robin pointer; replicate that arithmetically.
+        let edges = target / SPL_CLOCK_DIVISOR - from / SPL_CLOCK_DIVISOR;
+        if edges > 0 {
+            for cl in &mut self.env.clusters {
+                cl.spl.skip_ticks(edges);
+            }
+        }
+        self.env.cycle = target;
+        self.skipped_cycles += delta;
+    }
+
+    /// One iteration of the skipping run loop: if the system is provably
+    /// quiescent, bulk-advances to one cycle before the earliest wake point
+    /// (clamped to `limit`), then executes one normal [`System::step`].
+    /// With skipping disabled this is exactly `step`.
+    pub fn step_or_skip(&mut self, limit: u64) -> bool {
+        if self.skip_enabled {
+            if let Some(wake) = self.quiescent_wake() {
+                let target = wake.min(limit);
+                if target > self.env.cycle + 1 {
+                    self.skip_to(target - 1);
+                }
+            }
+        }
+        self.step()
+    }
+
     /// Runs until every core halts or `max_cycles` elapse.
+    ///
+    /// Unless disabled (`REMAP_NO_SKIP`, [`System::set_skip`]), the run loop
+    /// bulk-advances over provably idle stretches (barrier waits, SPL
+    /// in-flight waits, queue back-pressure) with results bit-identical to
+    /// per-cycle ticking; see DESIGN.md §11.
     ///
     /// # Errors
     ///
     /// [`RunError::Timeout`] at the cycle limit; [`RunError::Deadlock`] when
-    /// no core commits an instruction for 200 000 consecutive cycles.
+    /// no core commits an instruction for 200 000 consecutive cycles. Both
+    /// fire at exactly the same cycle whether or not skipping is enabled: a
+    /// bulk jump is clamped so the detection step itself is always executed.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, RunError> {
         const STALL_WINDOW: u64 = 200_000;
         // Debug builds run the static verifier before simulating and report
@@ -555,15 +847,51 @@ impl System {
                 );
             }
         }
+        // After a probe finds some component busy, hold off re-probing for a
+        // few cycles: during a busy-but-not-committing stretch every probe
+        // fails, and a failed probe costs about as much as a step. The
+        // backoff trades at most `PROBE_BACKOFF - 1` skippable cycles at the
+        // start of each idle window for a ~4x cut in failed-probe overhead.
+        // Purely a scheduling heuristic: it decides *when* to look for a
+        // skip, never what a skip does, so bit-parity is unaffected.
+        const PROBE_BACKOFF: u64 = 4;
         let wall_start = std::time::Instant::now();
         let mut last_progress = self.env.cycle;
         let mut last_committed = self.committed_total;
+        let mut next_probe = self.env.cycle;
         while !self.all_halted() {
             if self.env.cycle >= max_cycles {
                 return Err(RunError::Timeout {
                     max_cycles,
                     running: self.running_cores(),
                 });
+            }
+            // Only probe for quiescence when the previous step committed
+            // nothing: a committing system is rarely skippable, and the
+            // probe is not free. The jump is clamped so the deadlock window
+            // and the cycle limit are reached by a normal step, which keeps
+            // error cycles identical to the ticked path. (A fully reactive
+            // system reports `wake == u64::MAX`; the clamp then jumps it
+            // straight to the deadlock detection point.)
+            if self.skip_enabled
+                && self.committed_total == last_committed
+                && self.env.cycle >= next_probe
+            {
+                match self.quiescent_wake() {
+                    None => next_probe = self.env.cycle + PROBE_BACKOFF,
+                    Some(wake) => {
+                        let limit = max_cycles.min(last_progress + STALL_WINDOW + 1);
+                        let target = wake.min(limit);
+                        if target > self.env.cycle + 1 {
+                            self.skip_to(target - 1);
+                        } else {
+                            // Quiescent but with an event due next cycle:
+                            // nothing to skip, so the probe was pure cost.
+                            // Back off exactly as for a failed probe.
+                            next_probe = self.env.cycle + PROBE_BACKOFF;
+                        }
+                    }
+                }
             }
             self.step();
             // `step` maintains the committed counter incrementally; the
@@ -580,6 +908,7 @@ impl System {
         }
         Ok(RunReport {
             cycles: self.env.cycle,
+            skipped_cycles: self.skipped_cycles,
             core_stats: self.cores.iter().map(|c| c.stats().clone()).collect(),
             wall_seconds: wall_start.elapsed().as_secs_f64(),
         })
@@ -944,6 +1273,72 @@ mod tests {
             Err(RunError::Deadlock { running, .. }) => assert_eq!(running, vec![0]),
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    /// A bulk skip must never mask the stall detector: the stuck system
+    /// above is fully reactive, so the skip engine jumps the entire stall
+    /// window in one hop — and the deadlock must still fire, at exactly the
+    /// cycle the ticked path reports it.
+    #[test]
+    fn deadlock_window_counts_elapsed_cycles_across_a_skip() {
+        let build = || {
+            let mut a = Asm::new("stuck");
+            a.spl_store(R1); // nothing will ever arrive
+            a.halt();
+            let mut b = SystemBuilder::new();
+            b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
+            b.add_spl_cluster(SplConfig::paper(1), vec![0]);
+            b.build()
+        };
+        let mut skipped = build();
+        skipped.set_skip(true);
+        let mut ticked = build();
+        ticked.set_skip(false);
+        let es = skipped.run(2_000_000).unwrap_err();
+        let et = ticked.run(2_000_000).unwrap_err();
+        assert_eq!(es, et, "skip path must report the identical deadlock");
+        assert!(matches!(es, RunError::Deadlock { .. }));
+        // The jump really happened: nearly the whole 200k window was skipped.
+        assert!(
+            skipped.skipped_cycles() > 190_000,
+            "expected a bulk jump, skipped only {}",
+            skipped.skipped_cycles()
+        );
+        assert_eq!(ticked.skipped_cycles(), 0);
+        // Per-cycle wait statistics were replicated across the jump.
+        assert_eq!(skipped.core_stats(0), ticked.core_stats(0));
+    }
+
+    /// A skip must never overshoot `max_cycles` either: a quiescent-but-live
+    /// system times out at the same cycle both ways.
+    #[test]
+    fn timeout_is_exact_across_a_skip() {
+        let build = || {
+            let mut a = Asm::new("spin");
+            a.spl_store(R1); // never satisfied
+            a.halt();
+            let mut b = SystemBuilder::new();
+            b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
+            b.add_spl_cluster(SplConfig::paper(1), vec![0]);
+            b.build()
+        };
+        // A limit below the stall window: the timeout, not the deadlock
+        // detector, must fire, and at the same cycle on both paths.
+        let mut skipped = build();
+        skipped.set_skip(true);
+        let mut ticked = build();
+        ticked.set_skip(false);
+        let es = skipped.run(50_000).unwrap_err();
+        let et = ticked.run(50_000).unwrap_err();
+        assert_eq!(es, et);
+        assert!(matches!(
+            es,
+            RunError::Timeout {
+                max_cycles: 50_000,
+                ..
+            }
+        ));
+        assert_eq!(skipped.cycle(), ticked.cycle());
     }
 
     #[test]

@@ -45,6 +45,37 @@ pub trait CorePorts {
     /// once the barrier has released this core (the core re-polls while
     /// `false`).
     fn hwbar(&mut self, core: usize, id: u8) -> bool;
+
+    // --- quiescence probes --------------------------------------------------
+    //
+    // Pure (non-mutating) mirrors of the queue operations above, used by
+    // [`Core::next_event`](crate::Core::next_event) to decide whether the
+    // core's next retry could succeed. Every default conservatively answers
+    // "yes, it would make progress", which forces the core to keep ticking —
+    // always correct, merely unskippable.
+
+    /// Would [`CorePorts::spl_store`] return a result right now?
+    fn spl_store_ready(&self, _core: usize) -> bool {
+        true
+    }
+    /// Would [`CorePorts::spl_init`] be accepted right now?
+    fn spl_init_ready(&self, _core: usize, _cfg: u16) -> bool {
+        true
+    }
+    /// Would [`CorePorts::hwq_send`] be accepted right now?
+    fn hwq_send_ready(&self, _core: usize, _q: u8) -> bool {
+        true
+    }
+    /// Would [`CorePorts::hwq_recv`] return a value right now?
+    fn hwq_recv_ready(&self, _core: usize, _q: u8) -> bool {
+        true
+    }
+    /// Would [`CorePorts::hwbar`] mutate barrier state or release this core
+    /// right now? (An un-arrived core's next poll always counts as progress:
+    /// it registers the arrival.)
+    fn hwbar_ready(&self, _core: usize, _id: u8) -> bool {
+        true
+    }
 }
 
 /// A degenerate environment for unit tests: flat memory with fixed latency
@@ -107,5 +138,11 @@ impl CorePorts for NullPorts {
     }
     fn hwbar(&mut self, _core: usize, _id: u8) -> bool {
         true
+    }
+    fn spl_store_ready(&self, _core: usize) -> bool {
+        !self.spl_results.is_empty()
+    }
+    fn hwq_recv_ready(&self, _core: usize, _q: u8) -> bool {
+        false
     }
 }

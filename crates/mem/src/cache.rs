@@ -96,16 +96,27 @@ struct Line {
     lru: u64,
 }
 
+const EMPTY_LINE: Line = Line {
+    tag: 0,
+    state: Mesi::Invalid,
+    lru: 0,
+};
+
 /// A cache tag array (data lives in [`FlatMem`](crate::FlatMem)).
 ///
 /// The cache tracks MESI state per line and uses true LRU within a set.
 /// Protocol decisions (what state to fill with, whom to invalidate) are made
 /// by the owning [`Hierarchy`](crate::Hierarchy); the cache only provides
 /// mechanical probe/insert/invalidate operations.
+///
+/// Storage is one contiguous `Vec<Line>` indexed `set * ways + way`
+/// (empty ways carry `Mesi::Invalid`), so a set lookup walks a flat slice
+/// instead of chasing a per-set `Vec` pointer.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    num_sets: usize,
+    lines: Vec<Line>,
     tick: u64,
     stats: CacheStats,
 }
@@ -126,10 +137,8 @@ impl Cache {
             "line size must be a power of two"
         );
         Cache {
-            // Reserve every set's full associativity up front so cold-set
-            // fills never allocate on the simulator's per-cycle path
-            // (`Vec::clone` would drop the capacity, hence no `vec!`).
-            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways)).collect(),
+            num_sets: sets,
+            lines: vec![EMPTY_LINE; sets * cfg.ways],
             cfg,
             tick: 0,
             stats: CacheStats::default(),
@@ -147,11 +156,19 @@ impl Cache {
     }
 
     fn set_index(&self, addr: u64) -> usize {
-        ((addr as usize) / self.cfg.line_bytes) & (self.sets.len() - 1)
+        ((addr as usize) / self.cfg.line_bytes) & (self.num_sets - 1)
     }
 
     fn tag(&self, addr: u64) -> u64 {
-        addr / (self.cfg.line_bytes as u64) / (self.sets.len() as u64)
+        addr / (self.cfg.line_bytes as u64) / (self.num_sets as u64)
+    }
+
+    fn set(&self, si: usize) -> &[Line] {
+        &self.lines[si * self.cfg.ways..(si + 1) * self.cfg.ways]
+    }
+
+    fn set_mut(&mut self, si: usize) -> &mut [Line] {
+        &mut self.lines[si * self.cfg.ways..(si + 1) * self.cfg.ways]
     }
 
     /// Line-aligned base address for `addr`.
@@ -164,9 +181,9 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> Mesi {
         let si = self.set_index(addr);
         let tag = self.tag(addr);
-        self.sets[si]
+        self.set(si)
             .iter()
-            .find(|l| l.tag == tag)
+            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
             .map(|l| l.state)
             .unwrap_or(Mesi::Invalid)
     }
@@ -178,13 +195,23 @@ impl Cache {
         let si = self.set_index(addr);
         let tag = self.tag(addr);
         let tick = self.tick;
-        if let Some(l) = self.sets[si].iter_mut().find(|l| l.tag == tag) {
-            l.lru = tick;
-            self.stats.hits += 1;
-            Some(l.state)
-        } else {
-            self.stats.misses += 1;
-            None
+        let hit = self
+            .set_mut(si)
+            .iter_mut()
+            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
+            .map(|l| {
+                l.lru = tick;
+                l.state
+            });
+        match hit {
+            Some(state) => {
+                self.stats.hits += 1;
+                Some(state)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
         }
     }
 
@@ -192,7 +219,11 @@ impl Cache {
     pub fn set_state(&mut self, addr: u64, state: Mesi) {
         let si = self.set_index(addr);
         let tag = self.tag(addr);
-        if let Some(l) = self.sets[si].iter_mut().find(|l| l.tag == tag) {
+        if let Some(l) = self
+            .set_mut(si)
+            .iter_mut()
+            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
+        {
             l.state = state;
         }
     }
@@ -202,13 +233,18 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) -> Mesi {
         let si = self.set_index(addr);
         let tag = self.tag(addr);
-        if let Some(pos) = self.sets[si].iter().position(|l| l.tag == tag) {
-            let line = self.sets[si].remove(pos);
+        if let Some(l) = self
+            .set_mut(si)
+            .iter_mut()
+            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
+        {
+            let prev = l.state;
+            *l = EMPTY_LINE;
             self.stats.invalidations += 1;
-            if line.state == Mesi::Modified {
+            if prev == Mesi::Modified {
                 self.stats.writebacks += 1;
             }
-            line.state
+            prev
         } else {
             Mesi::Invalid
         }
@@ -223,38 +259,54 @@ impl Cache {
         let si = self.set_index(addr);
         let tag = self.tag(addr);
         let tick = self.tick;
-        if let Some(l) = self.sets[si].iter_mut().find(|l| l.tag == tag) {
+        let num_sets = self.num_sets as u64;
+        let line_bytes = self.cfg.line_bytes as u64;
+        if let Some(l) = self
+            .set_mut(si)
+            .iter_mut()
+            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
+        {
             // Already resident (e.g. refill racing an upgrade): just update.
             l.state = state;
             l.lru = tick;
             return None;
         }
+        // Prefer an empty way; otherwise evict the LRU of the set (LRU stamps
+        // are unique — `tick` is monotonic — so the victim is unambiguous).
         let mut evicted = None;
-        if self.sets[si].len() >= self.cfg.ways {
-            let victim = self.sets[si]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .expect("set is non-empty");
-            let line = self.sets[si].remove(victim);
-            if line.state == Mesi::Modified {
-                self.stats.writebacks += 1;
+        let slot = match self.set(si).iter().position(|l| l.state == Mesi::Invalid) {
+            Some(w) => w,
+            None => {
+                let w = self
+                    .set(si)
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| i)
+                    .expect("set is non-empty");
+                let line = self.set(si)[w];
+                if line.state == Mesi::Modified {
+                    self.stats.writebacks += 1;
+                }
+                let base = (line.tag * num_sets + si as u64) * line_bytes;
+                evicted = Some((base, line.state));
+                w
             }
-            let base = (line.tag * self.sets.len() as u64 + si as u64) * self.cfg.line_bytes as u64;
-            evicted = Some((base, line.state));
-        }
-        self.sets[si].push(Line {
+        };
+        self.set_mut(si)[slot] = Line {
             tag,
             state,
             lru: tick,
-        });
+        };
         evicted
     }
 
     /// Number of resident lines (for tests).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.lines
+            .iter()
+            .filter(|l| l.state != Mesi::Invalid)
+            .count()
     }
 }
 

@@ -118,6 +118,16 @@ impl Hierarchy {
         (*c.l1i.stats(), *c.l1d.stats(), *c.l2.stats())
     }
 
+    /// Quiescence probe: the next outstanding miss fill scheduled inside the
+    /// hierarchy. This model is blocking-latency — every fetch/load/store/amo
+    /// charges its full latency inline and leaves no timed state behind, so
+    /// there is never a pending fill here; outstanding misses live entirely
+    /// in the cores' own timestamps (`fetch_inflight_at`, ROB `Executing`).
+    /// Always `None` (nothing scheduled, purely reactive).
+    pub fn next_event(&self) -> Option<u64> {
+        None
+    }
+
     /// Instruction-fetch timing for the line containing `addr`.
     ///
     /// Instruction lines are read-only, so no coherence actions are needed;

@@ -287,6 +287,12 @@ impl Spl {
         self.inputs[core].len()
     }
 
+    /// Whether `core`'s sealed input queue would admit another request right
+    /// now (pure mirror of [`Spl::request`]'s back-pressure check).
+    pub fn can_seal(&self, core: usize) -> bool {
+        self.inputs[core].can_seal()
+    }
+
     /// Results ready in `core`'s output queue.
     pub fn output_ready(&self, core: usize) -> usize {
         self.outputs[core].len()
@@ -367,6 +373,61 @@ impl Spl {
             self.try_issue_compute(core, now);
         }
         self.rr = (self.rr + 1) % n.max(1);
+    }
+
+    /// Quiescence probe: the earliest SPL cycle strictly after `now` at which
+    /// ticking the fabric can change any observable state (queues, in-flight
+    /// ops, or statistics — stall counters included).
+    ///
+    /// * `None` — the fabric would act (issue, complete, or count a stall) on
+    ///   the very next tick, so it must be ticked cycle by cycle.
+    /// * `Some(t)` with `t < u64::MAX` — nothing can happen before SPL cycle
+    ///   `t` (the earliest in-flight completion).
+    /// * `Some(u64::MAX)` — purely reactive: only a new core request (or a
+    ///   barrier release) can wake the fabric.
+    ///
+    /// The round-robin pointer still rotates on quiescent ticks; callers that
+    /// bulk-skip must replicate that with [`Spl::skip_ticks`].
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        // A released barrier whose participants are all at head issues (or
+        // counts a stall) on every tick.
+        for rb in &self.released {
+            if rb
+                .participants
+                .iter()
+                .all(|&p| matches!(self.inputs[p].head(), Some(h) if h.cfg == rb.cfg))
+            {
+                return None;
+            }
+        }
+        // A non-barrier head issues (or counts a stall) on every tick.
+        // Barrier heads that are not released yet are inert: `try_issue_compute`
+        // returns before touching any counter.
+        for q in &self.inputs {
+            if let Some(h) = q.head() {
+                let func = self.funcs.get(&h.cfg).expect("validated at request");
+                if !func.is_barrier() {
+                    return None;
+                }
+            }
+        }
+        // Otherwise the only scheduled activity is in-flight completion.
+        let mut wake = u64::MAX;
+        for part in &self.parts {
+            for op in &part.inflight {
+                wake = wake.min(op.done_at.max(now + 1));
+            }
+        }
+        Some(wake)
+    }
+
+    /// Bulk-advances the fabric over `ticks` quiescent SPL cycles. The only
+    /// per-tick mutation in the quiescent state is the round-robin pointer
+    /// rotation at the end of [`Spl::tick_into`], replicated here so a
+    /// skipped run stays bit-identical to a ticked one.
+    pub fn skip_ticks(&mut self, ticks: u64) {
+        let n = self.cfg.n_cores.max(1);
+        self.rr = (self.rr + (ticks % n as u64) as usize) % n;
     }
 
     fn ii_for(&self, rows: u32) -> u64 {

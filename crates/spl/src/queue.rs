@@ -83,6 +83,12 @@ impl InputQueue {
     pub fn is_empty(&self) -> bool {
         self.sealed.is_empty()
     }
+
+    /// Whether a [`InputQueue::seal`] would be accepted right now (pure
+    /// mirror of its admission check, for the quiescence analysis).
+    pub fn can_seal(&self) -> bool {
+        self.sealed.len() < self.capacity
+    }
 }
 
 /// A core's SPL output queue: results the core pops with `spl_store`.

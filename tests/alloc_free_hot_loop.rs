@@ -9,10 +9,16 @@
 //! Kept in its own integration-test binary so no concurrent test pollutes
 //! the allocation counter.
 
+use remap_workloads::barriers::{BarrierBench, BarrierMode};
 use remap_workloads::comp::CompBench;
 use remap_workloads::CompMode;
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The allocation counter is process-global, so the tests in this binary
+/// must not overlap; each takes this lock for its whole body.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -39,6 +45,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_cycles_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
     // An SPL-active computation workload: every cycle exercises fetch,
     // dispatch/issue/commit, the fabric tick, and the stats plumbing.
     let mut sys = CompBench::ALL[0].build(CompMode::Spl, 4096);
@@ -72,5 +79,42 @@ fn steady_state_cycles_do_not_allocate() {
         0,
         "steady-state cycles allocated {} times over {measured} cycles",
         after - before
+    );
+}
+
+/// The quiescence skip path — probing every component's `next_event`,
+/// bulk-advancing stall statistics, and rotating the SPL round-robin
+/// pointer — must add zero allocations over the ticked path. The barrier
+/// workload's release machinery allocates a few short `Vec`s per rendezvous
+/// on *both* paths, so the assertion is comparative: the skip-driven run of
+/// the identical workload must allocate no more than the ticked run.
+#[test]
+fn skip_path_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+
+    fn run_to_halt(skip: bool) -> (u64, u64) {
+        // A barrier workload: most cycles sit at rendezvous points, so the
+        // skip-driven run exercises probe, jump, and normal-step iterations.
+        let mut sys = BarrierBench::Ll2.build(BarrierMode::Remap(8), 1024);
+        sys.set_skip(skip);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        while !sys.all_halted() {
+            let limit = sys.cycle() + 200_000;
+            sys.step_or_skip(limit);
+        }
+        let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        (allocs, sys.skipped_cycles())
+    }
+
+    let (ticked_allocs, ticked_skipped) = run_to_halt(false);
+    assert_eq!(ticked_skipped, 0, "skip disabled yet cycles were skipped");
+    let (skip_allocs, skipped) = run_to_halt(true);
+    assert!(
+        skipped > 0,
+        "the skip run never skipped; the test is vacuous"
+    );
+    assert!(
+        skip_allocs <= ticked_allocs,
+        "skip engine added allocations: {skip_allocs} with skipping vs {ticked_allocs} ticked"
     );
 }

@@ -1,0 +1,150 @@
+//! Tier-1 gate for the quiescence skip engine: every workload configuration
+//! must produce a bit-identical run whether idle stretches are bulk-skipped
+//! (the default) or simulated cycle by cycle (`REMAP_NO_SKIP`).
+//!
+//! "Bit-identical" covers everything a run can report: total cycles, every
+//! per-core statistic (including per-cycle stall counters, which the skip
+//! engine replicates arithmetically), branch-predictor counters, all three
+//! cache levels per core, the coherence-bus counters, and per-cluster SPL
+//! fabric statistics.
+
+use remap_suite::system::System;
+use remap_suite::workloads::barriers::{BarrierBench, BarrierMode};
+use remap_suite::workloads::comm::CommBench;
+use remap_suite::workloads::comp::CompBench;
+use remap_suite::workloads::{CommMode, CompMode};
+
+const MAX_CYCLES: u64 = 50_000_000;
+
+const COMP_MODES: [CompMode; 3] = [CompMode::SeqOoo1, CompMode::SeqOoo2, CompMode::Spl];
+const COMM_MODES: [CommMode; 7] = [
+    CommMode::SeqOoo1,
+    CommMode::SeqOoo2,
+    CommMode::Comp1T,
+    CommMode::Comm2T,
+    CommMode::CompComm2T,
+    CommMode::Ooo2Comm,
+    CommMode::SwQueue2T,
+];
+
+fn barrier_modes(b: BarrierBench) -> Vec<BarrierMode> {
+    let mut m = vec![
+        BarrierMode::Seq,
+        BarrierMode::Sw(4),
+        BarrierMode::Remap(4),
+        BarrierMode::HwIdeal(4),
+    ];
+    if b.supports_comp() {
+        m.push(BarrierMode::RemapComp(4));
+    }
+    m
+}
+
+/// Runs `skipped` (skip engine on) and `ticked` (skip engine off) to
+/// completion and asserts every observable statistic matches. Returns the
+/// skipped run's bulk-advanced cycle count.
+fn assert_parity(label: &str, mut skipped: System, mut ticked: System) -> u64 {
+    skipped.set_skip(true);
+    ticked.set_skip(false);
+    let rs = skipped
+        .run(MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{label} (skip on) failed: {e:?}"));
+    let rt = ticked
+        .run(MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{label} (skip off) failed: {e:?}"));
+    assert_eq!(rt.skipped_cycles, 0, "{label}: ticked run must not skip");
+    assert_eq!(rs.cycles, rt.cycles, "{label}: cycle count diverged");
+    for c in 0..skipped.n_cores() {
+        assert_eq!(
+            rs.core_stats[c], rt.core_stats[c],
+            "{label}: core {c} stats diverged"
+        );
+        assert_eq!(
+            skipped.pred_stats(c),
+            ticked.pred_stats(c),
+            "{label}: core {c} predictor stats diverged"
+        );
+        assert_eq!(
+            skipped.hierarchy().cache_stats(c),
+            ticked.hierarchy().cache_stats(c),
+            "{label}: core {c} cache stats diverged"
+        );
+    }
+    assert_eq!(
+        skipped.hierarchy().bus_stats(),
+        ticked.hierarchy().bus_stats(),
+        "{label}: coherence-bus stats diverged"
+    );
+    assert_eq!(skipped.n_clusters(), ticked.n_clusters(), "{label}");
+    for cl in 0..skipped.n_clusters() {
+        assert_eq!(
+            skipped.spl_stats(cl),
+            ticked.spl_stats(cl),
+            "{label}: cluster {cl} SPL stats diverged"
+        );
+    }
+    rs.skipped_cycles
+}
+
+#[test]
+fn computation_workloads_skip_parity() {
+    for b in CompBench::ALL {
+        for m in COMP_MODES {
+            let label = format!("{} {m:?}", b.name());
+            assert_parity(&label, b.build(m, 64), b.build(m, 64));
+        }
+    }
+}
+
+#[test]
+fn communication_workloads_skip_parity() {
+    for b in CommBench::ALL {
+        for m in COMM_MODES {
+            let label = format!("{} {m:?}", b.name());
+            assert_parity(&label, b.build(m, 64), b.build(m, 64));
+        }
+    }
+}
+
+#[test]
+fn barrier_workloads_skip_parity_and_actually_skip() {
+    let mut total_skipped = 0;
+    for b in BarrierBench::ALL {
+        let n = match b {
+            BarrierBench::Dijkstra => 20,
+            _ => 32,
+        };
+        for m in barrier_modes(b) {
+            let label = format!("{b:?} {m:?}");
+            total_skipped += assert_parity(&label, b.build(m, n), b.build(m, n));
+        }
+    }
+    // Barrier workloads spend most of their time spinning at rendezvous
+    // points; if the engine never skips there the tentpole is vacuous.
+    assert!(
+        total_skipped > 0,
+        "skip engine bulk-advanced zero cycles across all barrier workloads"
+    );
+}
+
+/// Multi-cluster systems stagger barrier releases across clusters (local
+/// release immediately, remote after the bus latency), which exercises
+/// wake-point math the four-thread grid cannot: a pending release scheduled
+/// for a *future* SPL edge must not be skipped over.
+#[test]
+fn multi_cluster_barrier_skip_parity() {
+    for b in BarrierBench::ALL {
+        let n = match b {
+            BarrierBench::Dijkstra => 40,
+            _ => 64,
+        };
+        for m in [
+            BarrierMode::Remap(8),
+            BarrierMode::Remap(16),
+            BarrierMode::HwIdeal(16),
+        ] {
+            let label = format!("{b:?} {m:?}");
+            assert_parity(&label, b.build(m, n), b.build(m, n));
+        }
+    }
+}
