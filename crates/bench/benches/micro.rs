@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use remap::{CoreKind, SystemBuilder};
 use remap_isa::{Asm, Reg::*};
-use remap_mem::{Hierarchy, HierarchyConfig};
+use remap_mem::{Cache, CacheConfig, FlatMem, Hierarchy, HierarchyConfig, Mesi};
 use remap_spl::{Dest, Spl, SplConfig, SplFunction};
 use std::hint::black_box;
 
@@ -40,6 +40,103 @@ fn bench_cache(c: &mut Criterion) {
                 total += lat as u64;
             }
             black_box(total)
+        })
+    });
+}
+
+/// Deterministic 64-bit mixer for the random-access pattern (no rand
+/// dependency; same generator the proptest stub uses).
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The word-granular FlatMem fast path under the three access shapes the
+/// simulator produces: sequential (fetch/streaming), strided (struct
+/// fields), and random (pointer chasing). All stay within a 1 MiB
+/// working set so the 8-slot MRU page cache is the variable under test.
+fn bench_flatmem(c: &mut Criterion) {
+    const WORDS: u64 = 64 * 1024; // 256 KiB touched per pass
+    let mut mem = FlatMem::new();
+    for i in 0..WORDS {
+        mem.write_u32(i * 4, i as u32);
+    }
+    c.bench_function("flatmem_seq_64k_words", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..WORDS {
+                acc = acc.wrapping_add(mem.read_u32(black_box(i * 4)) as u64);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("flatmem_strided_64k_words", |b| {
+        b.iter(|| {
+            // A 68-byte stride: co-prime with the 4 KiB page so successive
+            // accesses walk pages slowly but misalign with word boundaries
+            // never (68 = 17 words).
+            let mut acc = 0u64;
+            let mut addr = 0u64;
+            for _ in 0..WORDS {
+                acc = acc.wrapping_add(mem.read_u32(black_box(addr)) as u64);
+                addr = (addr + 68) % (WORDS * 4);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("flatmem_random_64k_words", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut state = 0x1234_5678u64;
+            for _ in 0..WORDS {
+                let addr = (splitmix64(&mut state) % WORDS) * 4;
+                acc = acc.wrapping_add(mem.read_u32(black_box(addr)) as u64);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// The Cache tag array under the two regimes the MRU-way prediction
+/// separates: hit-heavy (prediction pays on nearly every access) and
+/// conflict-heavy (constant misses and LRU evictions; prediction must not
+/// slow the scan down).
+fn bench_cache_tag_array(c: &mut Criterion) {
+    c.bench_function("cache_hit_heavy_64k", |b| {
+        let mut cache = Cache::new(CacheConfig::l1());
+        // Working set of half the cache: every access after warm-up hits.
+        for line in 0..128u64 {
+            cache.insert(line * 32, Mesi::Exclusive);
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..64 * 1024u64 {
+                if cache.access(black_box((i % 128) * 32)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("cache_conflict_heavy_64k", |b| {
+        let mut cache = Cache::new(CacheConfig::l1());
+        let sets = CacheConfig::l1().sets() as u64;
+        b.iter(|| {
+            // Four distinct tags cycling through a 2-way set: every access
+            // misses and inserts over the LRU victim.
+            let mut evictions = 0u64;
+            for i in 0..64 * 1024u64 {
+                let addr = (i % 4) * sets * 32;
+                if cache.access(black_box(addr)).is_none()
+                    && cache.insert(addr, Mesi::Exclusive).is_some()
+                {
+                    evictions += 1;
+                }
+            }
+            black_box(evictions)
         })
     });
 }
@@ -184,7 +281,7 @@ fn bench_spl_tick_into(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(10);
-    targets = bench_core_step, bench_cache, bench_spl, bench_assembler,
-        bench_sim_throughput, bench_spl_tick_into
+    targets = bench_core_step, bench_cache, bench_flatmem, bench_cache_tag_array,
+        bench_spl, bench_assembler, bench_sim_throughput, bench_spl_tick_into
 );
 criterion_main!(micro);

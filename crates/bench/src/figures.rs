@@ -607,6 +607,17 @@ pub fn ablation_virtual(jobs: usize) {
 pub fn smoke(jobs: usize) {
     let start = Instant::now();
     banner("smoke", "parallel-sweep smoke: serial vs pooled results");
+    // A pool silently degraded to one worker makes every "parallel"
+    // measurement in this suite a duplicate of the serial pass. That is
+    // fine when the user asked for it (REMAP_JOBS=1) and a defect worth
+    // failing CI over otherwise.
+    assert!(
+        jobs > 1 || crate::runner::jobs_explicit(),
+        "worker pool degraded to 1 worker (host parallelism {}) without an \
+         explicit REMAP_JOBS — set REMAP_JOBS=1 to acknowledge a single-core \
+         host, or a larger value to force a pool",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
     let sizes = [8usize, 16, 32];
     let serial = crate::barrier_sweep_jobs(BarrierBench::Ll2, BarrierMode::Remap(8), &sizes, 1);
     let pooled = crate::barrier_sweep_jobs(BarrierBench::Ll2, BarrierMode::Remap(8), &sizes, jobs);

@@ -41,6 +41,19 @@ pub fn jobs_from(env: Option<&str>) -> usize {
         .unwrap_or(1)
 }
 
+/// Whether the job count was set *explicitly* via a valid `REMAP_JOBS`
+/// value. A pool degraded to one worker is expected when the user asked
+/// for it (`REMAP_JOBS=1`) and a measurement defect otherwise — the smoke
+/// bench and the simperf report treat the two cases differently.
+pub fn jobs_explicit() -> bool {
+    jobs_explicit_from(std::env::var("REMAP_JOBS").ok().as_deref())
+}
+
+/// [`jobs_explicit`] with the environment value passed explicitly.
+pub fn jobs_explicit_from(env: Option<&str>) -> bool {
+    env.is_some_and(|v| v.trim().parse::<usize>().is_ok_and(|n| n >= 1))
+}
+
 /// Runs `f(index, &items[index])` for every item on a pool of `jobs`
 /// worker threads and returns the results in item order.
 ///
@@ -173,5 +186,14 @@ mod tests {
         assert_eq!(jobs_from(Some("0")), host);
         assert_eq!(jobs_from(Some("not-a-number")), host);
         assert_eq!(jobs_from(None), host);
+    }
+
+    #[test]
+    fn jobs_explicit_parsing() {
+        assert!(jobs_explicit_from(Some("1")));
+        assert!(jobs_explicit_from(Some(" 4 ")));
+        assert!(!jobs_explicit_from(Some("0")));
+        assert!(!jobs_explicit_from(Some("not-a-number")));
+        assert!(!jobs_explicit_from(None));
     }
 }

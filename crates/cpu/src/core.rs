@@ -26,6 +26,7 @@ use crate::config::CoreConfig;
 use crate::ports::{CorePorts, PortPush};
 use crate::stats::{class_index, CoreStats};
 use remap_isa::{Inst, InstClass, Program, Reg};
+use std::collections::VecDeque;
 
 /// Byte address where code is mapped for I-cache indexing; keeps code
 /// addresses disjoint from any data the workloads use.
@@ -46,6 +47,17 @@ enum Status {
     Executing(u64),
     /// Result available.
     Done,
+}
+
+/// Compact per-entry walk tag mirroring `RobEntry::status` and `in_iq`:
+/// the issue and writeback walks scan these one-byte tags (the whole ROB
+/// fits in a cache line) and touch the ~112-byte entries only on a match.
+mod tag {
+    pub const WAITING: u8 = 0;
+    pub const EXECUTING: u8 = 1;
+    pub const DONE: u8 = 2;
+    /// Set while the entry holds an issue-queue slot (`in_iq`).
+    pub const IQ: u8 = 0b100;
 }
 
 #[derive(Debug, Clone)]
@@ -72,7 +84,18 @@ struct RobEntry {
     head_busy_until: u64,
     /// For at-head operations: has the port action been performed?
     head_done: bool,
+    /// Head of this entry's wakeup chain: the most recently dispatched
+    /// consumer waiting on this result, encoded `consumer_seq << 1 | slot`
+    /// (`NO_WAITER` when empty). Completion walks the chain and touches
+    /// exactly the waiting consumers instead of scanning the whole ROB.
+    waiters: u64,
+    /// Per-source links continuing the producer's wakeup chain through
+    /// this consumer (one chain slot per source operand).
+    next_waiter: [u64; 2],
 }
+
+/// Empty wakeup-chain link.
+const NO_WAITER: u64 = u64::MAX;
 
 #[derive(Debug, Clone, Copy)]
 struct Fetched {
@@ -103,7 +126,17 @@ pub struct Core {
     pred: Predictor,
     regs: [i64; Reg::COUNT],
     map: [Option<u64>; Reg::COUNT],
-    rob: Vec<RobEntry>,
+    /// Reorder buffer, oldest at the front. A ring buffer so commit can
+    /// retire from the head without shifting the (large) entries; entries
+    /// are strictly ordered by `seq`, which keeps producer lookups a binary
+    /// search instead of a linear scan.
+    rob: VecDeque<RobEntry>,
+    /// One walk tag per ROB entry (see [`tag`]), kept in lockstep with
+    /// `rob` by dispatch/issue/writeback/commit/squash.
+    rob_tags: VecDeque<u8>,
+    /// Issue-queue occupancy (int, fp), maintained incrementally so
+    /// dispatch and the quiescence probe do not rescan the ROB every cycle.
+    iq_occ: (usize, usize),
     fetch_buf: Vec<Fetched>,
     fetch_pc: u32,
     /// In-flight I-cache access: instructions arrive at this cycle. The
@@ -125,6 +158,18 @@ pub struct Core {
     next_seq: u64,
     /// Scratch list of ROB indices completed this cycle (reused allocation).
     wb_completed: Vec<usize>,
+    /// Seqs of in-flight memory-ordering entries (stores, atomics, fences,
+    /// hardware barriers) in program order. The load-disambiguation check
+    /// visits only these instead of the whole older ROB prefix.
+    mem_seqs: VecDeque<u64>,
+    /// Seqs of entries currently `Executing` (unsorted); writeback visits
+    /// only these instead of walking every ROB slot.
+    exec_seqs: Vec<u64>,
+    /// Earliest completion time among `Executing` entries (`u64::MAX` when
+    /// none): lets writeback skip its ROB walk on cycles where nothing can
+    /// complete. May go stale-low after a squash, which only costs one
+    /// empty walk that recomputes it.
+    exec_next_done: u64,
     stats: CoreStats,
 }
 
@@ -139,7 +184,9 @@ impl Core {
             pred: Predictor::new(cfg.bpred_bits, cfg.btb_entries, cfg.ras),
             regs: [0; Reg::COUNT],
             map: [None; Reg::COUNT],
-            rob: Vec::with_capacity(cfg.rob),
+            rob: VecDeque::with_capacity(cfg.rob),
+            rob_tags: VecDeque::with_capacity(cfg.rob),
+            iq_occ: (0, 0),
             fetch_buf: Vec::new(),
             fetch_pc: 0,
             fetch_inflight_at: None,
@@ -154,6 +201,9 @@ impl Core {
             cycle: 0,
             next_seq: 0,
             wb_completed: Vec::new(),
+            mem_seqs: VecDeque::with_capacity(cfg.rob),
+            exec_seqs: Vec::with_capacity(cfg.rob),
+            exec_next_done: u64::MAX,
             stats: CoreStats::default(),
         }
     }
@@ -213,6 +263,8 @@ impl Core {
         if self.halted {
             return false;
         }
+        debug_assert!(self.tags_in_sync(), "rob_tags out of sync with rob");
+        debug_assert!(self.side_lists_in_sync(), "mem_seqs/exec_seqs out of sync");
         self.cycle += 1;
         self.stats.cycles += 1;
         self.drain_store_buffer(ports);
@@ -259,7 +311,7 @@ impl Core {
         }
 
         // Commit: what the ROB head would do next cycle.
-        if let Some(e) = self.rob.first() {
+        if let Some(e) = self.rob.front() {
             match e.status {
                 Status::Executing(_) => {} // covered by the ROB scan below
                 Status::Waiting if e.inst.is_at_head_only() => {
@@ -433,7 +485,7 @@ impl Core {
         // Commit-side wait counter: mirrors the stat a stalled head charges
         // once per cycle. In a quiescent state the port-dependent branches
         // are fully determined (a ready port would have been a wake).
-        if let Some(e) = self.rob.first() {
+        if let Some(e) = self.rob.front() {
             match e.status {
                 Status::Waiting if e.inst.is_at_head_only() && !e.head_done => match e.inst {
                     Inst::SplStore { .. } => self.stats.spl_wait_cycles += delta,
@@ -594,7 +646,16 @@ impl Core {
 
     // --- dispatch -----------------------------------------------------------
 
+    /// Issue-queue occupancy (int, fp): the incrementally maintained
+    /// counters, checked against a full recount in debug builds.
     fn iq_occupancy(&self) -> (usize, usize) {
+        debug_assert_eq!(self.iq_occ, self.iq_recount(), "iq_occ out of sync");
+        self.iq_occ
+    }
+
+    /// Reference recount of issue-queue occupancy (debug checking and
+    /// post-squash rebuild).
+    fn iq_recount(&self) -> (usize, usize) {
         let mut int = 0;
         let mut fp = 0;
         for e in &self.rob {
@@ -609,12 +670,111 @@ impl Core {
         (int, fp)
     }
 
+    /// The walk tag a ROB entry should currently carry (debug checking).
+    fn tag_of(e: &RobEntry) -> u8 {
+        let kind = match e.status {
+            Status::Waiting => tag::WAITING,
+            Status::Executing(_) => tag::EXECUTING,
+            Status::Done => tag::DONE,
+        };
+        kind | if e.in_iq { tag::IQ } else { 0 }
+    }
+
+    /// Whether every walk tag matches its ROB entry (debug checking).
+    fn tags_in_sync(&self) -> bool {
+        self.rob.len() == self.rob_tags.len()
+            && self
+                .rob
+                .iter()
+                .zip(&self.rob_tags)
+                .all(|(e, &t)| Self::tag_of(e) == t)
+    }
+
+    /// Whether an instruction participates in memory ordering: it either
+    /// writes memory or forbids younger loads from issuing past it.
+    fn orders_memory(inst: Inst) -> bool {
+        matches!(
+            inst,
+            Inst::Sw { .. }
+                | Inst::Sb { .. }
+                | Inst::AmoAdd { .. }
+                | Inst::Fence
+                | Inst::HwBar { .. }
+        )
+    }
+
+    /// Whether `mem_seqs` and `exec_seqs` match a fresh recount from the
+    /// ROB (debug checking).
+    fn side_lists_in_sync(&self) -> bool {
+        let mem_ok = self.mem_seqs.iter().copied().eq(self
+            .rob
+            .iter()
+            .filter(|e| Self::orders_memory(e.inst))
+            .map(|e| e.seq));
+        // Allocation-free equality-as-multisets: every executing entry
+        // appears exactly once in `exec_seqs`, and the lengths match (this
+        // runs under debug_assert inside the alloc-free hot loop).
+        let execing = self
+            .rob
+            .iter()
+            .filter(|e| matches!(e.status, Status::Executing(_)));
+        let mut n = 0usize;
+        let exec_ok = execing
+            .inspect(|_| n += 1)
+            .all(|e| self.exec_seqs.iter().filter(|&&s| s == e.seq).count() == 1);
+        mem_ok && exec_ok && n == self.exec_seqs.len()
+    }
+
+    /// Delivers a completed result to exactly the consumers registered in
+    /// the producer's wakeup chain, emptying it.
+    fn wake_waiters(&mut self, producer: usize) {
+        let v = self.rob[producer].value;
+        let pseq = self.rob[producer].seq;
+        let mut link = std::mem::replace(&mut self.rob[producer].waiters, NO_WAITER);
+        while link != NO_WAITER {
+            let (cseq, slot) = (link >> 1, (link & 1) as usize);
+            let ci = self.rob_index_of(cseq).expect("waiter resident");
+            let c = &mut self.rob[ci];
+            debug_assert_eq!(c.src[slot], Src::Wait(pseq), "stale wakeup link");
+            c.src[slot] = Src::Ready(v);
+            link = std::mem::replace(&mut c.next_waiter[slot], NO_WAITER);
+        }
+    }
+
+    /// Releases the issue-queue slot held by a ROB entry (writeback or
+    /// squash path).
+    fn iq_release(iq_occ: &mut (usize, usize), e: &RobEntry) {
+        if e.inst.class() == InstClass::Fp {
+            iq_occ.1 -= 1;
+        } else {
+            iq_occ.0 -= 1;
+        }
+    }
+
+    /// Locates the ROB index of the in-flight producer `seq`, if still
+    /// present. ROB seqs are contiguous (commit pops from the front, squash
+    /// truncates the back and rewinds `next_seq`), so residency is pure
+    /// index arithmetic.
+    #[inline]
+    fn rob_index_of(&self, seq: u64) -> Option<usize> {
+        let front = self.rob.front()?.seq;
+        if seq < front {
+            return None; // already committed
+        }
+        let i = (seq - front) as usize;
+        debug_assert!(
+            i < self.rob.len() && self.rob[i].seq == seq,
+            "non-contiguous ROB seqs"
+        );
+        Some(i)
+    }
+
     fn resolve_src(&self, r: Reg) -> Src {
         if r.is_zero() {
             return Src::Ready(0);
         }
         match self.map[r.index()] {
-            Some(seq) => match self.rob.iter().find(|e| e.seq == seq) {
+            Some(seq) => match self.rob_index_of(seq).map(|i| &self.rob[i]) {
                 Some(e) if e.status == Status::Done => Src::Ready(e.value),
                 Some(_) => Src::Wait(seq),
                 // Producer already committed: value is architectural.
@@ -672,7 +832,7 @@ impl Core {
             if let Some(d) = f.inst.dest() {
                 self.map[d.index()] = Some(seq);
             }
-            let entry = RobEntry {
+            let mut entry = RobEntry {
                 seq,
                 pc: f.pc,
                 inst: f.inst,
@@ -688,7 +848,18 @@ impl Core {
                 mispredicted: false,
                 head_busy_until: 0,
                 head_done: false,
+                waiters: NO_WAITER,
+                next_waiter: [NO_WAITER; 2],
             };
+            // Enter the producers' wakeup chains (consumers are strictly
+            // younger than their producers, so the producer is resident).
+            for slot in 0..2 {
+                if let Src::Wait(pseq) = entry.src[slot] {
+                    let pi = self.rob_index_of(pseq).expect("in-flight producer");
+                    entry.next_waiter[slot] = self.rob[pi].waiters;
+                    self.rob[pi].waiters = (seq << 1) | slot as u64;
+                }
+            }
             if needs_iq {
                 if class == InstClass::Fp {
                     fp_occ += 1;
@@ -696,9 +867,14 @@ impl Core {
                     int_occ += 1;
                 }
             }
-            self.rob.push(entry);
+            if Self::orders_memory(entry.inst) {
+                self.mem_seqs.push_back(seq);
+            }
+            self.rob_tags.push_back(Self::tag_of(&entry));
+            self.rob.push_back(entry);
             self.stats.dispatched += 1;
         }
+        self.iq_occ = (int_occ, fp_occ);
     }
 
     // --- issue / execute ------------------------------------------------------
@@ -712,14 +888,19 @@ impl Core {
         let lat = self.cfg.lat;
         let cycle = self.cycle;
 
-        for i in 0..self.rob.len() {
+        // Walk the compact tags; only waiting entries that hold an IQ slot
+        // are issue candidates, and everything else is skipped without
+        // touching the ROB entry itself.
+        let mut tags = std::mem::take(&mut self.rob_tags);
+        for (i, t) in tags.iter_mut().enumerate() {
             if issued >= self.cfg.issue_width {
                 break;
             }
-            let e = &self.rob[i];
-            if !e.in_iq || e.status != Status::Waiting {
+            if *t != (tag::WAITING | tag::IQ) {
                 continue;
             }
+            let e = &self.rob[i];
+            debug_assert!(e.in_iq && e.status == Status::Waiting);
             if e.inst.is_at_head_only() {
                 continue; // handled at commit
             }
@@ -777,7 +958,11 @@ impl Core {
                         e.mem_addr = Some(addr);
                         e.mem_size = size;
                         e.value = v;
-                        e.status = Status::Executing(cycle + lat.agu as u64 + 1);
+                        let done_at = cycle + lat.agu as u64 + 1;
+                        e.status = Status::Executing(done_at);
+                        *t = tag::EXECUTING | tag::IQ;
+                        self.exec_seqs.push(e.seq);
+                        self.exec_next_done = self.exec_next_done.min(done_at);
                         ldst_units -= 1;
                         issued += 1;
                         self.stats.issued += 1;
@@ -803,7 +988,11 @@ impl Core {
                         e.mem_addr = Some(addr);
                         e.mem_size = size;
                         e.value = v;
-                        e.status = Status::Executing(cycle + (lat.agu + mlat) as u64);
+                        let done_at = cycle + (lat.agu + mlat) as u64;
+                        e.status = Status::Executing(done_at);
+                        *t = tag::EXECUTING | tag::IQ;
+                        self.exec_seqs.push(e.seq);
+                        self.exec_next_done = self.exec_next_done.min(done_at);
                         ldst_units -= 1;
                         issued += 1;
                         self.stats.issued += 1;
@@ -894,9 +1083,13 @@ impl Core {
                 other => unreachable!("unexpected instruction in issue: {other}"),
             }
             self.rob[i].status = Status::Executing(done_at);
+            *t = tag::EXECUTING | tag::IQ;
+            self.exec_seqs.push(self.rob[i].seq);
+            self.exec_next_done = self.exec_next_done.min(done_at);
             issued += 1;
             self.stats.issued += 1;
         }
+        self.rob_tags = tags;
     }
 
     fn src_val(&self, i: usize, s: usize) -> i64 {
@@ -920,10 +1113,17 @@ impl Core {
         };
         let addr = (base + offset as i64) as u64;
         let end = addr + size as u64;
-        // Older in-ROB stores and ordering points.
+        // Older in-ROB stores and ordering points: `mem_seqs` holds exactly
+        // the ordering entries in program order, so the scan touches only
+        // those instead of the whole older ROB prefix.
+        let front = self.rob[0].seq;
+        let lseq = self.rob[i].seq;
         let mut forward: Option<i64> = None;
-        for e in self.rob[..i].iter() {
-            let is_store = matches!(e.inst, Inst::Sw { .. } | Inst::Sb { .. });
+        for &mseq in &self.mem_seqs {
+            if mseq >= lseq {
+                break; // younger than the load
+            }
+            let e = &self.rob[(mseq - front) as usize];
             // Loads may not issue past an unretired fence, atomic, or
             // hardware barrier: these order memory across threads (a fence
             // after a barrier guarantees younger loads observe remote
@@ -934,9 +1134,7 @@ impl Core {
             ) {
                 return LoadPath::Blocked;
             }
-            if !is_store {
-                continue;
-            }
+            debug_assert!(matches!(e.inst, Inst::Sw { .. } | Inst::Sb { .. }));
             match e.mem_addr {
                 None => return LoadPath::Blocked, // unknown older store address
                 Some(sa) => {
@@ -974,33 +1172,55 @@ impl Core {
 
     fn writeback(&mut self) {
         let cycle = self.cycle;
-        // Complete executions. The index list is a reused scratch buffer so
-        // steady-state cycles do not allocate.
+        // Nothing in a functional unit can complete before `exec_next_done`,
+        // so most stall cycles skip the ROB walk entirely.
+        if cycle < self.exec_next_done {
+            self.wb_completed.clear();
+            return;
+        }
+        // Partition the executing list into due completions and survivors;
+        // only entries actually in a functional unit are touched. The
+        // completed-index list is a reused scratch buffer so steady-state
+        // cycles do not allocate.
         let mut completed = std::mem::take(&mut self.wb_completed);
         completed.clear();
-        for (i, e) in self.rob.iter_mut().enumerate() {
-            if let Status::Executing(t) = e.status {
-                if cycle >= t {
-                    e.status = Status::Done;
-                    e.in_iq = false;
-                    completed.push(i);
-                }
+        let mut next_done = u64::MAX;
+        let front = self.rob.front().map_or(0, |e| e.seq);
+        let mut exec = std::mem::take(&mut self.exec_seqs);
+        let mut kept = 0;
+        for k in 0..exec.len() {
+            let seq = exec[k];
+            let i = (seq - front) as usize;
+            let Status::Executing(done_at) = self.rob[i].status else {
+                unreachable!("exec_seqs entry not executing");
+            };
+            if cycle >= done_at {
+                completed.push(i);
+            } else {
+                next_done = next_done.min(done_at);
+                exec[kept] = seq;
+                kept += 1;
             }
         }
-        // Broadcast values to waiting consumers.
+        exec.truncate(kept);
+        self.exec_seqs = exec;
+        self.exec_next_done = next_done;
+        // Completions are handed to consumers oldest-first (the list is in
+        // issue order, not ROB order) so control resolution below squashes
+        // on the oldest mispredict.
+        completed.sort_unstable();
+        let mut iq = self.iq_occ;
         for &i in &completed {
-            let seq = self.rob[i].seq;
-            let v = self.rob[i].value;
-            if self.rob[i].inst.dest().is_some() {
-                for e in &mut self.rob {
-                    for s in &mut e.src {
-                        if *s == Src::Wait(seq) {
-                            *s = Src::Ready(v);
-                        }
-                    }
-                }
+            let e = &mut self.rob[i];
+            e.status = Status::Done;
+            if e.in_iq {
+                Self::iq_release(&mut iq, e);
             }
+            e.in_iq = false;
+            self.rob_tags[i] = tag::DONE;
+            self.wake_waiters(i);
         }
+        self.iq_occ = iq;
         // Resolve control transfers oldest-first; squash on the first
         // mispredict found.
         for &i in &completed {
@@ -1047,19 +1267,46 @@ impl Core {
 
     fn squash_after(&mut self, seq: u64, redirect: u32) {
         let keep = self
-            .rob
-            .iter()
-            .position(|e| e.seq == seq)
+            .rob_index_of(seq)
             .map(|p| p + 1)
             .unwrap_or(self.rob.len());
         let squashed = self.rob.len() - keep;
         self.stats.squashed += squashed as u64;
         self.rob.truncate(keep);
-        // Rebuild the rename map from surviving entries.
+        self.rob_tags.truncate(keep);
+        // Rewind the seq counter over the squashed (never-committed) tail:
+        // nothing references those seqs any more, and reissuing them keeps
+        // ROB seqs contiguous so producer lookups stay O(1).
+        if let Some(last) = self.rob.back() {
+            self.next_seq = last.seq + 1;
+        }
+        // Purge squashed seqs from the side lists before any are reissued.
+        let cut = self.next_seq;
+        while self.mem_seqs.back().is_some_and(|&s| s >= cut) {
+            self.mem_seqs.pop_back();
+        }
+        self.exec_seqs.retain(|&s| s < cut);
+        self.iq_occ = self.iq_recount();
+        // Rebuild the rename map and the wakeup chains from surviving
+        // entries (squashed consumers may sit in survivors' chains).
         self.map = [None; Reg::COUNT];
-        for e in &self.rob {
+        for e in &mut self.rob {
             if let Some(d) = e.inst.dest() {
                 self.map[d.index()] = Some(e.seq);
+            }
+            e.waiters = NO_WAITER;
+            e.next_waiter = [NO_WAITER; 2];
+        }
+        for i in 0..self.rob.len() {
+            for slot in 0..2 {
+                if let Src::Wait(pseq) = self.rob[i].src[slot] {
+                    let cseq = self.rob[i].seq;
+                    let pi = self
+                        .rob_index_of(pseq)
+                        .expect("producer older than consumer");
+                    self.rob[i].next_waiter[slot] = self.rob[pi].waiters;
+                    self.rob[pi].waiters = (cseq << 1) | slot as u64;
+                }
             }
         }
         self.fetch_buf.clear();
@@ -1145,7 +1392,12 @@ impl Core {
                 }
                 _ => {}
             }
-            let e = self.rob.remove(0);
+            self.rob_tags.pop_front();
+            let e = self.rob.pop_front().expect("non-empty ROB");
+            if Self::orders_memory(e.inst) {
+                let f = self.mem_seqs.pop_front();
+                debug_assert_eq!(f, Some(e.seq), "mem_seqs front is the oldest entry");
+            }
             if let Some(d) = e.inst.dest() {
                 self.regs[d.index()] = e.value;
                 self.stats.regfile_writes += 1;
@@ -1188,17 +1440,8 @@ impl Core {
         if e.head_done {
             if cycle >= e.head_busy_until {
                 e.status = Status::Done;
-                let seq = e.seq;
-                let v = e.value;
-                if e.inst.dest().is_some() {
-                    for r in &mut self.rob {
-                        for s in &mut r.src {
-                            if *s == Src::Wait(seq) {
-                                *s = Src::Ready(v);
-                            }
-                        }
-                    }
-                }
+                self.rob_tags[0] = tag::DONE;
+                self.wake_waiters(0);
                 return true;
             }
             return false;
@@ -1231,6 +1474,7 @@ impl Core {
             Inst::HwBar { id } => {
                 if ports.hwbar(self.id, id) {
                     e.status = Status::Done;
+                    self.rob_tags[0] = tag::DONE;
                     true
                 } else {
                     self.stats.hw_wait_cycles += 1;
@@ -1240,6 +1484,7 @@ impl Core {
             Inst::Fence => {
                 if self.store_buf.is_empty() {
                     e.status = Status::Done;
+                    self.rob_tags[0] = tag::DONE;
                     true
                 } else {
                     self.stats.fence_wait_cycles += 1;

@@ -89,19 +89,6 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    state: Mesi,
-    lru: u64,
-}
-
-const EMPTY_LINE: Line = Line {
-    tag: 0,
-    state: Mesi::Invalid,
-    lru: 0,
-};
-
 /// A cache tag array (data lives in [`FlatMem`](crate::FlatMem)).
 ///
 /// The cache tracks MESI state per line and uses true LRU within a set.
@@ -109,14 +96,29 @@ const EMPTY_LINE: Line = Line {
 /// by the owning [`Hierarchy`](crate::Hierarchy); the cache only provides
 /// mechanical probe/insert/invalidate operations.
 ///
-/// Storage is one contiguous `Vec<Line>` indexed `set * ways + way`
-/// (empty ways carry `Mesi::Invalid`), so a set lookup walks a flat slice
-/// instead of chasing a per-set `Vec` pointer.
+/// Storage is data-oriented: tags, states, and LRU stamps live in three
+/// parallel flat arrays indexed `set * ways + way` (empty ways carry
+/// `Mesi::Invalid`), and each set remembers its last-hit way (`mru_way`).
+/// Every lookup goes through [`find_way`](Cache::find_way), which checks
+/// the predicted way before falling back to the linear scan — on hit-heavy
+/// traffic the common case touches a single tag. Way prediction is a pure
+/// search shortcut: tags of valid lines are unique within a set, so the
+/// predicted-way probe and the linear scan always agree.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     num_sets: usize,
-    lines: Vec<Line>,
+    /// `log2(line_bytes)` — geometry is power-of-two, so indexing is all
+    /// shifts and masks instead of integer division.
+    line_shift: u32,
+    /// `log2(line_bytes * num_sets)`: shift that strips line offset and
+    /// set index off an address, leaving the tag.
+    tag_shift: u32,
+    tags: Vec<u64>,
+    states: Vec<Mesi>,
+    lru: Vec<u64>,
+    /// Last way hit (or filled) per set; purely a prediction hint.
+    mru_way: Vec<u32>,
     tick: u64,
     stats: CacheStats,
 }
@@ -136,9 +138,15 @@ impl Cache {
             cfg.line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
+        let line_shift = cfg.line_bytes.trailing_zeros();
         Cache {
             num_sets: sets,
-            lines: vec![EMPTY_LINE; sets * cfg.ways],
+            line_shift,
+            tag_shift: line_shift + sets.trailing_zeros(),
+            tags: vec![0; sets * cfg.ways],
+            states: vec![Mesi::Invalid; sets * cfg.ways],
+            lru: vec![0; sets * cfg.ways],
+            mru_way: vec![0; sets],
             cfg,
             tick: 0,
             stats: CacheStats::default(),
@@ -155,20 +163,14 @@ impl Cache {
         &self.stats
     }
 
+    #[inline]
     fn set_index(&self, addr: u64) -> usize {
-        ((addr as usize) / self.cfg.line_bytes) & (self.num_sets - 1)
+        ((addr >> self.line_shift) as usize) & (self.num_sets - 1)
     }
 
+    #[inline]
     fn tag(&self, addr: u64) -> u64 {
-        addr / (self.cfg.line_bytes as u64) / (self.num_sets as u64)
-    }
-
-    fn set(&self, si: usize) -> &[Line] {
-        &self.lines[si * self.cfg.ways..(si + 1) * self.cfg.ways]
-    }
-
-    fn set_mut(&mut self, si: usize) -> &mut [Line] {
-        &mut self.lines[si * self.cfg.ways..(si + 1) * self.cfg.ways]
+        addr >> self.tag_shift
     }
 
     /// Line-aligned base address for `addr`.
@@ -176,37 +178,48 @@ impl Cache {
         addr & !(self.cfg.line_bytes as u64 - 1)
     }
 
+    /// Locates the way holding `tag` in set `si`, if resident. Checks the
+    /// set's MRU way first (way prediction), then scans linearly. This is
+    /// the single lookup used by every probe/access/set_state/invalidate/
+    /// insert path.
+    #[inline]
+    fn find_way(&self, si: usize, tag: u64) -> Option<usize> {
+        let ways = self.cfg.ways;
+        let base = si * ways;
+        let pred = self.mru_way[si] as usize;
+        debug_assert!(pred < ways);
+        if self.states[base + pred] != Mesi::Invalid && self.tags[base + pred] == tag {
+            return Some(pred);
+        }
+        (0..ways).find(|&w| {
+            w != pred && self.states[base + w] != Mesi::Invalid && self.tags[base + w] == tag
+        })
+    }
+
     /// Returns the MESI state of the line containing `addr` without touching
     /// LRU or statistics (used for snooping).
+    #[inline]
     pub fn probe(&self, addr: u64) -> Mesi {
         let si = self.set_index(addr);
-        let tag = self.tag(addr);
-        self.set(si)
-            .iter()
-            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
-            .map(|l| l.state)
-            .unwrap_or(Mesi::Invalid)
+        match self.find_way(si, self.tag(addr)) {
+            Some(w) => self.states[si * self.cfg.ways + w],
+            None => Mesi::Invalid,
+        }
     }
 
     /// Performs a demand access: bumps LRU and hit/miss counters. Returns the
     /// state if the line is present (hit), else `None` (miss).
+    #[inline]
     pub fn access(&mut self, addr: u64) -> Option<Mesi> {
         self.tick += 1;
         let si = self.set_index(addr);
-        let tag = self.tag(addr);
-        let tick = self.tick;
-        let hit = self
-            .set_mut(si)
-            .iter_mut()
-            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
-            .map(|l| {
-                l.lru = tick;
-                l.state
-            });
-        match hit {
-            Some(state) => {
+        match self.find_way(si, self.tag(addr)) {
+            Some(w) => {
+                let i = si * self.cfg.ways + w;
+                self.lru[i] = self.tick;
+                self.mru_way[si] = w as u32;
                 self.stats.hits += 1;
-                Some(state)
+                Some(self.states[i])
             }
             None => {
                 self.stats.misses += 1;
@@ -216,15 +229,12 @@ impl Cache {
     }
 
     /// Changes the state of a resident line; no-op if not resident.
+    #[inline]
     pub fn set_state(&mut self, addr: u64, state: Mesi) {
         let si = self.set_index(addr);
-        let tag = self.tag(addr);
-        if let Some(l) = self
-            .set_mut(si)
-            .iter_mut()
-            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
-        {
-            l.state = state;
+        if let Some(w) = self.find_way(si, self.tag(addr)) {
+            self.states[si * self.cfg.ways + w] = state;
+            self.mru_way[si] = w as u32;
         }
     }
 
@@ -232,14 +242,12 @@ impl Cache {
     /// the previous state, counting a writeback if it was Modified.
     pub fn invalidate(&mut self, addr: u64) -> Mesi {
         let si = self.set_index(addr);
-        let tag = self.tag(addr);
-        if let Some(l) = self
-            .set_mut(si)
-            .iter_mut()
-            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
-        {
-            let prev = l.state;
-            *l = EMPTY_LINE;
+        if let Some(w) = self.find_way(si, self.tag(addr)) {
+            let i = si * self.cfg.ways + w;
+            let prev = self.states[i];
+            self.tags[i] = 0;
+            self.states[i] = Mesi::Invalid;
+            self.lru[i] = 0;
             self.stats.invalidations += 1;
             if prev == Mesi::Modified {
                 self.stats.writebacks += 1;
@@ -258,55 +266,47 @@ impl Cache {
         self.tick += 1;
         let si = self.set_index(addr);
         let tag = self.tag(addr);
-        let tick = self.tick;
-        let num_sets = self.num_sets as u64;
-        let line_bytes = self.cfg.line_bytes as u64;
-        if let Some(l) = self
-            .set_mut(si)
-            .iter_mut()
-            .find(|l| l.state != Mesi::Invalid && l.tag == tag)
-        {
+        let base = si * self.cfg.ways;
+        if let Some(w) = self.find_way(si, tag) {
             // Already resident (e.g. refill racing an upgrade): just update.
-            l.state = state;
-            l.lru = tick;
+            self.states[base + w] = state;
+            self.lru[base + w] = self.tick;
+            self.mru_way[si] = w as u32;
             return None;
         }
         // Prefer an empty way; otherwise evict the LRU of the set (LRU stamps
         // are unique — `tick` is monotonic — so the victim is unambiguous).
         let mut evicted = None;
-        let slot = match self.set(si).iter().position(|l| l.state == Mesi::Invalid) {
+        let set_states = &self.states[base..base + self.cfg.ways];
+        let slot = match set_states.iter().position(|&s| s == Mesi::Invalid) {
             Some(w) => w,
             None => {
-                let w = self
-                    .set(si)
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("set is non-empty");
-                let line = self.set(si)[w];
-                if line.state == Mesi::Modified {
+                let mut w = 0;
+                for cand in 1..self.cfg.ways {
+                    if self.lru[base + cand] < self.lru[base + w] {
+                        w = cand;
+                    }
+                }
+                let victim_state = self.states[base + w];
+                if victim_state == Mesi::Modified {
                     self.stats.writebacks += 1;
                 }
-                let base = (line.tag * num_sets + si as u64) * line_bytes;
-                evicted = Some((base, line.state));
+                let victim_base =
+                    (self.tags[base + w] << self.tag_shift) | ((si as u64) << self.line_shift);
+                evicted = Some((victim_base, victim_state));
                 w
             }
         };
-        self.set_mut(si)[slot] = Line {
-            tag,
-            state,
-            lru: tick,
-        };
+        self.tags[base + slot] = tag;
+        self.states[base + slot] = state;
+        self.lru[base + slot] = self.tick;
+        self.mru_way[si] = slot as u32;
         evicted
     }
 
     /// Number of resident lines (for tests).
     pub fn resident_lines(&self) -> usize {
-        self.lines
-            .iter()
-            .filter(|l| l.state != Mesi::Invalid)
-            .count()
+        self.states.iter().filter(|&&s| s != Mesi::Invalid).count()
     }
 }
 
@@ -387,6 +387,32 @@ mod tests {
         assert_eq!(c.insert(0x100, Mesi::Modified), None);
         assert_eq!(c.probe(0x100), Mesi::Modified);
         assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn way_prediction_tracks_alternating_lines() {
+        let mut c = tiny();
+        // Two lines in the same set: alternating hits flip the MRU way and
+        // must keep hitting (the prediction is a shortcut, not a filter).
+        c.insert(0x000, Mesi::Exclusive);
+        c.insert(0x020, Mesi::Shared);
+        for _ in 0..8 {
+            assert_eq!(c.access(0x000), Some(Mesi::Exclusive));
+            assert_eq!(c.access(0x020), Some(Mesi::Shared));
+        }
+        assert_eq!(c.stats().hits, 16);
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn invalidated_mru_way_is_not_a_false_hit() {
+        let mut c = tiny();
+        c.insert(0x000, Mesi::Exclusive);
+        assert_eq!(c.access(0x000), Some(Mesi::Exclusive));
+        c.invalidate(0x000);
+        // The MRU way still points at the cleared slot; a fresh line with a
+        // different tag must not hit through the stale prediction.
+        assert_eq!(c.access(0x040), None);
     }
 
     #[test]

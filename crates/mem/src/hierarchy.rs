@@ -131,12 +131,18 @@ impl Hierarchy {
     /// Instruction-fetch timing for the line containing `addr`.
     ///
     /// Instruction lines are read-only, so no coherence actions are needed;
-    /// misses fill both L2 and L1I in Shared state.
+    /// misses fill both L2 and L1I in Shared state. The L1I-hit fast lane
+    /// answers without touching anything beyond the L1I tag array.
     pub fn inst_fetch(&mut self, core: usize, addr: u64) -> u32 {
-        let mut lat = self.cfg.l1i.hit_latency;
+        let lat = self.cfg.l1i.hit_latency;
         if self.cores[core].l1i.access(addr).is_some() {
             return lat;
         }
+        self.inst_fetch_miss(core, addr, lat)
+    }
+
+    /// Instruction-fetch miss path: L2 and, if needed, DRAM.
+    fn inst_fetch_miss(&mut self, core: usize, addr: u64, mut lat: u32) -> u32 {
         lat += self.cfg.l2.hit_latency;
         if self.cores[core].l2.access(addr).is_none() {
             lat += self.cfg.dram_latency;
@@ -182,32 +188,41 @@ impl Hierarchy {
     }
 
     /// Timing-only data access used by both loads and stores.
+    ///
+    /// The **L1-hit fast lane**: a load hitting the private L1D in any
+    /// valid state, or a store hitting it in Modified, is fully answered
+    /// here — no MESI state transition, no snoop, no L2 touch. A store
+    /// hitting Exclusive performs the silent local E→M upgrade (still no
+    /// bus traffic). Everything else — misses, stores to Shared lines
+    /// (which must broadcast an upgrade), and cross-core transfers — falls
+    /// back to the full protocol in [`data_access_slow`](Self::data_access_slow).
     fn data_access(&mut self, core: usize, addr: u64, write: bool) -> u32 {
-        let mut lat = self.cfg.l1d.hit_latency;
+        let lat = self.cfg.l1d.hit_latency;
         match self.cores[core].l1d.access(addr) {
-            Some(Mesi::Modified) => return lat,
+            Some(Mesi::Modified) => lat,
+            Some(Mesi::Exclusive | Mesi::Shared) if !write => lat,
             Some(Mesi::Exclusive) => {
-                if write {
-                    self.cores[core].l1d.set_state(addr, Mesi::Modified);
-                    self.cores[core].l2.set_state(addr, Mesi::Modified);
-                }
-                return lat;
+                // Silent local upgrade: no bus transaction needed.
+                self.cores[core].l1d.set_state(addr, Mesi::Modified);
+                self.cores[core].l2.set_state(addr, Mesi::Modified);
+                lat
             }
             Some(Mesi::Shared) => {
-                if !write {
-                    return lat;
-                }
                 // Store to a Shared line: bus upgrade, invalidate remotes.
-                lat += self.cfg.upgrade_latency;
                 self.bus.upgrades += 1;
                 self.invalidate_remotes(core, addr);
                 self.cores[core].l1d.set_state(addr, Mesi::Modified);
                 self.cores[core].l2.set_state(addr, Mesi::Modified);
-                return lat;
+                lat + self.cfg.upgrade_latency
             }
-            Some(Mesi::Invalid) | None => {}
+            Some(Mesi::Invalid) | None => self.data_access_slow(core, addr, write, lat),
         }
+    }
 
+    /// Full-protocol path on an L1D miss: private L2, then snoop/DRAM.
+    /// Outlined so the fast lane above stays small enough to inline into
+    /// the cores' load/store ports.
+    fn data_access_slow(&mut self, core: usize, addr: u64, write: bool, mut lat: u32) -> u32 {
         // L1D miss: consult the private L2.
         lat += self.cfg.l2.hit_latency;
         let l2_state = self.cores[core].l2.access(addr);

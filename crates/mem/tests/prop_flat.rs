@@ -1,0 +1,143 @@
+//! Property tests for the `FlatMem` word-granular fast paths.
+//!
+//! The single-page `read_u32`/`write_u32`/`read_u64`/`write_u64` fast cases
+//! and the page-chunked `read_bytes`/`write_bytes` must be observationally
+//! identical to the byte-at-a-time reference accessors (`read_u8` /
+//! `write_u8`), including across page-boundary straddles. The strategy
+//! deliberately clusters addresses around multiples of the 4 KiB page size
+//! so straddling accesses are common, and interleaves sized reads/writes so
+//! fast-path writes are read back through the reference path and vice
+//! versa.
+
+use proptest::prelude::*;
+use remap_mem::FlatMem;
+use std::collections::HashMap;
+
+/// Byte-at-a-time reference model: a sparse map with zero-fill semantics,
+/// exactly the contract of the paged arena.
+#[derive(Default)]
+struct RefMem {
+    bytes: HashMap<u64, u8>,
+}
+
+impl RefMem {
+    fn read(&self, addr: u64) -> u8 {
+        self.bytes.get(&addr).copied().unwrap_or(0)
+    }
+
+    fn write(&mut self, addr: u64, v: u8) {
+        self.bytes.insert(addr, v);
+    }
+
+    fn read_wide(&self, addr: u64, size: u64) -> u64 {
+        let mut v = 0u64;
+        for i in 0..size {
+            v |= (self.read(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    fn write_wide(&mut self, addr: u64, size: u64, v: u64) {
+        for i in 0..size {
+            self.write(addr + i, (v >> (8 * i)) as u8);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    W8(u64, u8),
+    W32(u64, u32),
+    W64(u64, u64),
+    R8(u64),
+    R32(u64),
+    R64(u64),
+    WBytes(u64, Vec<u8>),
+    RBytes(u64, usize),
+    FillWords(u64, i32, usize),
+}
+
+/// Addresses over a handful of pages, biased toward page boundaries so
+/// straddling u32/u64/byte-slice accesses occur in most cases.
+fn arb_addr() -> impl Strategy<Value = u64> {
+    let pages = 0u64..6;
+    prop_oneof![
+        (pages.clone(), 0u64..4096).prop_map(|(p, off)| p * 4096 + off),
+        // Within 8 bytes of a page boundary: every wide access straddles.
+        (1u64..6, 0u64..16).prop_map(|(p, d)| p * 4096 - 8 + d),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_addr(), any::<u8>()).prop_map(|(a, v)| Op::W8(a, v)),
+        (arb_addr(), any::<u32>()).prop_map(|(a, v)| Op::W32(a, v)),
+        (arb_addr(), any::<u64>()).prop_map(|(a, v)| Op::W64(a, v)),
+        arb_addr().prop_map(Op::R8),
+        arb_addr().prop_map(Op::R32),
+        arb_addr().prop_map(Op::R64),
+        (arb_addr(), proptest::collection::vec(any::<u8>(), 1..80))
+            .prop_map(|(a, v)| Op::WBytes(a, v)),
+        (arb_addr(), 1usize..80).prop_map(|(a, n)| Op::RBytes(a, n)),
+        (arb_addr(), any::<i32>(), 1usize..40).prop_map(|(a, v, n)| Op::FillWords(a, v, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every fast-path accessor agrees with the byte-at-a-time reference
+    /// over arbitrary interleavings, including page straddles.
+    #[test]
+    fn flatmem_matches_byte_reference(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut mem = FlatMem::new();
+        let mut model = RefMem::default();
+        for op in &ops {
+            match *op {
+                Op::W8(a, v) => {
+                    mem.write_u8(a, v);
+                    model.write(a, v);
+                }
+                Op::W32(a, v) => {
+                    mem.write_u32(a, v);
+                    model.write_wide(a, 4, v as u64);
+                }
+                Op::W64(a, v) => {
+                    mem.write_u64(a, v);
+                    model.write_wide(a, 8, v);
+                }
+                Op::R8(a) => prop_assert_eq!(mem.read_u8(a), model.read(a)),
+                Op::R32(a) => {
+                    prop_assert_eq!(mem.read_u32(a) as u64, model.read_wide(a, 4))
+                }
+                Op::R64(a) => prop_assert_eq!(mem.read_u64(a), model.read_wide(a, 8)),
+                Op::WBytes(a, ref bytes) => {
+                    mem.write_bytes(a, bytes);
+                    for (i, &b) in bytes.iter().enumerate() {
+                        model.write(a + i as u64, b);
+                    }
+                }
+                Op::RBytes(a, n) => {
+                    let mut buf = vec![0u8; n];
+                    mem.read_bytes(a, &mut buf);
+                    for (i, &b) in buf.iter().enumerate() {
+                        prop_assert_eq!(b, model.read(a + i as u64));
+                    }
+                }
+                Op::FillWords(a, v, n) => {
+                    mem.fill_words(a, v, n);
+                    for w in 0..n as u64 {
+                        model.write_wide(a + 4 * w, 4, v as u32 as u64);
+                    }
+                }
+            }
+        }
+        // Final sweep: the full touched region read back both ways.
+        for page in 0..6u64 {
+            for off in (0..4096u64).step_by(97) {
+                let a = page * 4096 + off;
+                prop_assert_eq!(mem.read_u8(a), model.read(a));
+            }
+        }
+    }
+}

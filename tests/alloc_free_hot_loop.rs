@@ -82,6 +82,44 @@ fn steady_state_cycles_do_not_allocate() {
     );
 }
 
+/// The memory-system fast paths — the word-granular `FlatMem` accessors
+/// behind `inst_fetch`, the MRU-way tag lookup, and the L1-hit fast lane
+/// that answers loads/stores without consulting MESI — must allocate
+/// nothing once the touched pages and cache metadata exist. Drives the
+/// `Hierarchy` ports directly (hits, misses with eviction, cross-core
+/// sharing, and atomics) so the assertion covers the fast lane *and* its
+/// fallback into the coherence path.
+#[test]
+fn hierarchy_fast_paths_do_not_allocate() {
+    use remap_mem::{Hierarchy, HierarchyConfig};
+
+    let _guard = SERIAL.lock().unwrap();
+    let mut h = Hierarchy::new(2, HierarchyConfig::default());
+
+    // Warm-up: touch the whole working set from both cores so every page
+    // of the arena is resident and both L1/L2 tag arrays are populated.
+    let warm = |h: &mut Hierarchy| {
+        for i in 0..4096u64 {
+            let addr = (i * 36) % 131072;
+            h.store(0, addr, 4, i);
+            h.load(1, addr, 4);
+            h.inst_fetch(0, (i * 4) % 65536);
+            h.amo_add(1, 131072 + (i % 64) * 8, 1);
+        }
+    };
+    warm(&mut h);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    warm(&mut h);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warmed hierarchy load/store/fetch/amo traffic allocated {} times",
+        after - before
+    );
+}
+
 /// The quiescence skip path — probing every component's `next_event`,
 /// bulk-advancing stall statistics, and rotating the SPL round-robin
 /// pointer — must add zero allocations over the ticked path. The barrier
