@@ -19,6 +19,7 @@
 //! | `ablation_*` | partitioning / virtualization studies |
 //! | `micro` | Criterion microbenchmarks of the simulator itself |
 
+pub mod faultsweep;
 pub mod figures;
 pub mod runner;
 pub mod simperf;

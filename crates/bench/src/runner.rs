@@ -20,25 +20,44 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use: `REMAP_JOBS` if set to a positive
-/// integer, otherwise the host's available parallelism.
+/// integer, otherwise the host's available parallelism. A set-but-invalid
+/// value warns on stderr (once per call) instead of silently ignoring the
+/// user's request.
 pub fn jobs() -> usize {
-    jobs_from(std::env::var("REMAP_JOBS").ok().as_deref())
+    let (n, warning) = parse_jobs(std::env::var("REMAP_JOBS").ok().as_deref());
+    if let Some(w) = warning {
+        eprintln!("warning: {w}");
+    }
+    n
 }
 
 /// [`jobs`] with the environment value passed explicitly (testable without
 /// mutating process-global state). Invalid or non-positive values fall back
 /// to the host parallelism.
 pub fn jobs_from(env: Option<&str>) -> usize {
-    if let Some(v) = env {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
+    parse_jobs(env).0
+}
+
+/// Core of [`jobs`]: returns the job count plus a warning message when the
+/// environment value was set but unusable (so callers decide where the
+/// warning goes).
+pub fn parse_jobs(env: Option<&str>) -> (usize, Option<String>) {
+    let host = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    match env {
+        None => (host, None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => (n, None),
+            _ => (
+                host,
+                Some(format!(
+                    "REMAP_JOBS={v:?} is not a positive integer; \
+                     using host parallelism ({host})"
+                )),
+            ),
+        },
+    }
 }
 
 /// Whether the job count was set *explicitly* via a valid `REMAP_JOBS`
@@ -126,6 +145,69 @@ where
     run_with_jobs(jobs(), items, f)
 }
 
+/// One sweep item that could not produce a result: it panicked or returned
+/// an error on every attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index of the item in the sweep.
+    pub index: usize,
+    /// Attempts made (always 2: the initial run plus one retry).
+    pub attempts: u32,
+    /// Panic payload or error message of the *last* attempt.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} failed after {} attempts: {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Crash-resilient sweep: like [`run_with_jobs`], but a job that panics or
+/// returns `Err` is retried once, and a job that fails both attempts is
+/// reported as a [`JobFailure`] in its slot instead of aborting the sweep.
+///
+/// Deterministic jobs fail deterministically, so the single retry exists to
+/// absorb *host*-side flakiness (resource exhaustion in a parallel sweep),
+/// not to mask simulator bugs — the failure record keeps the attempt count
+/// so a flaky-once job is still visible.
+pub fn run_resilient<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<Result<T, JobFailure>>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> Result<T, String> + Sync,
+{
+    run_with_jobs(jobs, items, |i, item| {
+        let mut last = String::new();
+        for _attempt in 0..2 {
+            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                Ok(Ok(t)) => return Ok(t),
+                Ok(Err(e)) => last = e,
+                Err(p) => last = panic_message(p.as_ref()),
+            }
+        }
+        Err(JobFailure {
+            index: i,
+            attempts: 2,
+            message: last,
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +268,76 @@ mod tests {
         assert_eq!(jobs_from(Some("0")), host);
         assert_eq!(jobs_from(Some("not-a-number")), host);
         assert_eq!(jobs_from(None), host);
+    }
+
+    #[test]
+    fn invalid_jobs_value_warns_and_falls_back() {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let (n, warning) = parse_jobs(Some("banana"));
+        assert_eq!(n, host);
+        let w = warning.expect("set-but-invalid value warns");
+        assert!(w.contains("banana") && w.contains("REMAP_JOBS"), "{w}");
+        let (n, warning) = parse_jobs(Some("0"));
+        assert_eq!(n, host);
+        assert!(warning.is_some(), "zero is non-positive, warns");
+        assert_eq!(parse_jobs(Some("6")), (6, None));
+        assert_eq!(parse_jobs(None), (host, None));
+    }
+
+    #[test]
+    fn panicking_job_no_longer_aborts_the_sweep() {
+        let items: Vec<usize> = (0..16).collect();
+        let got = run_resilient(4, &items, |_, &x| {
+            if x == 9 {
+                panic!("job 9 exploded");
+            }
+            Ok(x * x)
+        });
+        assert_eq!(got.len(), 16);
+        for (i, r) in got.iter().enumerate() {
+            if i == 9 {
+                let f = r.as_ref().expect_err("job 9 fails");
+                assert_eq!(f.index, 9);
+                assert_eq!(f.attempts, 2);
+                assert!(f.message.contains("job 9 exploded"), "{}", f.message);
+            } else {
+                assert_eq!(r.as_ref().copied().unwrap(), i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn erroring_job_is_reported_in_slot() {
+        let items = [1u32, 2, 3];
+        let got = run_resilient(1, &items, |_, &x| {
+            if x == 2 {
+                Err("oracle mismatch".to_string())
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(got[0], Ok(1));
+        assert_eq!(got[2], Ok(3));
+        let f = got[1].as_ref().expect_err("middle job errors");
+        assert_eq!(f.message, "oracle mismatch");
+        assert!(f.to_string().contains("job 1 failed after 2 attempts"));
+    }
+
+    #[test]
+    fn flaky_job_succeeds_on_retry() {
+        use std::sync::atomic::AtomicU32;
+        let calls = AtomicU32::new(0);
+        let got = run_resilient(1, &[()], |_, _| {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err("transient".to_string())
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(got, vec![Ok(42)]);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
 
     #[test]

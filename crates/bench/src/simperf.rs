@@ -170,11 +170,29 @@ pub fn configs() -> Vec<Config> {
 /// *minimum* wall time kept — the run least perturbed by the host — which
 /// is the standard de-noising for deterministic workloads.
 fn reps() -> usize {
-    std::env::var("REMAP_SIMPERF_REPS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(2)
+    let (n, warning) = reps_from(std::env::var("REMAP_SIMPERF_REPS").ok().as_deref());
+    if let Some(w) = warning {
+        eprintln!("warning: {w}");
+    }
+    n
+}
+
+/// Core of [`reps`]: the repetition count plus a warning message when the
+/// environment value was set but unusable (testable without mutating
+/// process-global state).
+pub fn reps_from(env: Option<&str>) -> (usize, Option<String>) {
+    match env {
+        None => (2, None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => (n, None),
+            _ => (
+                2,
+                Some(format!(
+                    "REMAP_SIMPERF_REPS={v:?} is not a positive integer; using default (2)"
+                )),
+            ),
+        },
+    }
 }
 
 fn run_once(cfg: &Config) -> (Measurement, f64) {
@@ -574,5 +592,22 @@ mod tests {
         if std::env::var("REMAP_SIMPERF_REPS").is_err() {
             assert_eq!(reps(), 2);
         }
+    }
+
+    #[test]
+    fn invalid_reps_value_warns_and_falls_back() {
+        assert_eq!(reps_from(None), (2, None));
+        assert_eq!(reps_from(Some("5")), (5, None));
+        assert_eq!(reps_from(Some(" 3 ")), (3, None));
+        let (n, warning) = reps_from(Some("zero"));
+        assert_eq!(n, 2);
+        let w = warning.expect("set-but-invalid value warns");
+        assert!(
+            w.contains("REMAP_SIMPERF_REPS") && w.contains("zero"),
+            "{w}"
+        );
+        let (n, warning) = reps_from(Some("0"));
+        assert_eq!(n, 2);
+        assert!(warning.is_some());
     }
 }

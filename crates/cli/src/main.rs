@@ -217,7 +217,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let names: Vec<&str> = BENCH_TARGETS
             .iter()
             .map(|(n, _)| *n)
-            .chain(["simperf", "all"])
+            .chain(["simperf", "faultsweep", "all"])
             .collect();
         format!(
             "usage: remap bench <target>\ntargets: {}\n(job count: REMAP_JOBS, currently {jobs})",
@@ -232,10 +232,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             remap_bench::simperf::report(jobs, "BENCH_simperf.json");
             Ok(())
         }
+        "faultsweep" => remap_bench::faultsweep::report(jobs, "BENCH_faultsweep.json"),
         "all" => {
             for (_, f) in BENCH_TARGETS.iter().filter(|(n, _)| *n != "smoke") {
                 f(jobs);
             }
+            remap_bench::faultsweep::report(jobs, "BENCH_faultsweep.json")?;
             remap_bench::simperf::report(jobs, "BENCH_simperf.json");
             Ok(())
         }

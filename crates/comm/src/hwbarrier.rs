@@ -77,6 +77,13 @@ impl HwBarrierNet {
         }
     }
 
+    /// Whether barrier `id` has been configured. Callers that cannot
+    /// tolerate the poll panics (the panic-free system loop) check this
+    /// before polling and surface a structured error instead.
+    pub fn is_configured(&self, id: u8) -> bool {
+        self.barriers.contains_key(&id)
+    }
+
     /// Whether the next [`HwBarrierNet::poll`] by `core` would make progress
     /// (arrive or observe a release), without mutating anything. A core that
     /// has not yet arrived always progresses (its first poll counts it); a

@@ -48,6 +48,8 @@ mod report;
 mod system;
 
 pub use hetero::{CoreCalibration, RegionMeasurement, WholeProgram, WholeProgramResult};
+pub use remap_cpu::BlockedOn;
+pub use remap_fault::{FaultPlan, FaultReport, SiteCfg, SiteCounters};
 pub use remap_power::CoreKind;
 pub use report::{RunError, RunReport};
 pub use system::{BarrierSpec, System, SystemBuilder, SPL_CLOCK_DIVISOR};

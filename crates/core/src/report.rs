@@ -1,6 +1,7 @@
 //! Run outcomes and aggregate reports.
 
-use remap_cpu::CoreStats;
+use remap_cpu::{BlockedOn, CoreStats};
+use remap_fault::FaultReport;
 use std::error::Error;
 use std::fmt;
 
@@ -21,6 +22,31 @@ pub enum RunError {
         cycle: u64,
         /// Cores that had not halted.
         running: Vec<usize>,
+        /// What each still-running core's ROB head was parked on.
+        blocked: Vec<(usize, BlockedOn)>,
+    },
+    /// A core issued a request against a configuration the system does not
+    /// know: an unregistered SPL function, an unconfigured barrier, or a
+    /// core outside any SPL cluster.
+    BadConfig {
+        /// Core that issued the request.
+        core: usize,
+        /// Configuration id it named (SPL config or barrier id).
+        config: u16,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Fault recovery exhausted its retry budget: a hardware-queue send
+    /// kept being dropped past the configured attempt bound.
+    FaultEscalation {
+        /// Core whose send escalated.
+        core: usize,
+        /// Hardware queue being sent to.
+        queue: u8,
+        /// Consecutive failed attempts when the bound was hit.
+        attempts: u32,
+        /// Cycle of escalation.
+        cycle: u64,
     },
 }
 
@@ -36,10 +62,37 @@ impl fmt::Display for RunError {
                     "timeout after {max_cycles} cycles; cores {running:?} still running"
                 )
             }
-            RunError::Deadlock { cycle, running } => {
+            RunError::Deadlock {
+                cycle,
+                running,
+                blocked,
+            } => {
                 write!(
                     f,
                     "no forward progress by cycle {cycle}; cores {running:?} stuck"
+                )?;
+                for (core, on) in blocked {
+                    write!(f, "; core {core}: {on}")?;
+                }
+                Ok(())
+            }
+            RunError::BadConfig {
+                core,
+                config,
+                reason,
+            } => {
+                write!(f, "core {core}: bad configuration {config}: {reason}")
+            }
+            RunError::FaultEscalation {
+                core,
+                queue,
+                attempts,
+                cycle,
+            } => {
+                write!(
+                    f,
+                    "fault escalation at cycle {cycle}: core {core} hwq_send to queue \
+                     {queue} dropped {attempts} consecutive times"
                 )
             }
         }
@@ -59,6 +112,11 @@ pub struct RunReport {
     pub skipped_cycles: u64,
     /// Per-core statistics snapshot at completion.
     pub core_stats: Vec<CoreStats>,
+    /// Fault-injection accounting (all zeros when no [`FaultPlan`] is
+    /// installed).
+    ///
+    /// [`FaultPlan`]: remap_fault::FaultPlan
+    pub faults: FaultReport,
     /// Host wall-clock seconds spent inside [`System::run`](crate::System::run).
     pub wall_seconds: f64,
 }
@@ -126,6 +184,7 @@ mod tests {
             cycles: 20,
             skipped_cycles: 5,
             core_stats: vec![a, b],
+            faults: FaultReport::default(),
             wall_seconds: 0.002,
         };
         assert_eq!(r.total_committed(), 40);
@@ -145,12 +204,30 @@ mod tests {
         let e = RunError::Deadlock {
             cycle: 5,
             running: vec![1],
+            blocked: vec![(1, BlockedOn::HwqRecv { q: 3 })],
         };
         assert!(e.to_string().contains("cycle 5"));
+        assert!(
+            e.to_string().contains("hwq_recv queue 3"),
+            "deadlock names the blocking resource: {e}"
+        );
         let t = RunError::Timeout {
             max_cycles: 9,
             running: vec![],
         };
         assert!(t.to_string().contains('9'));
+        let b = RunError::BadConfig {
+            core: 2,
+            config: 7,
+            reason: "unknown SPL configuration".into(),
+        };
+        assert!(b.to_string().contains("core 2"));
+        let esc = RunError::FaultEscalation {
+            core: 0,
+            queue: 1,
+            attempts: 12,
+            cycle: 400,
+        };
+        assert!(esc.to_string().contains("12 consecutive"));
     }
 }

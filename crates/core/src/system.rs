@@ -4,11 +4,14 @@ use crate::report::{RunError, RunReport};
 use remap_comm::{
     ArriveOutcome, BarrierBus, BarrierTable, HwBarrierNet, HwQueueNet, ThreadToCoreTable,
 };
-use remap_cpu::{Core, CoreConfig, CorePorts, PortPush};
+use remap_cpu::{BlockedOn, Core, CoreConfig, CorePorts, PortPush};
+use remap_fault::{FaultPlan, FaultReport, Roller, SiteCfg, SiteCounters, SITE_BARRIER, SITE_HWQ};
 use remap_isa::{Program, Reg};
-use remap_mem::{FlatMem, Hierarchy, HierarchyConfig};
+use remap_mem::{CacheFault, FlatMem, Hierarchy, HierarchyConfig};
 use remap_power::{CoreKind, EnergyBreakdown, PowerModel};
-use remap_spl::{Dest, FunctionKind, RequestError, Spl, SplConfig, SplFunction, SplStats};
+use remap_spl::{
+    Dest, FunctionKind, RequestError, Spl, SplConfig, SplFault, SplFunction, SplStats,
+};
 use std::collections::HashMap;
 
 /// The SPL runs at one quarter of the core clock (500 MHz vs 2 GHz).
@@ -37,6 +40,105 @@ struct PendingRelease {
     local_cores: Vec<usize>,
 }
 
+/// Hardware-queue fault state: one event roller shared by all queues (event
+/// order is the deterministic core stepping order), with per-queue retry
+/// bookkeeping.
+struct HwqFaultState {
+    roller: Roller,
+    drop: SiteCfg,
+    dup: SiteCfg,
+    delay: SiteCfg,
+    seqno: bool,
+    ack_timeout: u64,
+    backoff_base: u64,
+    max_attempts: u32,
+    delay_cycles: u64,
+    counters: SiteCounters,
+    retries: u64,
+    /// Per-queue cycle until which the sender is backing off.
+    blocked_until: Vec<u64>,
+    /// Per-queue consecutive drop count (reset on a successful send).
+    attempts: Vec<u32>,
+}
+
+/// Barrier-release fault state: delays, the demotion watchdog, and the list
+/// of configurations degraded to the software barrier path.
+struct BarFaultState {
+    roller: Roller,
+    delay: SiteCfg,
+    delay_cycles: u64,
+    watchdog: u64,
+    sw_cost: u64,
+    counters: SiteCounters,
+    demotions: u64,
+    demoted: Vec<u16>,
+}
+
+/// System-level fault control: the injection state that lives outside the
+/// subsystem models (queues and barriers), plus the earliest cycle at which
+/// a retry backoff expires — the skip engine must not jump past it.
+struct FaultCtl {
+    hwq: HwqFaultState,
+    bar: BarFaultState,
+    /// Earliest `blocked_until` still in the future (`u64::MAX` when none).
+    next_wake: u64,
+}
+
+impl FaultCtl {
+    fn new(plan: &FaultPlan, n_queues: usize) -> FaultCtl {
+        FaultCtl {
+            hwq: HwqFaultState {
+                roller: Roller::new(plan.seed, SITE_HWQ),
+                drop: plan.hwq_drop,
+                dup: plan.hwq_dup,
+                delay: plan.hwq_delay,
+                seqno: plan.hwq_seqno,
+                ack_timeout: plan.hwq_ack_timeout,
+                backoff_base: plan.hwq_backoff_base.max(1),
+                max_attempts: plan.hwq_max_attempts.max(1),
+                delay_cycles: plan.hwq_delay_cycles.max(1),
+                counters: SiteCounters::default(),
+                retries: 0,
+                blocked_until: vec![0; n_queues],
+                attempts: vec![0; n_queues],
+            },
+            bar: BarFaultState {
+                roller: Roller::new(plan.seed, SITE_BARRIER),
+                delay: plan.barrier_delay,
+                delay_cycles: plan.barrier_delay_cycles,
+                watchdog: plan.barrier_watchdog,
+                sw_cost: plan.barrier_sw_cost,
+                counters: SiteCounters::default(),
+                demotions: 0,
+                demoted: Vec::new(),
+            },
+            next_wake: u64::MAX,
+        }
+    }
+
+    /// Called once the run loop reaches `next_wake`: finds the next pending
+    /// backoff expiry (if any) so the wake is re-armed exactly once per
+    /// deadline instead of every cycle.
+    fn recompute_next_wake(&mut self, now: u64) {
+        let mut wake = u64::MAX;
+        for &b in &self.hwq.blocked_until {
+            if b > now {
+                wake = wake.min(b);
+            }
+        }
+        self.next_wake = wake;
+    }
+}
+
+/// Records the first structured error of a run; later errors are dropped
+/// (the run aborts at the first one anyway). A free function over the slot
+/// so it stays callable while sibling `Env` fields are borrowed.
+fn record(slot: &mut Option<RunError>, e: RunError) {
+    if slot.is_none() {
+        *slot = Some(e);
+    }
+}
+
 /// Everything outside the cores; implements [`CorePorts`].
 struct Env {
     hier: Hierarchy,
@@ -60,13 +162,12 @@ struct Env {
     /// unchanged; plain memory traffic does not bump it because the probes
     /// never read memory.
     epoch: u64,
-}
-
-impl Env {
-    fn cluster_of(&self, core: usize) -> (usize, usize) {
-        self.core_cluster[core]
-            .unwrap_or_else(|| panic!("core {core} is not attached to an SPL cluster"))
-    }
+    /// First structured error raised by a port operation; the run loop
+    /// checks it after every step and aborts the run with it.
+    run_error: Option<RunError>,
+    /// Queue/barrier fault-injection state (`None` when no plan is set:
+    /// the default hot path stays allocation- and branch-cheap).
+    fault: Option<Box<FaultCtl>>,
 }
 
 impl CorePorts for Env {
@@ -86,20 +187,47 @@ impl CorePorts for Env {
     fn spl_load(&mut self, core: usize, offset: u8, nbytes: u8, value: u64) -> PortPush {
         // No epoch bump: staging only touches the caller's own input queue,
         // and the caller is mid-step (its window is already dead).
-        let (ci, local) = self.cluster_of(core);
+        let Some((ci, local)) = self.core_cluster[core] else {
+            record(
+                &mut self.run_error,
+                RunError::BadConfig {
+                    core,
+                    config: 0,
+                    reason: "spl_load on a core outside any SPL cluster".into(),
+                },
+            );
+            return PortPush::Accepted; // the run aborts after this step
+        };
         self.clusters[ci].spl.stage(local, offset, nbytes, value);
         PortPush::Accepted
     }
 
     fn spl_init(&mut self, core: usize, cfg: u16) -> PortPush {
-        let (ci, local) = self.cluster_of(core);
+        let Some((ci, local)) = self.core_cluster[core] else {
+            record(
+                &mut self.run_error,
+                RunError::BadConfig {
+                    core,
+                    config: cfg,
+                    reason: "spl_init on a core outside any SPL cluster".into(),
+                },
+            );
+            return PortPush::Accepted;
+        };
         let is_barrier;
         let dest_thread;
         {
-            let func = self.clusters[ci]
-                .spl
-                .function(cfg)
-                .unwrap_or_else(|| panic!("spl_init of unregistered configuration {cfg}"));
+            let Some(func) = self.clusters[ci].spl.function(cfg) else {
+                record(
+                    &mut self.run_error,
+                    RunError::BadConfig {
+                        core,
+                        config: cfg,
+                        reason: "spl_init of an unregistered SPL configuration".into(),
+                    },
+                );
+                return PortPush::Accepted;
+            };
             is_barrier = func.is_barrier();
             dest_thread = match func.kind() {
                 FunctionKind::Compute {
@@ -121,7 +249,17 @@ impl CorePorts for Env {
                     PortPush::Accepted
                 }
                 Err(RequestError::QueueFull) => PortPush::Stall,
-                Err(e @ RequestError::UnknownConfig(_)) => panic!("{e}"),
+                Err(RequestError::UnknownConfig(c)) => {
+                    record(
+                        &mut self.run_error,
+                        RunError::BadConfig {
+                            core,
+                            config: c,
+                            reason: "SPL rejected an unknown configuration".into(),
+                        },
+                    );
+                    PortPush::Accepted
+                }
             }
         } else {
             // Resolve the destination core. A missing consumer thread stalls
@@ -134,11 +272,33 @@ impl CorePorts for Env {
                     None => return PortPush::Stall,
                 },
             };
-            let (dci, dlocal) = self.cluster_of(dest_global);
-            assert_eq!(
-                dci, ci,
-                "producer and consumer must share an SPL cluster (cores {core} -> {dest_global})"
-            );
+            let Some((dci, dlocal)) = self.core_cluster[dest_global] else {
+                record(
+                    &mut self.run_error,
+                    RunError::BadConfig {
+                        core,
+                        config: cfg,
+                        reason: format!(
+                            "destination core {dest_global} is outside any SPL cluster"
+                        ),
+                    },
+                );
+                return PortPush::Accepted;
+            };
+            if dci != ci {
+                record(
+                    &mut self.run_error,
+                    RunError::BadConfig {
+                        core,
+                        config: cfg,
+                        reason: format!(
+                            "producer and consumer must share an SPL cluster \
+                             (cores {core} -> {dest_global})"
+                        ),
+                    },
+                );
+                return PortPush::Accepted;
+            }
             // In-flight limit toward the destination core (max 24).
             if !self.t2c.inc_in_flight(dest_global) {
                 return PortPush::Stall;
@@ -152,13 +312,34 @@ impl CorePorts for Env {
                     self.t2c.dec_in_flight(dest_global);
                     PortPush::Stall
                 }
-                Err(e @ RequestError::UnknownConfig(_)) => panic!("{e}"),
+                Err(RequestError::UnknownConfig(c)) => {
+                    self.t2c.dec_in_flight(dest_global);
+                    record(
+                        &mut self.run_error,
+                        RunError::BadConfig {
+                            core,
+                            config: c,
+                            reason: "SPL rejected an unknown configuration".into(),
+                        },
+                    );
+                    PortPush::Accepted
+                }
             }
         }
     }
 
     fn spl_store(&mut self, core: usize) -> Option<u64> {
-        let (ci, local) = self.cluster_of(core);
+        let Some((ci, local)) = self.core_cluster[core] else {
+            record(
+                &mut self.run_error,
+                RunError::BadConfig {
+                    core,
+                    config: 0,
+                    reason: "spl_store on a core outside any SPL cluster".into(),
+                },
+            );
+            return Some(0);
+        };
         let out = self.clusters[ci].spl.pop_output(local);
         if out.is_some() {
             self.epoch += 1;
@@ -166,8 +347,83 @@ impl CorePorts for Env {
         out
     }
 
-    fn hwq_send(&mut self, _core: usize, q: u8, value: u64) -> PortPush {
-        if self.hwq.send(q as usize, value) {
+    fn hwq_send(&mut self, core: usize, q: u8, value: u64) -> PortPush {
+        let qi = q as usize;
+        let mut extra_copy = false;
+        if let Some(f) = self.fault.as_deref_mut() {
+            // Fault rolls are indexed by *would-succeed* sends only: a
+            // stalled retry consumes no event, so the ticked path (which
+            // re-attempts every cycle) and the skip path (which jumps
+            // straight to the ready cycle) draw identical streams.
+            if f.hwq.blocked_until[qi] > self.cycle {
+                return PortPush::Stall;
+            }
+            if self.hwq.is_full(qi) {
+                return PortPush::Stall;
+            }
+            let d = f.hwq.roller.draw();
+            match d.select(&[f.hwq.drop, f.hwq.dup, f.hwq.delay]) {
+                Some(0) => {
+                    // Transit drop: the sender's ack timer detects the loss
+                    // and retries with exponential backoff, bounded.
+                    f.hwq.counters.injected += 1;
+                    f.hwq.counters.detected += 1;
+                    f.hwq.attempts[qi] += 1;
+                    let attempts = f.hwq.attempts[qi];
+                    if attempts >= f.hwq.max_attempts {
+                        record(
+                            &mut self.run_error,
+                            RunError::FaultEscalation {
+                                core,
+                                queue: q,
+                                attempts,
+                                cycle: self.cycle,
+                            },
+                        );
+                        return PortPush::Accepted; // run aborts after this step
+                    }
+                    f.hwq.retries += 1;
+                    let backoff = f.hwq.backoff_base << u64::from(attempts - 1).min(16);
+                    f.hwq.blocked_until[qi] = self.cycle + f.hwq.ack_timeout + backoff;
+                    f.next_wake = f.next_wake.min(f.hwq.blocked_until[qi]);
+                    return PortPush::Stall;
+                }
+                Some(1) => {
+                    // Duplicate delivery: sequence numbers let the receiver
+                    // discard the copy; without them both copies land.
+                    f.hwq.counters.injected += 1;
+                    if f.hwq.seqno {
+                        f.hwq.counters.detected += 1;
+                        f.hwq.counters.recovered += 1;
+                    } else {
+                        f.hwq.counters.silent += 1;
+                        extra_copy = true;
+                    }
+                }
+                Some(2) => {
+                    // Transient link congestion: flow control holds the
+                    // sender briefly; the message goes through on retry.
+                    f.hwq.counters.injected += 1;
+                    f.hwq.counters.detected += 1;
+                    f.hwq.counters.recovered += 1;
+                    f.hwq.blocked_until[qi] = self.cycle + f.hwq.delay_cycles;
+                    f.next_wake = f.next_wake.min(f.hwq.blocked_until[qi]);
+                    return PortPush::Stall;
+                }
+                _ => {}
+            }
+            // A delivered message recovers any outstanding drop attempts.
+            if f.hwq.attempts[qi] > 0 {
+                f.hwq.counters.recovered += u64::from(f.hwq.attempts[qi]);
+                f.hwq.attempts[qi] = 0;
+            }
+        }
+        if self.hwq.send(qi, value) {
+            if extra_copy {
+                // The duplicate may be lost to a now-full queue; either way
+                // the receiver's message count is silently wrong.
+                let _ = self.hwq.send(qi, value);
+            }
             self.epoch += 1;
             PortPush::Accepted
         } else {
@@ -182,6 +438,17 @@ impl CorePorts for Env {
         out
     }
     fn hwbar(&mut self, core: usize, id: u8) -> bool {
+        if !self.hwbar.is_configured(id) {
+            record(
+                &mut self.run_error,
+                RunError::BadConfig {
+                    core,
+                    config: u16::from(id),
+                    reason: "hwbar on an unconfigured hardware barrier".into(),
+                },
+            );
+            return true; // release the core; the run aborts after this step
+        }
         // Only a `true` poll is probe-visible: a non-final arrival changes
         // nothing any `hwbar_ready` probe reads (waiters stay unreleased),
         // while the completing poll bumps the generation every waiter checks.
@@ -198,15 +465,19 @@ impl CorePorts for Env {
     // skipping, an under-approximation would break bit-parity.
 
     fn spl_store_ready(&self, core: usize) -> bool {
-        let (ci, local) = self.cluster_of(core);
+        let Some((ci, local)) = self.core_cluster[core] else {
+            return true; // the mutating call records the error; force the tick
+        };
         self.clusters[ci].spl.output_ready(local) > 0
     }
 
     fn spl_init_ready(&self, core: usize, cfg: u16) -> bool {
-        let (ci, local) = self.cluster_of(core);
+        let Some((ci, local)) = self.core_cluster[core] else {
+            return true; // the mutating call records the error; force the tick
+        };
         let spl = &self.clusters[ci].spl;
         let Some(func) = spl.function(cfg) else {
-            return true; // the mutating call will panic; force the tick
+            return true; // the mutating call records the error; force the tick
         };
         if func.is_barrier() {
             spl.can_seal(local)
@@ -226,6 +497,13 @@ impl CorePorts for Env {
     }
 
     fn hwq_send_ready(&self, _core: usize, q: u8) -> bool {
+        // Pure mirror of `hwq_send`'s pre-draw checks: a backing-off sender
+        // is not ready (the expiry re-arms probes via `FaultCtl::next_wake`).
+        if let Some(f) = self.fault.as_deref() {
+            if f.hwq.blocked_until[q as usize] > self.cycle {
+                return false;
+            }
+        }
         !self.hwq.is_full(q as usize)
     }
 
@@ -234,6 +512,9 @@ impl CorePorts for Env {
     }
 
     fn hwbar_ready(&self, core: usize, id: u8) -> bool {
+        if !self.hwbar.is_configured(id) {
+            return true; // the mutating call records the error; force the tick
+        }
         self.hwbar.poll_ready(core, id)
     }
 }
@@ -243,10 +524,17 @@ impl Env {
     /// completion, schedules per-cluster fabric releases (immediate locally,
     /// after the dedicated-bus latency for remote clusters).
     fn barrier_arrive(&mut self, cfg: u16, cluster: usize, core: usize) {
-        let spec = *self
-            .specs
-            .get(&cfg)
-            .unwrap_or_else(|| panic!("barrier configuration {cfg} has no BarrierSpec"));
+        let Some(spec) = self.specs.get(&cfg).copied() else {
+            record(
+                &mut self.run_error,
+                RunError::BadConfig {
+                    core,
+                    config: cfg,
+                    reason: "barrier configuration has no BarrierSpec".into(),
+                },
+            );
+            return;
+        };
         let thread = self.core_thread[core];
         // Multi-cluster systems broadcast every arrival on the barrier bus.
         let multi = self.clusters.len() > 1;
@@ -260,16 +548,50 @@ impl Env {
         {
             ArriveOutcome::Waiting { .. } => {}
             ArriveOutcome::Release(cores) => {
+                // Fault roll: one event per completed barrier episode. A
+                // faulted release is held back; a delay at or past the
+                // watchdog threshold demotes the configuration to the
+                // software barrier path (fixed extra cost, no more faults)
+                // for the rest of the run.
+                let mut delay = 0u64;
+                if let Some(f) = self.fault.as_deref_mut() {
+                    if f.bar.demoted.contains(&cfg) {
+                        delay = f.bar.sw_cost;
+                    } else {
+                        let d = f.bar.roller.draw();
+                        if d.fires(&f.bar.delay) {
+                            f.bar.counters.injected += 1;
+                            f.bar.counters.detected += 1;
+                            f.bar.counters.recovered += 1;
+                            delay = f.bar.delay_cycles;
+                            if f.bar.watchdog > 0 && delay >= f.bar.watchdog {
+                                f.bar.demoted.push(cfg);
+                                f.bar.demotions += 1;
+                            }
+                        }
+                    }
+                }
                 // Group participants by cluster; the last arrival's cluster
                 // releases immediately, remote clusters after the bus delay.
                 let mut by_cluster: HashMap<usize, Vec<usize>> = HashMap::new();
                 for c in cores {
-                    let (ci, local) = self.cluster_of(c);
+                    let Some((ci, local)) = self.core_cluster[c] else {
+                        record(
+                            &mut self.run_error,
+                            RunError::BadConfig {
+                                core: c,
+                                config: cfg,
+                                reason: "barrier participant is outside any SPL cluster".into(),
+                            },
+                        );
+                        return;
+                    };
                     by_cluster.entry(ci).or_default().push(local);
                 }
-                let remote_at = self.cycle + if multi { 8 } else { 0 };
+                let local_at = self.cycle + delay;
+                let remote_at = local_at + if multi { 8 } else { 0 };
                 for (ci, locals) in by_cluster {
-                    let at = if ci == cluster { self.cycle } else { remote_at };
+                    let at = if ci == cluster { local_at } else { remote_at };
                     self.pending_releases.push(PendingRelease {
                         cfg,
                         cluster: ci,
@@ -281,8 +603,16 @@ impl Env {
             ArriveOutcome::MissingThreads(missing) => {
                 // The controller would raise an exception to switch the
                 // threads back in; our experiments never switch threads out
-                // mid-barrier.
-                panic!("barrier {cfg} complete but threads {missing:?} are inactive");
+                // mid-barrier — a completing barrier with inactive threads
+                // is a configuration error, surfaced structurally.
+                record(
+                    &mut self.run_error,
+                    RunError::BadConfig {
+                        core,
+                        config: cfg,
+                        reason: format!("barrier complete but threads {missing:?} are inactive"),
+                    },
+                );
             }
         }
     }
@@ -493,6 +823,8 @@ impl SystemBuilder {
                 app_id: 0,
                 cycle: 0,
                 epoch: 0,
+                run_error: None,
+                fault: None,
             },
         }
     }
@@ -616,6 +948,15 @@ impl System {
     /// every core has halted.
     pub fn step(&mut self) -> bool {
         self.env.cycle += 1;
+        // A fault backoff expiring this cycle is probe-visible (a parked
+        // sender becomes ready): bump the epoch so cached core windows die,
+        // and re-arm the wake for the next pending deadline.
+        if let Some(f) = self.env.fault.as_deref_mut() {
+            if self.env.cycle >= f.next_wake {
+                self.env.epoch += 1;
+                f.recompute_next_wake(self.env.cycle);
+            }
+        }
         if self.env.cycle.is_multiple_of(SPL_CLOCK_DIVISOR) {
             self.env.process_releases();
             let spl_cycle = self.env.cycle / SPL_CLOCK_DIVISOR;
@@ -770,6 +1111,11 @@ impl System {
             let at_edge = d.div_ceil(SPL_CLOCK_DIVISOR) * SPL_CLOCK_DIVISOR;
             wake = wake.min(at_edge.max(next_edge));
         }
+        // A pending fault-backoff expiry is a core-cycle event (no SPL-edge
+        // rounding): the parked sender re-attempts the moment it expires.
+        if let Some(f) = self.env.fault.as_deref() {
+            wake = wake.min(f.next_wake);
+        }
         // The blocking-latency hierarchy never schedules events of its own
         // (misses live in core-side timestamps), and the thread-to-core,
         // hardware-queue, and hardware-barrier tables are purely reactive.
@@ -894,6 +1240,11 @@ impl System {
                 }
             }
             self.step();
+            // A port operation may have recorded a structured error (bad
+            // configuration, fault escalation): abort with it immediately.
+            if let Some(e) = self.env.run_error.take() {
+                return Err(e);
+            }
             // `step` maintains the committed counter incrementally; the
             // progress check is a single comparison, never a core rescan.
             if self.committed_total != last_committed {
@@ -903,6 +1254,7 @@ impl System {
                 return Err(RunError::Deadlock {
                     cycle: self.env.cycle,
                     running: self.running_cores(),
+                    blocked: self.blocked_cores(),
                 });
             }
         }
@@ -910,8 +1262,61 @@ impl System {
             cycles: self.env.cycle,
             skipped_cycles: self.skipped_cycles,
             core_stats: self.cores.iter().map(|c| c.stats().clone()).collect(),
+            faults: self.fault_report(),
             wall_seconds: wall_start.elapsed().as_secs_f64(),
         })
+    }
+
+    /// Installs a seeded fault-injection plan: per-cluster SPL bit-flip
+    /// streams, the cache line-corruption stream, and the queue/barrier
+    /// fault control. Call before [`System::run`]; installing mid-run resets
+    /// the event counters (decisions are event-indexed, so two systems given
+    /// the same plan at the same point draw identical fault sequences).
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for (ci, cl) in self.env.clusters.iter_mut().enumerate() {
+            // Domain-separate each cluster's stream by folding the cluster
+            // index into the site constant.
+            cl.spl.set_fault(Some(SplFault::new(
+                plan.seed,
+                remap_fault::SITE_SPL ^ ((ci as u64) << 8),
+                plan.spl_bitflip,
+                plan.spl_parity,
+                plan.spl_replay_ticks,
+            )));
+        }
+        self.env.hier.set_fault(Some(CacheFault::new(
+            plan.seed,
+            plan.cache_corrupt,
+            plan.cache_parity,
+            plan.cache_scrub_cycles,
+        )));
+        let nq = self.env.hwq.n_queues();
+        self.env.fault = Some(Box::new(FaultCtl::new(plan, nq)));
+    }
+
+    /// Aggregated fault accounting across all sites (all zeros when no plan
+    /// is installed).
+    pub fn fault_report(&self) -> FaultReport {
+        let mut rep = FaultReport::default();
+        for cl in &self.env.clusters {
+            rep.spl.add(&cl.spl.fault_counters());
+        }
+        rep.cache = self.env.hier.fault_counters();
+        if let Some(f) = self.env.fault.as_deref() {
+            rep.hwq = f.hwq.counters;
+            rep.hwq_retries = f.hwq.retries;
+            rep.barrier = f.bar.counters;
+            rep.barrier_demotions = f.bar.demotions;
+        }
+        rep
+    }
+
+    /// Per-core blocked-on diagnostics for the still-running cores.
+    fn blocked_cores(&self) -> Vec<(usize, BlockedOn)> {
+        self.running
+            .iter()
+            .map(|&id| (id, self.cores[id].blocked_on()))
+            .collect()
     }
 
     /// Runs the static verifier ([`remap_verify`]) over every core's program
@@ -1270,7 +1675,16 @@ mod tests {
         b.add_spl_cluster(SplConfig::paper(1), vec![0]);
         let mut sys = b.build();
         match sys.run(2_000_000) {
-            Err(RunError::Deadlock { running, .. }) => assert_eq!(running, vec![0]),
+            Err(RunError::Deadlock {
+                running, blocked, ..
+            }) => {
+                assert_eq!(running, vec![0]);
+                assert_eq!(
+                    blocked,
+                    vec![(0, BlockedOn::SplResult)],
+                    "the diagnostic names the resource the core is parked on"
+                );
+            }
             other => panic!("expected deadlock, got {other:?}"),
         }
     }
@@ -1418,6 +1832,183 @@ mod tests {
         assert_eq!(sys.reg(1, R2), 4 * 15);
         sys.try_switch_out(1).unwrap();
         sys.switch_in(1, 1);
+    }
+
+    #[test]
+    fn unknown_spl_config_is_structured_error() {
+        let mut a = Asm::new("bad");
+        a.li(R1, 1);
+        a.spl_load(R1, 0, 4);
+        a.spl_init(99); // never registered
+        a.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
+        b.add_spl_cluster(SplConfig::paper(1), vec![0]);
+        let mut sys = b.build();
+        match sys.run(100_000) {
+            Err(RunError::BadConfig { core, config, .. }) => {
+                assert_eq!((core, config), (0, 99));
+            }
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconfigured_hwbar_is_structured_error() {
+        let mut a = Asm::new("bad");
+        a.hwbar(3); // no hwbar(3, _) was configured
+        a.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
+        let mut sys = b.build();
+        match sys.run(100_000) {
+            Err(RunError::BadConfig { core, config, .. }) => {
+                assert_eq!((core, config), (0, 3));
+            }
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
+    }
+
+    fn hwq_pair_system() -> System {
+        let mut p = Asm::new("p");
+        p.li(R1, 0);
+        p.li(R2, 20);
+        p.label("loop");
+        p.hwq_send(R1, 0);
+        p.addi(R1, R1, 1);
+        p.bne(R1, R2, "loop");
+        p.halt();
+        let mut c = Asm::new("c");
+        c.li(R1, 0);
+        c.li(R2, 20);
+        c.li(R5, 0);
+        c.label("loop");
+        c.hwq_recv(R3, 0);
+        c.add(R5, R5, R3);
+        c.addi(R1, R1, 1);
+        c.bne(R1, R2, "loop");
+        c.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo2, p.assemble().unwrap());
+        b.add_core(CoreKind::Ooo2, c.assemble().unwrap());
+        b.build()
+    }
+
+    #[test]
+    fn hwq_drop_faults_recover_and_preserve_data() {
+        use remap_fault::SiteCfg;
+        let run = |skip: bool| {
+            let mut sys = hwq_pair_system();
+            let mut plan = FaultPlan::quiet(42);
+            plan.hwq_drop = SiteCfg::rate(150_000); // 15% of sends dropped
+            sys.set_fault_plan(&plan);
+            sys.set_skip(skip);
+            let rt = sys.run(1_000_000).unwrap();
+            (sys.reg(1, R5), rt.cycles, rt.faults)
+        };
+        let (sum, cycles, faults) = run(true);
+        assert_eq!(sum, 190, "every dropped message was retried through");
+        assert!(faults.hwq.injected > 0, "15% over 20+ sends should fire");
+        assert_eq!(faults.hwq.detected, faults.hwq.injected);
+        assert_eq!(faults.hwq.recovered, faults.hwq.injected);
+        assert_eq!(faults.hwq.silent, 0);
+        assert!(faults.hwq_retries > 0);
+        // Bit-identical across the skip engine, fault counters included.
+        let (sum_t, cycles_t, faults_t) = run(false);
+        assert_eq!((sum, cycles, faults), (sum_t, cycles_t, faults_t));
+    }
+
+    #[test]
+    fn hwq_duplicates_without_seqno_are_silent() {
+        use remap_fault::{SiteCfg, PPM_SCALE};
+        let mut sys = hwq_pair_system();
+        let mut plan = FaultPlan::quiet(7);
+        // Duplicate exactly the first send; without sequence numbers the
+        // consumer reads a shifted stream.
+        plan.hwq_dup = SiteCfg::windowed(PPM_SCALE as u32, 0, 1);
+        plan.hwq_seqno = false;
+        sys.set_fault_plan(&plan);
+        let out = sys.run(1_000_000);
+        let faults = sys.fault_report();
+        assert_eq!(faults.hwq.injected, 1);
+        assert_eq!(faults.hwq.silent, 1);
+        // The duplicate shifts every later message: the consumer sums the
+        // first copy twice and never sees the last value (or the run jams).
+        if out.is_ok() {
+            assert_ne!(sys.reg(1, R5), 190, "silent corruption must be visible");
+        }
+    }
+
+    #[test]
+    fn hwq_escalation_after_bounded_retries() {
+        use remap_fault::{SiteCfg, PPM_SCALE};
+        let mut sys = hwq_pair_system();
+        let mut plan = FaultPlan::quiet(3);
+        plan.hwq_drop = SiteCfg::rate(PPM_SCALE as u32); // every send drops
+        plan.hwq_max_attempts = 3;
+        sys.set_fault_plan(&plan);
+        match sys.run(1_000_000) {
+            Err(RunError::FaultEscalation {
+                core,
+                queue,
+                attempts,
+                ..
+            }) => {
+                assert_eq!((core, queue, attempts), (0, 0, 3));
+            }
+            other => panic!("expected FaultEscalation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_watchdog_demotes_to_software_path() {
+        use remap_fault::{SiteCfg, PPM_SCALE};
+        // Four threads iterate a fabric barrier 4 times; every release is
+        // faulted, so the watchdog demotes the configuration on episode 1
+        // and the remaining episodes pay the software cost without faults.
+        let mk = |seed: i32| {
+            let mut a = Asm::new("bar");
+            a.li(R4, 0);
+            a.li(R6, 4);
+            a.label("loop");
+            a.li(R1, seed);
+            a.spl_load(R1, 0, 4);
+            a.spl_init(2);
+            a.spl_store(R2);
+            a.addi(R4, R4, 1);
+            a.bne(R4, R6, "loop");
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let run = |skip: bool| {
+            let mut b = SystemBuilder::new();
+            for i in 0..4 {
+                b.add_core(CoreKind::Ooo1, mk(40 - 10 * i));
+            }
+            b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
+            b.register_spl(
+                2,
+                SplFunction::barrier("gmin", 6, |es| {
+                    es.iter().map(|e| e.u32(0)).min().unwrap_or(0) as u64
+                }),
+            );
+            b.barrier_spec(2, 1, 4);
+            let mut sys = b.build();
+            let mut plan = FaultPlan::quiet(11);
+            plan.barrier_delay = SiteCfg::rate(PPM_SCALE as u32);
+            sys.set_fault_plan(&plan);
+            sys.set_skip(skip);
+            let rt = sys.run(2_000_000).unwrap();
+            let regs: Vec<i64> = (0..4).map(|i| sys.reg(i, R2)).collect();
+            (regs, rt.cycles, rt.faults)
+        };
+        let (regs, cycles, faults) = run(true);
+        assert_eq!(regs, vec![10; 4], "demoted barrier still synchronizes");
+        assert_eq!(faults.barrier.injected, 1, "one fault, then demotion");
+        assert_eq!(faults.barrier_demotions, 1);
+        assert_eq!(faults.barrier.silent, 0);
+        let (regs_t, cycles_t, faults_t) = run(false);
+        assert_eq!((regs, cycles, faults), (regs_t, cycles_t, faults_t));
     }
 
     #[test]

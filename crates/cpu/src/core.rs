@@ -97,6 +97,65 @@ struct RobEntry {
 /// Empty wakeup-chain link.
 const NO_WAITER: u64 = u64::MAX;
 
+/// What a core is waiting for, judged from its ROB head. Reported in
+/// deadlock and escalation diagnostics so a hung run names the resource
+/// (queue, barrier, SPL result) each core is parked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// `spl_store` waiting for a result in the SPL output queue.
+    SplResult,
+    /// `spl_load` staging stalled on a full input entry/queue.
+    SplStage,
+    /// `spl_init` waiting to seal into the SPL input queue.
+    SplIssue {
+        /// SPL configuration being requested.
+        cfg: u16,
+    },
+    /// `hwq_send` waiting for space in a hardware queue.
+    HwqSend {
+        /// Queue id.
+        q: u8,
+    },
+    /// `hwq_recv` waiting for a message in a hardware queue.
+    HwqRecv {
+        /// Queue id.
+        q: u8,
+    },
+    /// `hwbar` waiting for the barrier's release.
+    HwBarrier {
+        /// Barrier id.
+        id: u8,
+    },
+    /// `fence` (or halt) draining the store buffer.
+    Fence,
+    /// Atomic waiting for operands or older stores.
+    Atomic,
+    /// Store waiting for a post-commit store-buffer slot.
+    StoreBuffer,
+    /// Ordinary pipeline activity (not parked on an external resource).
+    Pipeline,
+    /// The core has committed its halt.
+    Halted,
+}
+
+impl std::fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockedOn::SplResult => write!(f, "spl_store (awaiting SPL result)"),
+            BlockedOn::SplStage => write!(f, "spl_load (input queue full)"),
+            BlockedOn::SplIssue { cfg } => write!(f, "spl_init cfg {cfg} (input queue full)"),
+            BlockedOn::HwqSend { q } => write!(f, "hwq_send queue {q} (full)"),
+            BlockedOn::HwqRecv { q } => write!(f, "hwq_recv queue {q} (empty)"),
+            BlockedOn::HwBarrier { id } => write!(f, "hwbar {id} (not released)"),
+            BlockedOn::Fence => write!(f, "fence (draining stores)"),
+            BlockedOn::Atomic => write!(f, "atomic (operands/stores pending)"),
+            BlockedOn::StoreBuffer => write!(f, "store buffer full"),
+            BlockedOn::Pipeline => write!(f, "pipeline (no external resource)"),
+            BlockedOn::Halted => write!(f, "halted"),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Fetched {
     pc: u32,
@@ -471,6 +530,32 @@ impl Core {
         }
 
         Some(wake)
+    }
+
+    /// Diagnoses what this core is currently parked on, from its ROB head.
+    /// Pure (no ports needed): it reports the *kind* of resource, not
+    /// whether the resource would be ready this cycle.
+    pub fn blocked_on(&self) -> BlockedOn {
+        if self.halted {
+            return BlockedOn::Halted;
+        }
+        let Some(e) = self.rob.front() else {
+            return BlockedOn::Pipeline;
+        };
+        match (e.inst, e.status) {
+            // At-head operations stuck waiting for their port action.
+            (Inst::SplStore { .. }, Status::Waiting) if !e.head_done => BlockedOn::SplResult,
+            (Inst::HwqRecv { q, .. }, Status::Waiting) if !e.head_done => BlockedOn::HwqRecv { q },
+            (Inst::HwBar { id }, Status::Waiting) => BlockedOn::HwBarrier { id },
+            (Inst::Fence, Status::Waiting) => BlockedOn::Fence,
+            (Inst::AmoAdd { .. }, Status::Waiting) => BlockedOn::Atomic,
+            // Commit-time pushes stuck on device back-pressure.
+            (Inst::SplLoad { .. }, Status::Done) => BlockedOn::SplStage,
+            (Inst::SplInit { cfg }, Status::Done) => BlockedOn::SplIssue { cfg },
+            (Inst::HwqSend { q, .. }, Status::Done) => BlockedOn::HwqSend { q },
+            (Inst::Sw { .. } | Inst::Sb { .. }, Status::Done) => BlockedOn::StoreBuffer,
+            _ => BlockedOn::Pipeline,
+        }
     }
 
     /// Bulk-advances the core over `delta` cycles that [`Core::next_event`]

@@ -34,7 +34,7 @@ mod core;
 mod ports;
 mod stats;
 
-pub use crate::core::{Core, CODE_BASE};
+pub use crate::core::{BlockedOn, Core, CODE_BASE};
 pub use bpred::{PredStats, Prediction, Predictor};
 pub use config::{CoreConfig, Latencies};
 pub use ports::{CorePorts, NullPorts, PortPush};

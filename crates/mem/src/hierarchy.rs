@@ -2,6 +2,42 @@
 
 use crate::cache::{Cache, CacheConfig, CacheStats, Mesi};
 use crate::flat::FlatMem;
+use remap_fault::{Roller, SiteCfg, SiteCounters};
+
+/// Deterministic L1/L2 line-corruption injection for one hierarchy.
+///
+/// One fault roll per *full-miss line fill* (the data crosses the snoop bus
+/// or the DRAM channel — the vulnerable transfer). With line parity the
+/// corrupted fill is detected and re-fetched at a scrub latency; without it
+/// one bit of the filled word flips in functional memory, which workload
+/// oracles observe as silent corruption.
+#[derive(Debug, Clone)]
+pub struct CacheFault {
+    roller: Roller,
+    corrupt: SiteCfg,
+    parity: bool,
+    scrub_cycles: u32,
+    counters: SiteCounters,
+}
+
+impl CacheFault {
+    /// A fault stream under master `seed`. `scrub_cycles` is the extra fill
+    /// latency of a detected-and-refetched line.
+    pub fn new(seed: u64, corrupt: SiteCfg, parity: bool, scrub_cycles: u32) -> CacheFault {
+        CacheFault {
+            roller: Roller::new(seed, remap_fault::SITE_CACHE),
+            corrupt,
+            parity,
+            scrub_cycles,
+            counters: SiteCounters::default(),
+        }
+    }
+
+    /// Accounting so far.
+    pub fn counters(&self) -> SiteCounters {
+        self.counters
+    }
+}
 
 /// Latency and geometry parameters for the whole hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +103,7 @@ pub struct Hierarchy {
     cores: Vec<CorePrivate>,
     mem: FlatMem,
     bus: BusStats,
+    fault: Option<Box<CacheFault>>,
 }
 
 impl Hierarchy {
@@ -84,7 +121,18 @@ impl Hierarchy {
             cores,
             mem: FlatMem::new(),
             bus: BusStats::default(),
+            fault: None,
         }
+    }
+
+    /// Installs (or clears) the line-corruption fault stream.
+    pub fn set_fault(&mut self, fault: Option<CacheFault>) {
+        self.fault = fault.map(Box::new);
+    }
+
+    /// Fault accounting so far (all zeros when no stream is installed).
+    pub fn fault_counters(&self) -> SiteCounters {
+        self.fault.as_ref().map(|f| f.counters).unwrap_or_default()
     }
 
     /// Number of cores this hierarchy serves.
@@ -271,6 +319,25 @@ impl Hierarchy {
                     }
                 };
                 self.insert_l2_inclusive(core, addr, fill);
+                // One fault roll per full-miss fill: the line just crossed
+                // the bus. Parity scrubs and re-fetches; otherwise one bit
+                // of the filled word flips in functional memory.
+                if let Some(f) = self.fault.as_deref_mut() {
+                    let d = f.roller.draw();
+                    if d.fires(&f.corrupt) {
+                        f.counters.injected += 1;
+                        if f.parity {
+                            f.counters.detected += 1;
+                            f.counters.recovered += 1;
+                            lat += f.scrub_cycles;
+                        } else {
+                            f.counters.silent += 1;
+                            let waddr = addr & !7;
+                            let word = self.mem.read_u64(waddr) ^ (1u64 << d.pick(64));
+                            self.mem.write_u64(waddr, word);
+                        }
+                    }
+                }
                 fill
             }
         };
@@ -511,5 +578,74 @@ mod tests {
         let (old, _) = h.amo_add(0, 0x44, -4);
         assert_eq!(old, 10);
         assert_eq!(h.load(0, 0x44, 4).0, 6);
+    }
+
+    #[test]
+    fn parity_protected_fill_scrubs_instead_of_corrupting() {
+        use remap_fault::{SiteCfg, PPM_SCALE};
+        let mut h = h2();
+        h.mem_mut().write_u64(0x100, 0xdead_beef_cafe_f00d);
+        h.set_fault(Some(CacheFault::new(
+            9,
+            SiteCfg::windowed(PPM_SCALE as u32, 0, 1),
+            true,
+            30,
+        )));
+        let (v, lat) = h.load(0, 0x100, 8);
+        assert_eq!(v, 0xdead_beef_cafe_f00d, "scrubbed fill stays correct");
+        assert_eq!(lat, 2 + 10 + 200 + 30, "detected fill pays the scrub");
+        let c = h.fault_counters();
+        assert_eq!(
+            (c.injected, c.detected, c.recovered, c.silent),
+            (1, 1, 1, 0)
+        );
+        // Subsequent hits are outside the window: normal latency.
+        assert_eq!(h.load(0, 0x100, 8).1, 2);
+    }
+
+    #[test]
+    fn unprotected_fill_flips_one_memory_bit() {
+        use remap_fault::{SiteCfg, PPM_SCALE};
+        let mut h = h2();
+        h.mem_mut().write_u64(0x100, 0xdead_beef_cafe_f00d);
+        h.set_fault(Some(CacheFault::new(
+            9,
+            SiteCfg::windowed(PPM_SCALE as u32, 0, 1),
+            false,
+            30,
+        )));
+        let (v, lat) = h.load(0, 0x100, 8);
+        assert_eq!(
+            (v ^ 0xdead_beef_cafe_f00d).count_ones(),
+            1,
+            "exactly one flipped bit reaches the consumer"
+        );
+        assert_eq!(lat, 2 + 10 + 200, "silent corruption costs nothing");
+        let c = h.fault_counters();
+        assert_eq!(
+            (c.injected, c.detected, c.recovered, c.silent),
+            (1, 0, 0, 1)
+        );
+    }
+
+    #[test]
+    fn cache_fault_stream_is_deterministic() {
+        use remap_fault::SiteCfg;
+        let run = || {
+            let mut h = h2();
+            h.set_fault(Some(CacheFault::new(5, SiteCfg::rate(250_000), false, 30)));
+            for i in 0..64u64 {
+                h.mem_mut().write_u64(0x1000 + i * 8, i);
+            }
+            let vals: Vec<u64> = (0..64u64)
+                .map(|i| h.load(i as usize % 2, 0x1000 + i * 8, 8).0)
+                .collect();
+            (vals, h.fault_counters())
+        };
+        let (a, ca) = run();
+        let (b, cb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        assert!(ca.injected > 0);
     }
 }

@@ -33,4 +33,4 @@ mod hierarchy;
 
 pub use cache::{Cache, CacheConfig, CacheStats, Mesi};
 pub use flat::FlatMem;
-pub use hierarchy::{BusStats, Hierarchy, HierarchyConfig};
+pub use hierarchy::{BusStats, CacheFault, Hierarchy, HierarchyConfig};

@@ -4,9 +4,51 @@
 use crate::function::{FunctionKind, SplFunction};
 use crate::queue::{InputQueue, OutputQueue};
 use crate::row::RowModel;
+use remap_fault::{Roller, SiteCfg, SiteCounters};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+/// Deterministic row-output bit-flip injection for one fabric.
+///
+/// One fault roll per *completing operation* (an architectural event, so the
+/// stream is identical whether the surrounding simulator ticks or skips).
+/// With parity protection the flip is caught at the output bus and the
+/// operation replays after a row scrub; without it the flipped result is
+/// delivered silently.
+#[derive(Debug, Clone)]
+pub struct SplFault {
+    roller: Roller,
+    bitflip: SiteCfg,
+    parity: bool,
+    replay_ticks: u64,
+    counters: SiteCounters,
+}
+
+impl SplFault {
+    /// A fault stream for `site` under master `seed`. `replay_ticks` is the
+    /// scrub-plus-replay cost in SPL cycles (clamped to at least 1).
+    pub fn new(
+        seed: u64,
+        site: u64,
+        bitflip: SiteCfg,
+        parity: bool,
+        replay_ticks: u64,
+    ) -> SplFault {
+        SplFault {
+            roller: Roller::new(seed, site),
+            bitflip,
+            parity,
+            replay_ticks: replay_ticks.max(1),
+            counters: SiteCounters::default(),
+        }
+    }
+
+    /// Accounting so far.
+    pub fn counters(&self) -> SiteCounters {
+        self.counters
+    }
+}
 
 /// Fabric geometry and sharing configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,6 +216,7 @@ pub struct Spl {
     released: Vec<ReleasedBarrier>,
     rr: usize,
     stats: SplStats,
+    fault: Option<Box<SplFault>>,
 }
 
 impl fmt::Debug for Spl {
@@ -225,9 +268,20 @@ impl Spl {
             released: Vec::new(),
             rr: 0,
             stats: SplStats::default(),
+            fault: None,
             funcs: HashMap::new(),
             cfg,
         }
+    }
+
+    /// Installs (or clears) the fault-injection stream for this fabric.
+    pub fn set_fault(&mut self, fault: Option<SplFault>) {
+        self.fault = fault.map(Box::new);
+    }
+
+    /// Fault accounting so far (all zeros when no stream is installed).
+    pub fn fault_counters(&self) -> SiteCounters {
+        self.fault.as_ref().map(|f| f.counters).unwrap_or_default()
     }
 
     /// The fabric configuration.
@@ -332,10 +386,29 @@ impl Spl {
     /// destination.
     pub fn tick_into(&mut self, now: u64, events: &mut Vec<SplEvent>) {
         // 1. Complete in-flight operations.
+        let mut fault = self.fault.take();
         for part in &mut self.parts {
             let mut i = 0;
             while i < part.inflight.len() {
                 if part.inflight[i].done_at <= now {
+                    // One fault roll per completing operation: detected
+                    // flips scrub the rows and replay the operation in
+                    // place; undetected flips corrupt the delivered result.
+                    if let Some(f) = fault.as_deref_mut() {
+                        let d = f.roller.draw();
+                        if d.fires(&f.bitflip) {
+                            f.counters.injected += 1;
+                            if f.parity {
+                                f.counters.detected += 1;
+                                f.counters.recovered += 1;
+                                part.inflight[i].done_at = now + f.replay_ticks;
+                                i += 1;
+                                continue;
+                            }
+                            part.inflight[i].result ^= 1u64 << d.pick(64);
+                            f.counters.silent += 1;
+                        }
+                    }
                     let op = part.inflight.remove(i);
                     for &d in op.dests.as_slice() {
                         self.outputs[d].deliver(op.result);
@@ -357,6 +430,7 @@ impl Spl {
                 }
             }
         }
+        self.fault = fault;
         // 2. Issue released barriers whose participants are all at head.
         let mut bi = 0;
         while bi < self.released.len() {
@@ -836,5 +910,94 @@ mod tests {
         cfg.partitions = 3;
         cfg.rows = 23;
         let _ = Spl::new(cfg);
+    }
+
+    #[test]
+    fn parity_fault_replays_and_preserves_result() {
+        use remap_fault::{SiteCfg, PPM_SCALE, SITE_SPL};
+        let mut clean = add_fabric();
+        clean.stage(0, 0, 4, 20);
+        clean.stage(0, 4, 4, 22);
+        clean.request(0, 1, 0).unwrap();
+        let (v, clean_t) = run_until_output(&mut clean, 0, 100);
+        assert_eq!(v, 42);
+
+        let mut spl = add_fabric();
+        // Fire exactly on the first completion attempt; the replayed
+        // completion (event 1) is outside the window and delivers.
+        spl.set_fault(Some(SplFault::new(
+            7,
+            SITE_SPL,
+            SiteCfg::windowed(PPM_SCALE as u32, 0, 1),
+            true,
+            6,
+        )));
+        spl.stage(0, 0, 4, 20);
+        spl.stage(0, 4, 4, 22);
+        spl.request(0, 1, 0).unwrap();
+        let (v, t) = run_until_output(&mut spl, 0, 100);
+        assert_eq!(v, 42, "parity replay must deliver the correct result");
+        assert_eq!(t, clean_t + 6, "replay costs the scrub latency");
+        let c = spl.fault_counters();
+        assert_eq!(
+            (c.injected, c.detected, c.recovered, c.silent),
+            (1, 1, 1, 0)
+        );
+    }
+
+    #[test]
+    fn unprotected_fault_silently_flips_one_bit() {
+        use remap_fault::{SiteCfg, PPM_SCALE, SITE_SPL};
+        let mut spl = add_fabric();
+        spl.set_fault(Some(SplFault::new(
+            7,
+            SITE_SPL,
+            SiteCfg::windowed(PPM_SCALE as u32, 0, 1),
+            false,
+            6,
+        )));
+        spl.stage(0, 0, 4, 20);
+        spl.stage(0, 4, 4, 22);
+        spl.request(0, 1, 0).unwrap();
+        let (v, _) = run_until_output(&mut spl, 0, 100);
+        assert_eq!((v ^ 42).count_ones(), 1, "exactly one flipped bit");
+        let c = spl.fault_counters();
+        assert_eq!(
+            (c.injected, c.detected, c.recovered, c.silent),
+            (1, 0, 0, 1)
+        );
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_across_fabrics() {
+        use remap_fault::{SiteCfg, SITE_SPL};
+        let run = || {
+            let mut spl = add_fabric();
+            spl.set_fault(Some(SplFault::new(
+                123,
+                SITE_SPL,
+                SiteCfg::rate(400_000),
+                false,
+                6,
+            )));
+            let mut outs = Vec::new();
+            for i in 0..32u64 {
+                spl.stage(0, 0, 4, i);
+                spl.stage(0, 4, 4, 1000);
+                spl.request(0, 1, 0).unwrap();
+                for t in (i * 50 + 1)..=(i * 50 + 50) {
+                    spl.tick(t);
+                    if let Some(v) = spl.pop_output(0) {
+                        outs.push(v);
+                    }
+                }
+            }
+            (outs, spl.fault_counters())
+        };
+        let (a, ca) = run();
+        let (b, cb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        assert!(ca.injected > 0, "40% rate over 32 ops should fire");
     }
 }

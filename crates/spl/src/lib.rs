@@ -50,7 +50,7 @@ mod function;
 mod queue;
 mod row;
 
-pub use fabric::{RequestError, Spl, SplConfig, SplEvent, SplStats};
+pub use fabric::{RequestError, Spl, SplConfig, SplEvent, SplFault, SplStats};
 pub use function::{Dest, Entry, FunctionKind, SplFunction};
 pub use queue::{InputQueue, OutputQueue, SealedEntry};
 pub use row::{CellModel, RowModel};

@@ -4,6 +4,7 @@
 pub use remap as system;
 pub use remap_comm as comm;
 pub use remap_cpu as cpu;
+pub use remap_fault as fault;
 pub use remap_isa as isa;
 pub use remap_mem as mem;
 pub use remap_power as power;

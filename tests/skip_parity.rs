@@ -42,8 +42,12 @@ fn barrier_modes(b: BarrierBench) -> Vec<BarrierMode> {
 
 /// Runs `skipped` (skip engine on) and `ticked` (skip engine off) to
 /// completion and asserts every observable statistic matches. Returns the
-/// skipped run's bulk-advanced cycle count.
-fn assert_parity(label: &str, mut skipped: System, mut ticked: System) -> u64 {
+/// skipped run's report.
+fn assert_parity(
+    label: &str,
+    mut skipped: System,
+    mut ticked: System,
+) -> remap_suite::system::RunReport {
     skipped.set_skip(true);
     ticked.set_skip(false);
     let rs = skipped
@@ -83,7 +87,11 @@ fn assert_parity(label: &str, mut skipped: System, mut ticked: System) -> u64 {
             "{label}: cluster {cl} SPL stats diverged"
         );
     }
-    rs.skipped_cycles
+    assert_eq!(
+        rs.faults, rt.faults,
+        "{label}: fault counters diverged (zeros when no plan is set)"
+    );
+    rs
 }
 
 #[test]
@@ -116,7 +124,7 @@ fn barrier_workloads_skip_parity_and_actually_skip() {
         };
         for m in barrier_modes(b) {
             let label = format!("{b:?} {m:?}");
-            total_skipped += assert_parity(&label, b.build(m, n), b.build(m, n));
+            total_skipped += assert_parity(&label, b.build(m, n), b.build(m, n)).skipped_cycles;
         }
     }
     // Barrier workloads spend most of their time spinning at rendezvous
@@ -124,6 +132,70 @@ fn barrier_workloads_skip_parity_and_actually_skip() {
     assert!(
         total_skipped > 0,
         "skip engine bulk-advanced zero cycles across all barrier workloads"
+    );
+}
+
+/// Chaos grid: the same parity contract with a [`FaultPlan`] installed.
+/// Fault decisions are event-indexed, not cycle-indexed, so the same seed
+/// must produce the same injections, the same recovery costs, and the same
+/// counters whether idle stretches are bulk-skipped or ticked through —
+/// retry back-off windows and delayed barrier releases are exactly the
+/// wake points the skip engine must not jump over.
+///
+/// [`FaultPlan`]: remap_suite::fault::FaultPlan
+#[test]
+fn faulted_workloads_skip_parity() {
+    use remap_suite::fault::{FaultPlan, SiteCfg};
+
+    let mut plan = FaultPlan::quiet(0xFA_17);
+    plan.spl_bitflip = SiteCfg::rate(50_000);
+    plan.hwq_drop = SiteCfg::rate(50_000);
+    plan.hwq_dup = SiteCfg::rate(25_000);
+    plan.hwq_delay = SiteCfg::rate(25_000);
+    plan.barrier_delay = SiteCfg::rate(100_000);
+    plan.cache_corrupt = SiteCfg::rate(50_000);
+
+    let faulted = |mut sys: System| {
+        sys.set_fault_plan(&plan);
+        sys
+    };
+    let mut total_injected = 0;
+    let mut grid: Vec<(String, System, System)> = Vec::new();
+    for b in [CompBench::ALL[0], CompBench::ALL[3]] {
+        grid.push((
+            format!("{} Spl faulted", b.name()),
+            faulted(b.build(CompMode::Spl, 64)),
+            faulted(b.build(CompMode::Spl, 64)),
+        ));
+    }
+    for (b, m) in [
+        (CommBench::ALL[0], CommMode::CompComm2T),
+        (CommBench::ALL[2], CommMode::Ooo2Comm),
+    ] {
+        grid.push((
+            format!("{} {m:?} faulted", b.name()),
+            faulted(b.build(m, 64)),
+            faulted(b.build(m, 64)),
+        ));
+    }
+    for b in [BarrierBench::Ll2, BarrierBench::Dijkstra] {
+        let n = match b {
+            BarrierBench::Dijkstra => 20,
+            _ => 32,
+        };
+        grid.push((
+            format!("{b:?} Remap(4) faulted"),
+            faulted(b.build(BarrierMode::Remap(4), n)),
+            faulted(b.build(BarrierMode::Remap(4), n)),
+        ));
+    }
+    for (label, skipped, ticked) in grid {
+        let rs = assert_parity(&label, skipped, ticked);
+        total_injected += rs.faults.total_injected();
+    }
+    assert!(
+        total_injected > 0,
+        "chaos grid injected zero faults; the faulted parity check is vacuous"
     );
 }
 
