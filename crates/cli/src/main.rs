@@ -23,7 +23,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
-        Some("verify") => cmd_verify(&args[1..]),
+        Some("verify") => return cmd_verify(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -48,7 +48,10 @@ fn print_usage() {
     println!("  remap run <bench> <mode> [size]     run one validated workload");
     println!("  remap sweep <bench> <mode> [sizes]  sweep a barrier workload");
     println!("  remap bench <target>                regenerate a paper figure (parallel sweep)");
-    println!("  remap verify [bench]                statically verify workload programs");
+    println!("  remap verify [bench] [options]      statically verify workload programs");
+    println!("      --all             also check multi-cluster grids and faulted plans");
+    println!("      --format <f>      output format: text (default) or json");
+    println!("      --deny-warnings   exit nonzero on warnings, not just errors");
     println!();
     println!("modes (computation benchmarks): seq, seq2, spl");
     println!("modes (communication benchmarks): seq, seq2, comp, comm, compcomm, ooo2comm, swq");
@@ -251,96 +254,137 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Every (bench, mode) combination the verifier covers, with a small build
-/// size: program structure does not depend on `n`.
-fn verify_targets(filter: Option<&str>) -> Result<Vec<(String, remap::System)>, String> {
-    let mut targets = Vec::new();
-    let comp_modes = [
-        ("seq", CompMode::SeqOoo1),
-        ("seq2", CompMode::SeqOoo2),
-        ("spl", CompMode::Spl),
-    ];
-    for b in CompBench::ALL {
-        if filter.is_some_and(|f| !f.eq_ignore_ascii_case(b.name())) {
-            continue;
-        }
-        for (label, m) in comp_modes {
-            targets.push((format!("{} [{label}]", b.name()), b.build(m, 64)));
-        }
-    }
-    let comm_modes = [
-        ("seq", CommMode::SeqOoo1),
-        ("seq2", CommMode::SeqOoo2),
-        ("comp", CommMode::Comp1T),
-        ("comm", CommMode::Comm2T),
-        ("compcomm", CommMode::CompComm2T),
-        ("ooo2comm", CommMode::Ooo2Comm),
-        ("swq", CommMode::SwQueue2T),
-    ];
-    for b in CommBench::ALL {
-        if filter.is_some_and(|f| !f.eq_ignore_ascii_case(b.name())) {
-            continue;
-        }
-        for (label, m) in comm_modes {
-            targets.push((format!("{} [{label}]", b.name()), b.build(m, 64)));
-        }
-    }
-    for b in BarrierBench::ALL {
-        if filter.is_some_and(|f| !f.eq_ignore_ascii_case(b.name())) {
-            continue;
-        }
-        let mut modes = vec![
-            ("seq".to_string(), BarrierMode::Seq),
-            ("sw:4".to_string(), BarrierMode::Sw(4)),
-            ("barrier:4".to_string(), BarrierMode::Remap(4)),
-            ("hwnet:4".to_string(), BarrierMode::HwIdeal(4)),
-        ];
-        if b.supports_comp() {
-            modes.push(("barrier+comp:4".to_string(), BarrierMode::RemapComp(4)));
-        }
-        let n = match b {
-            BarrierBench::Dijkstra => 20,
-            _ => 32,
-        };
-        for (label, m) in modes {
-            targets.push((format!("{} [{label}]", b.name()), b.build(m, n)));
-        }
-    }
-    if targets.is_empty() {
-        return Err(format!(
-            "unknown benchmark `{}` (try `remap list`)",
-            filter.unwrap_or("")
-        ));
-    }
-    Ok(targets)
+/// `remap verify` output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VerifyFormat {
+    Text,
+    Json,
 }
 
-fn cmd_verify(args: &[String]) -> Result<(), String> {
-    let filter = match args {
-        [] => None,
-        [b] => Some(b.as_str()),
-        _ => return Err("usage: remap verify [bench]".into()),
+/// Parsed `remap verify` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VerifyArgs {
+    filter: Option<String>,
+    format: VerifyFormat,
+    deny_warnings: bool,
+    all: bool,
+}
+
+const VERIFY_USAGE: &str =
+    "usage: remap verify [bench] [--all] [--format text|json] [--deny-warnings]";
+
+fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, String> {
+    let mut parsed = VerifyArgs {
+        filter: None,
+        format: VerifyFormat::Text,
+        deny_warnings: false,
+        all: false,
     };
-    let mut dirty = 0usize;
-    let targets = verify_targets(filter)?;
-    let total = targets.len();
-    for (label, sys) in targets {
-        let diags = sys.verify();
-        if diags.is_empty() {
-            println!("{label:<24} clean");
-        } else {
-            dirty += 1;
-            println!("{label:<24} {} finding(s):", diags.len());
-            print!("{}", remap_verify::render(&diags));
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => parsed.format = VerifyFormat::Text,
+                Some("json") => parsed.format = VerifyFormat::Json,
+                Some(other) => {
+                    return Err(format!("--format takes `text` or `json`, got `{other}`"))
+                }
+                None => return Err("--format needs a value".into()),
+            },
+            "--deny-warnings" => parsed.deny_warnings = true,
+            "--all" => parsed.all = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            bench => {
+                if parsed.filter.is_some() {
+                    return Err("at most one benchmark filter".into());
+                }
+                parsed.filter = Some(bench.to_string());
+            }
         }
     }
-    if dirty > 0 {
-        return Err(format!(
-            "{dirty} of {total} workload configurations have findings"
-        ));
+    Ok(parsed)
+}
+
+/// Statically verifies workload configurations. Exit codes: 0 all clean,
+/// 1 findings (errors always; warnings only under `--deny-warnings`),
+/// 2 usage error.
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let parsed = match parse_verify_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n{VERIFY_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut targets = remap_workloads::catalog::canonical();
+    if parsed.all {
+        targets.extend(remap_workloads::catalog::extended());
     }
-    println!("all {total} workload configurations verify clean");
-    Ok(())
+    if let Some(f) = &parsed.filter {
+        let prefix = format!("{} [", f.to_ascii_lowercase());
+        targets.retain(|(label, _)| label.to_ascii_lowercase().starts_with(&prefix));
+        if targets.is_empty() {
+            eprintln!("error: unknown benchmark `{f}` (try `remap list`)");
+            return ExitCode::from(2);
+        }
+    }
+    let total = targets.len();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut dirty = 0usize;
+    let mut json_items: Vec<String> = Vec::new();
+    for (label, sys) in &targets {
+        let diags = sys.verify();
+        for d in &diags {
+            match d.severity {
+                remap_verify::Severity::Error => errors += 1,
+                remap_verify::Severity::Warning => warnings += 1,
+            }
+        }
+        match parsed.format {
+            VerifyFormat::Json => {
+                json_items.extend(diags.iter().map(|d| d.to_json_with(&[("config", label)])));
+            }
+            VerifyFormat::Text => {
+                if diags.is_empty() {
+                    println!("{label:<24} clean");
+                } else {
+                    println!("{label:<24} {} finding(s):", diags.len());
+                    print!("{}", remap_verify::render(&diags));
+                }
+            }
+        }
+        if !diags.is_empty() {
+            dirty += 1;
+        }
+    }
+    if parsed.format == VerifyFormat::Json {
+        if json_items.is_empty() {
+            println!("[]");
+        } else {
+            println!("[\n  {}\n]", json_items.join(",\n  "));
+        }
+    }
+    let fail = errors > 0 || (parsed.deny_warnings && warnings > 0);
+    if fail {
+        eprintln!(
+            "{dirty} of {total} configurations have findings \
+             ({errors} error(s), {warnings} warning(s))"
+        );
+        ExitCode::from(1)
+    } else {
+        if parsed.format == VerifyFormat::Text {
+            if dirty == 0 {
+                println!("all {total} workload configurations verify clean");
+            } else {
+                println!(
+                    "{dirty} of {total} configurations have warnings \
+                     (pass --deny-warnings to fail on them)"
+                );
+            }
+        }
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
@@ -410,6 +454,33 @@ mod tests {
         );
         assert!(parse_barrier_mode("sw:x").is_err(), "bad thread count");
         assert!(parse_barrier_mode("bogus:2").is_err());
+    }
+
+    #[test]
+    fn verify_arg_parsing() {
+        let ok = |v: &[&str]| {
+            parse_verify_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+        };
+        let err = |v: &[&str]| {
+            parse_verify_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
+        };
+        assert_eq!(
+            ok(&[]),
+            VerifyArgs {
+                filter: None,
+                format: VerifyFormat::Text,
+                deny_warnings: false,
+                all: false
+            }
+        );
+        let p = ok(&["wc", "--format", "json", "--deny-warnings", "--all"]);
+        assert_eq!(p.filter.as_deref(), Some("wc"));
+        assert_eq!(p.format, VerifyFormat::Json);
+        assert!(p.deny_warnings && p.all);
+        assert!(err(&["--format"]).contains("needs a value"));
+        assert!(err(&["--format", "yaml"]).contains("yaml"));
+        assert!(err(&["--nope"]).contains("--nope"));
+        assert!(err(&["a", "b"]).contains("at most one"));
     }
 
     #[test]

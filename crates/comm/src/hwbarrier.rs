@@ -45,11 +45,13 @@ impl HwBarrierNet {
     /// Polls barrier `id` from `core`. The first poll of an episode arrives;
     /// returns `true` once the episode has released this core.
     ///
-    /// # Panics
-    ///
-    /// Panics if the barrier was not configured.
+    /// Polling a barrier that was never configured returns `false` forever
+    /// (it can never release); callers that want a structured error check
+    /// [`HwBarrierNet::is_configured`] first, as the system loop does.
     pub fn poll(&mut self, core: usize, id: u8) -> bool {
-        let b = self.barriers.get_mut(&id).expect("barrier not configured");
+        let Some(b) = self.barriers.get_mut(&id) else {
+            return false;
+        };
         match b.waiting.get(&core).copied() {
             None => {
                 // Arrival.
@@ -89,11 +91,21 @@ impl HwBarrierNet {
     /// has not yet arrived always progresses (its first poll counts it); a
     /// waiting core progresses only once a newer generation has released.
     pub fn poll_ready(&self, core: usize, id: u8) -> bool {
-        let b = self.barriers.get(&id).expect("barrier not configured");
+        let Some(b) = self.barriers.get(&id) else {
+            return false;
+        };
         match b.waiting.get(&core).copied() {
             None => true,
             Some(gen) => b.generation > gen,
         }
+    }
+
+    /// Configured barrier geometry as sorted `(id, participant total)`
+    /// pairs. Exported for the static message-flow verifier.
+    pub fn configured(&self) -> Vec<(u8, u32)> {
+        let mut v: Vec<(u8, u32)> = self.barriers.iter().map(|(&id, b)| (id, b.total)).collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -151,9 +163,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not configured")]
-    fn unconfigured_panics() {
+    fn unconfigured_never_releases() {
         let mut net = HwBarrierNet::new();
-        net.poll(0, 9);
+        assert!(!net.poll(0, 9));
+        assert!(!net.poll_ready(0, 9));
+        assert!(!net.is_configured(9));
+    }
+
+    #[test]
+    fn configured_geometry_is_sorted() {
+        let mut net = HwBarrierNet::new();
+        net.configure(2, 8);
+        net.configure(0, 4);
+        assert_eq!(net.configured(), vec![(0, 4), (2, 8)]);
     }
 }

@@ -30,6 +30,12 @@ impl HwQueueNet {
         self.queues.len()
     }
 
+    /// Per-queue capacity (values a queue holds before backpressuring).
+    /// Exported geometry for the static message-flow verifier.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Pushes `value` into queue `q`; `false` when full (sender retries).
     pub fn send(&mut self, q: usize, value: u64) -> bool {
         if self.queues[q].len() >= self.capacity {
@@ -80,6 +86,13 @@ mod tests {
         assert_eq!(net.recv(0), None);
         assert_eq!(net.recv(1), Some(9));
         assert_eq!(net.transfers, 3);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let net = HwQueueNet::new(3, 7);
+        assert_eq!(net.n_queues(), 3);
+        assert_eq!(net.capacity(), 7);
     }
 
     #[test]

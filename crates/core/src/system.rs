@@ -1369,6 +1369,7 @@ impl System {
             barrier_totals,
             hwbars: self.hwbars.clone(),
             hwq_queues: self.env.hwq.n_queues(),
+            hwq_capacity: self.env.hwq.capacity(),
         })
     }
 

@@ -351,6 +351,21 @@ impl Inst {
         }
     }
 
+    /// Constant-folds this instruction's result given a register valuation.
+    ///
+    /// Returns `Some(value)` only for pure register-to-register computations
+    /// (`Alu`, `AluImm`, `Fp`) whose operands are all known; memory, queue,
+    /// and control instructions return `None`. Static analyses use this to
+    /// extract loop bounds and trip counts without duplicating ALU semantics.
+    pub fn const_eval(self, read: impl Fn(Reg) -> Option<i64>) -> Option<i64> {
+        match self {
+            Inst::Alu { op, rs1, rs2, .. } => Some(op.apply(read(rs1)?, read(rs2)?)),
+            Inst::AluImm { op, rs1, imm, .. } => Some(op.apply(read(rs1)?, imm as i64)),
+            Inst::Fp { op, rs1, rs2, .. } => Some(op.apply(read(rs1)?, read(rs2)?)),
+            _ => None,
+        }
+    }
+
     /// Scheduling class (issue queue + functional unit selection).
     pub fn class(self) -> InstClass {
         match self {
@@ -655,6 +670,44 @@ mod tests {
         assert!(BranchCond::Ge.eval(1, 1));
         assert!(!BranchCond::Ltu.eval(-1, 1));
         assert!(BranchCond::Geu.eval(-1, 1));
+    }
+
+    #[test]
+    fn const_eval_folds_pure_ops_only() {
+        let regs = |r: Reg| match r {
+            Reg::R1 => Some(6),
+            Reg::R2 => Some(7),
+            _ => None,
+        };
+        let mul = Inst::Alu {
+            op: AluOp::Mul,
+            rd: Reg::R3,
+            rs1: Reg::R1,
+            rs2: Reg::R2,
+        };
+        assert_eq!(mul.const_eval(regs), Some(42));
+        let srai = Inst::AluImm {
+            op: AluOp::Sra,
+            rd: Reg::R1,
+            rs1: Reg::R1,
+            imm: 1,
+        };
+        assert_eq!(srai.const_eval(regs), Some(3));
+        // Unknown operand poisons the fold.
+        let unk = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::R3,
+            rs1: Reg::R1,
+            rs2: Reg::R4,
+        };
+        assert_eq!(unk.const_eval(regs), None);
+        // Loads are never const: their value comes from memory.
+        let lw = Inst::Lw {
+            rd: Reg::R3,
+            base: Reg::R1,
+            offset: 0,
+        };
+        assert_eq!(lw.const_eval(regs), None);
     }
 
     #[test]

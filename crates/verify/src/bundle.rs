@@ -46,6 +46,8 @@ pub struct Bundle<'a> {
     pub hwbars: Vec<(u8, u32)>,
     /// Number of idealized hardware queues in the bank.
     pub hwq_queues: usize,
+    /// Per-queue capacity in values; `0` means unbounded.
+    pub hwq_capacity: usize,
 }
 
 /// The virtualization initiation interval II = ceil(V/P) for a function of
@@ -141,6 +143,19 @@ pub fn verify_bundle(bundle: &Bundle) -> Vec<Diagnostic> {
         &mut diags,
     );
     virtualization_lints(bundle, &funcs, &initers, &cluster_of, &mut diags);
+    crate::interlock::interlock_lints(
+        &crate::interlock::InterlockCtx {
+            bundle,
+            funcs: &funcs,
+            cluster_of: &cluster_of,
+            core_of_thread: &core_of_thread,
+            initers: &initers,
+            senders: &senders,
+            receivers: &receivers,
+            hwbar_users: &hwbar_users,
+        },
+        &mut diags,
+    );
 
     // Cores fed by another core's Dest::Thread routing may `spl_store`
     // without a local `spl_init`.
@@ -171,8 +186,13 @@ pub fn verify_bundle(bundle: &Bundle) -> Vec<Diagnostic> {
             known_configs: Some(known.clone()),
             external_feed: fed_cores.contains(&t.core),
         };
-        diags.extend(verify_program(t.program, &ctx));
+        diags.extend(
+            verify_program(t.program, &ctx)
+                .into_iter()
+                .map(|d| d.with_core(t.core)),
+        );
     }
+    diags.sort_by_key(|d| d.sort_key());
     diags
 }
 

@@ -37,6 +37,29 @@ pub enum Code {
     /// Virtualization sanity: initiation-interval model inconsistency or a
     /// barrier whose participants span partitions.
     Rv014Virtualization,
+    /// Message-flow: a queue's receive count provably exceeds every path's
+    /// send count; the excess pop blocks forever.
+    Rv015QueueUnderflow,
+    /// Message-flow: a queue's send count provably exceeds every path's
+    /// receive count; values pile up (and block the sender past capacity).
+    Rv016QueueOverflow,
+    /// Message-flow: unbounded producer feeding a provably bounded consumer.
+    Rv017QueueRateMismatch,
+    /// Barrier groups whose members provably arrive a different number of
+    /// times (disjoint arrival-count intervals).
+    Rv018BarrierDivergence,
+    /// Barrier groups whose members have exact but unequal possible arrival
+    /// counts on some path combination.
+    Rv019BarrierPathDivergence,
+    /// Communication-aware deadlock: a waits-for cycle in which no member
+    /// can reach its producing instruction before blocking.
+    Rv020CommDeadlock,
+    /// SPL write-write race: multiple remote cores route compute results
+    /// into one core's SPL output queue.
+    Rv021SplRace,
+    /// SPL flow imbalance: a core's `spl_store` count provably differs from
+    /// the results routed to it.
+    Rv022SplFlowImbalance,
 }
 
 impl Code {
@@ -57,6 +80,14 @@ impl Code {
             Code::Rv012FabricConfig => "RV012",
             Code::Rv013BadDest => "RV013",
             Code::Rv014Virtualization => "RV014",
+            Code::Rv015QueueUnderflow => "RV015",
+            Code::Rv016QueueOverflow => "RV016",
+            Code::Rv017QueueRateMismatch => "RV017",
+            Code::Rv018BarrierDivergence => "RV018",
+            Code::Rv019BarrierPathDivergence => "RV019",
+            Code::Rv020CommDeadlock => "RV020",
+            Code::Rv021SplRace => "RV021",
+            Code::Rv022SplFlowImbalance => "RV022",
         }
     }
 }
@@ -87,6 +118,9 @@ pub struct Diagnostic {
     pub code: Code,
     /// Error or warning.
     pub severity: Severity,
+    /// Global core id the finding is anchored to, when it has one.
+    /// System-wide findings (fabric geometry, cross-core cycles) have none.
+    pub core: Option<usize>,
     /// Name of the program the finding is in (empty for system-level
     /// findings such as fabric configuration).
     pub program: String,
@@ -107,37 +141,115 @@ impl Diagnostic {
         Diagnostic {
             code,
             severity,
+            core: None,
             program: program.into(),
             pc,
             message: message.into(),
         }
     }
+
+    /// Anchors this finding to a global core id.
+    pub(crate) fn with_core(mut self, core: usize) -> Diagnostic {
+        self.core = Some(core);
+        self
+    }
+
+    /// The canonical emission/render order: system-level findings first,
+    /// then by core, program, pc, and code. Byte-identical across runs.
+    pub fn sort_key(&self) -> (Option<usize>, String, Option<u32>, Code) {
+        (self.core, self.program.clone(), self.pc, self.code)
+    }
+
+    /// Serializes this finding as one JSON object, with `extra` leading
+    /// string fields (e.g. the workload config a CLI sweep is checking).
+    pub fn to_json_with(&self, extra: &[(&str, &str)]) -> String {
+        let mut s = String::from("{");
+        for (k, v) in extra {
+            s.push_str(&format!("{}:{},", json_str(k), json_str(v)));
+        }
+        s.push_str(&format!("\"code\":{},", json_str(self.code.id())));
+        s.push_str(&format!(
+            "\"severity\":{},",
+            json_str(&self.severity.to_string())
+        ));
+        match self.core {
+            Some(c) => s.push_str(&format!("\"core\":{c},")),
+            None => s.push_str("\"core\":null,"),
+        }
+        s.push_str(&format!("\"program\":{},", json_str(&self.program)));
+        match self.pc {
+            Some(pc) => s.push_str(&format!("\"pc\":{pc},")),
+            None => s.push_str("\"pc\":null,"),
+        }
+        s.push_str(&format!("\"message\":{}", json_str(&self.message)));
+        s.push('}');
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} {}", self.code.id(), self.severity)?;
-        if !self.program.is_empty() {
-            write!(f, " [{}", self.program)?;
-            if let Some(pc) = self.pc {
-                write!(f, "@{pc}")?;
+        match (self.core, self.program.is_empty()) {
+            (Some(c), false) => {
+                write!(f, " [core {c}: {}", self.program)?;
+                if let Some(pc) = self.pc {
+                    write!(f, "@{pc}")?;
+                }
+                write!(f, "]")?;
             }
-            write!(f, "]")?;
+            (Some(c), true) => write!(f, " [core {c}]")?,
+            (None, false) => {
+                write!(f, " [{}", self.program)?;
+                if let Some(pc) = self.pc {
+                    write!(f, "@{pc}")?;
+                }
+                write!(f, "]")?;
+            }
+            (None, true) => {}
         }
         write!(f, ": {}", self.message)
     }
 }
 
-/// Renders diagnostics one per line, sorted by program, pc, and code.
+/// Renders diagnostics one per line in canonical (core, program, pc, code)
+/// order — byte-identical across runs.
 pub fn render(diags: &[Diagnostic]) -> String {
     let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
-    sorted.sort_by_key(|d| (d.program.clone(), d.pc, d.code));
+    sorted.sort_by_key(|d| d.sort_key());
     let mut out = String::new();
     for d in sorted {
         out.push_str(&d.to_string());
         out.push('\n');
     }
     out
+}
+
+/// Renders diagnostics as one JSON array in canonical order.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by_key(|d| d.sort_key());
+    let body: Vec<String> = sorted.iter().map(|d| d.to_json_with(&[])).collect();
+    format!("[{}]", body.join(","))
 }
 
 #[cfg(test)]
@@ -178,5 +290,68 @@ mod tests {
         let out = render(&[a, b]);
         let first = out.lines().next().unwrap();
         assert!(first.contains("[a@9]"));
+    }
+
+    #[test]
+    fn render_sorts_core_before_program() {
+        let a = Diagnostic::new(
+            Code::Rv015QueueUnderflow,
+            Severity::Error,
+            "a",
+            Some(1),
+            "x",
+        )
+        .with_core(2);
+        let b = Diagnostic::new(
+            Code::Rv015QueueUnderflow,
+            Severity::Error,
+            "z",
+            Some(9),
+            "y",
+        )
+        .with_core(1);
+        let sys = Diagnostic::new(Code::Rv012FabricConfig, Severity::Error, "", None, "s");
+        let out = render(&[a, b, sys]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("RV012"), "system-level first: {out}");
+        assert!(lines[1].contains("core 1"), "then core order: {out}");
+        assert!(lines[2].contains("core 2"), "then core order: {out}");
+    }
+
+    #[test]
+    fn display_includes_core_anchor() {
+        let d = Diagnostic::new(
+            Code::Rv015QueueUnderflow,
+            Severity::Error,
+            "p",
+            Some(4),
+            "m",
+        )
+        .with_core(3);
+        assert_eq!(d.to_string(), "RV015 error [core 3: p@4]: m");
+        let no_prog = Diagnostic::new(Code::Rv018BarrierDivergence, Severity::Error, "", None, "m")
+            .with_core(1);
+        assert_eq!(no_prog.to_string(), "RV018 error [core 1]: m");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_orders() {
+        let d = Diagnostic::new(
+            Code::Rv016QueueOverflow,
+            Severity::Warning,
+            "p\"q",
+            None,
+            "line1\nline2",
+        )
+        .with_core(0);
+        let j = d.to_json_with(&[("config", "wc [2Th+Comm]")]);
+        assert_eq!(
+            j,
+            "{\"config\":\"wc [2Th+Comm]\",\"code\":\"RV016\",\"severity\":\"warning\",\
+             \"core\":0,\"program\":\"p\\\"q\",\"pc\":null,\"message\":\"line1\\nline2\"}"
+        );
+        assert_eq!(render_json(&[]), "[]");
+        let arr = render_json(&[d]);
+        assert!(arr.starts_with("[{") && arr.ends_with("}]"));
     }
 }

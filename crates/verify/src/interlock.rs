@@ -1,0 +1,1190 @@
+//! Inter-core protocol lints RV015–RV022 over per-thread flow summaries.
+//!
+//! Each lint compares the interval summaries of [`crate::flow`] across the
+//! threads of a [`Bundle`]:
+//!
+//! * **RV015/RV016/RV017** — per-queue send/receive counting: guaranteed
+//!   underflow (pops that can never be satisfied), guaranteed overflow
+//!   (pushes that can never be drained, an error once they exceed the
+//!   queue capacity), and unbounded-producer/bounded-consumer mismatch.
+//! * **RV018/RV019** — barrier divergence over three group families: SPL
+//!   barrier configurations, idealized hardware barriers, and software
+//!   barriers (grouped by their `amoadd` counter address). Disjoint
+//!   arrival-count intervals are a guaranteed hang; overlapping but
+//!   unequal finite intervals are a path-divergence warning.
+//! * **RV020** — communication-aware deadlock: refines RV011's waits-for
+//!   cycle warning to an error when *no* member of the cycle can reach a
+//!   producing instruction without first blocking on in-cycle data.
+//! * **RV021/RV022** — SPL result-stream integrity: multiple remote
+//!   producers racing into one core's output queue, and quantitative
+//!   imbalance between results routed to a core and its `spl_store` count
+//!   (an error when pops block forever or the 24-result in-flight limit
+//!   jams initiation).
+//!
+//! Every lint fires only on *provable* disagreement between intervals, so
+//! the widened `[0, ∞)` summaries of data-dependent or bailed programs can
+//! never produce a false positive.
+
+use crate::bundle::{Bundle, ThreadSpec};
+use crate::diag::{Code, Diagnostic, Severity};
+use crate::flow::{summarize, Bound, Count, EventKind, FlowSummary};
+use remap_isa::Inst;
+use remap_spl::{Dest, FunctionKind, SplFunction};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// SPL results that can be outstanding toward one core before `spl_init`
+/// stalls (the Thread-to-Core table's in-flight limit, §II-B.1).
+const IN_FLIGHT_LIMIT: u64 = 24;
+
+/// Shared inputs the bundle verifier has already computed.
+pub(crate) struct InterlockCtx<'a, 'b> {
+    pub bundle: &'b Bundle<'a>,
+    pub funcs: &'b BTreeMap<u16, &'a SplFunction>,
+    pub cluster_of: &'b BTreeMap<usize, usize>,
+    pub core_of_thread: &'b BTreeMap<u32, Vec<usize>>,
+    pub initers: &'b BTreeMap<u16, BTreeSet<usize>>,
+    pub senders: &'b BTreeMap<u8, BTreeSet<usize>>,
+    pub receivers: &'b BTreeMap<u8, BTreeSet<usize>>,
+    pub hwbar_users: &'b BTreeMap<u8, BTreeSet<usize>>,
+}
+
+/// One thread's flow summary plus its identity.
+struct Summ<'a, 'b> {
+    core: usize,
+    spec: &'b ThreadSpec<'a>,
+    flow: FlowSummary,
+}
+
+fn fmt_count(c: Count) -> String {
+    match c.max {
+        Bound::Fin(m) if m == c.min => format!("exactly {m}"),
+        Bound::Fin(m) => format!("{}..{m}", c.min),
+        Bound::Inf => format!("{}..unbounded", c.min),
+    }
+}
+
+/// Entry point: runs every inter-core lint.
+pub(crate) fn interlock_lints(cx: &InterlockCtx, diags: &mut Vec<Diagnostic>) {
+    let sums: Vec<Summ> = cx
+        .bundle
+        .threads
+        .iter()
+        .map(|t| Summ {
+            core: t.core,
+            spec: t,
+            flow: summarize(t.program, &t.init_regs),
+        })
+        .collect();
+    queue_flow_lints(cx, &sums, diags);
+    barrier_divergence_lints(cx, &sums, diags);
+    comm_deadlock_lint(cx, diags);
+    spl_race_lint(cx, &sums, diags);
+    spl_flow_lints(cx, &sums, diags);
+}
+
+/// RV015/RV016/RV017: symbolic send/receive counting per hardware queue.
+fn queue_flow_lints(cx: &InterlockCtx, sums: &[Summ], diags: &mut Vec<Diagnostic>) {
+    let queues: BTreeSet<u8> = sums
+        .iter()
+        .flat_map(|s| s.flow.counts.keys())
+        .filter_map(|k| match k {
+            EventKind::HwqSend(q) | EventKind::HwqRecv(q) => Some(*q),
+            _ => None,
+        })
+        .collect();
+    for q in queues {
+        // Fully unpaired queues (no static sender / no static receiver at
+        // all) are RV009's territory; the counting lints only refine
+        // queues where both sides exist.
+        let has_sender = cx.senders.get(&q).is_some_and(|s| !s.is_empty());
+        let has_receiver = cx.receivers.get(&q).is_some_and(|r| !r.is_empty());
+        let mut send = Count::ZERO;
+        let mut recv = Count::ZERO;
+        let mut any_bailed = false;
+        let mut send_at: Option<&Summ> = None;
+        let mut recv_at: Option<&Summ> = None;
+        for s in sums {
+            let cs = s.flow.count(EventKind::HwqSend(q));
+            let cr = s.flow.count(EventKind::HwqRecv(q));
+            if cs.max > Bound::Fin(0) {
+                send_at.get_or_insert(s);
+                any_bailed |= s.flow.bailed;
+            }
+            if cr.max > Bound::Fin(0) {
+                recv_at.get_or_insert(s);
+                any_bailed |= s.flow.bailed;
+            }
+            send = send.add(cs);
+            recv = recv.add(cr);
+        }
+        if let Bound::Fin(smax) = send.max {
+            if has_sender && recv.min > smax {
+                let s = recv_at.unwrap_or(&sums[0]);
+                diags.push(
+                    Diagnostic::new(
+                        Code::Rv015QueueUnderflow,
+                        Severity::Error,
+                        s.spec.program.name(),
+                        s.flow.anchor(EventKind::HwqRecv(q)),
+                        format!(
+                            "hardware queue {q} underflows: every path receives \
+                             {} but at most {smax} values are ever sent; the \
+                             excess pop blocks forever",
+                            fmt_count(recv)
+                        ),
+                    )
+                    .with_core(s.core),
+                );
+                continue;
+            }
+        }
+        if let Bound::Fin(rmax) = recv.max {
+            if has_receiver && send.min > rmax {
+                let excess = send.min - rmax;
+                let cap = cx.bundle.hwq_capacity as u64;
+                let s = send_at.unwrap_or(&sums[0]);
+                let (sev, tail) = if cap > 0 && excess > cap {
+                    (
+                        Severity::Error,
+                        format!(
+                            "{excess} excess values exceed the queue capacity \
+                             of {cap}; the producer blocks forever"
+                        ),
+                    )
+                } else {
+                    (
+                        Severity::Warning,
+                        format!("{excess} values are left in the queue at exit"),
+                    )
+                };
+                diags.push(
+                    Diagnostic::new(
+                        Code::Rv016QueueOverflow,
+                        sev,
+                        s.spec.program.name(),
+                        s.flow.anchor(EventKind::HwqSend(q)),
+                        format!(
+                            "hardware queue {q} overflows: every path sends {} \
+                             but at most {rmax} values are ever received; {tail}",
+                            fmt_count(send)
+                        ),
+                    )
+                    .with_core(s.core),
+                );
+                continue;
+            }
+            // RV017 only fires with a genuine (non-bailed) unbounded
+            // producer against a provably bounded, present consumer — a
+            // consumer looping until a sentinel has an unbounded receive
+            // count and stays silent here.
+            if send.max == Bound::Inf && recv_at.is_some() && !any_bailed {
+                let s = send_at.unwrap_or(&sums[0]);
+                diags.push(
+                    Diagnostic::new(
+                        Code::Rv017QueueRateMismatch,
+                        Severity::Warning,
+                        s.spec.program.name(),
+                        s.flow.anchor(EventKind::HwqSend(q)),
+                        format!(
+                            "hardware queue {q} rate mismatch: the producer \
+                             side sends {} while the consumer side receives at \
+                             most {rmax}; production beyond the queue capacity \
+                             backpressures forever",
+                            fmt_count(send)
+                        ),
+                    )
+                    .with_core(s.core),
+                );
+            }
+        }
+    }
+}
+
+/// One barrier group: a display label plus (core, count, summary) members.
+struct Group<'a, 'b, 'c> {
+    label: String,
+    kind: EventKind,
+    members: Vec<(&'c Summ<'a, 'b>, Count)>,
+}
+
+/// RV018/RV019: barrier-divergence analysis over SPL barrier
+/// configurations, hardware barriers, and software `amoadd` counters.
+fn barrier_divergence_lints(cx: &InterlockCtx, sums: &[Summ], diags: &mut Vec<Diagnostic>) {
+    let by_core: BTreeMap<usize, &Summ> = sums.iter().map(|s| (s.core, s)).collect();
+    let mut groups: Vec<Group> = Vec::new();
+    for (&cfg, f) in cx.funcs {
+        if !f.is_barrier() {
+            continue;
+        }
+        let Some(users) = cx.initers.get(&cfg) else {
+            continue;
+        };
+        if users.len() < 2 {
+            continue;
+        }
+        let kind = EventKind::SplInit(cfg);
+        groups.push(Group {
+            label: format!("barrier configuration {cfg} (`{}`)", f.name()),
+            kind,
+            members: users
+                .iter()
+                .filter_map(|c| by_core.get(c))
+                .map(|s| (*s, s.flow.count(kind)))
+                .collect(),
+        });
+    }
+    for (&id, users) in cx.hwbar_users {
+        if users.len() < 2 {
+            continue;
+        }
+        let kind = EventKind::HwBar(id);
+        groups.push(Group {
+            label: format!("hardware barrier {id}"),
+            kind,
+            members: users
+                .iter()
+                .filter_map(|c| by_core.get(c))
+                .map(|s| (*s, s.flow.count(kind)))
+                .collect(),
+        });
+    }
+    // Software barriers: group by the atomic counter's address. Skipped
+    // entirely when any thread performs an `amoadd` at a statically
+    // unknown address — it could alias any counter.
+    if !sums.iter().any(|s| s.flow.amo_unknown) {
+        let addrs: BTreeSet<i64> = sums
+            .iter()
+            .flat_map(|s| s.flow.counts.keys())
+            .filter_map(|k| match k {
+                EventKind::AmoAdd(a) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        for addr in addrs {
+            let kind = EventKind::AmoAdd(addr);
+            let members: Vec<(&Summ, Count)> = sums
+                .iter()
+                .map(|s| (s, s.flow.count(kind)))
+                .filter(|(_, c)| c.max > Bound::Fin(0))
+                .collect();
+            if members.len() >= 2 {
+                groups.push(Group {
+                    label: format!("software barrier counter {addr:#x}"),
+                    kind,
+                    members,
+                });
+            }
+        }
+    }
+    for g in groups {
+        let disjoint_pair = g.members.iter().enumerate().find_map(|(i, (si, ci))| {
+            g.members[i + 1..]
+                .iter()
+                .find(|(_, cj)| ci.disjoint(*cj))
+                .map(|(sj, cj)| (*si, *ci, *sj, *cj))
+        });
+        if let Some((si, ci, sj, cj)) = disjoint_pair {
+            diags.push(
+                Diagnostic::new(
+                    Code::Rv018BarrierDivergence,
+                    Severity::Error,
+                    si.spec.program.name(),
+                    si.flow.anchor(g.kind),
+                    format!(
+                        "{} diverges: core {} arrives {} while core {} arrives \
+                         {}; the group can never release (the software-demoted \
+                         path arrives identically and hangs the same way)",
+                        g.label,
+                        si.core,
+                        fmt_count(ci),
+                        sj.core,
+                        fmt_count(cj)
+                    ),
+                )
+                .with_core(si.core),
+            );
+            continue;
+        }
+        // RV019: all members finite and statically analyzed, but the
+        // intervals are not all identical — some path combination
+        // diverges.
+        let all_finite = g
+            .members
+            .iter()
+            .all(|(s, c)| !s.flow.bailed && matches!(c.max, Bound::Fin(_)));
+        let all_equal = g.members.windows(2).all(|w| w[0].1 == w[1].1);
+        if all_finite && !all_equal {
+            let (s0, c0) = g.members[0];
+            let spread: Vec<String> = g
+                .members
+                .iter()
+                .map(|(s, c)| format!("core {}: {}", s.core, fmt_count(*c)))
+                .collect();
+            let _ = c0;
+            diags.push(
+                Diagnostic::new(
+                    Code::Rv019BarrierPathDivergence,
+                    Severity::Warning,
+                    s0.spec.program.name(),
+                    s0.flow.anchor(g.kind),
+                    format!(
+                        "{} may diverge: arrival counts differ across paths \
+                         ({}); a mismatched combination hangs the group",
+                        g.label,
+                        spread.join(", ")
+                    ),
+                )
+                .with_core(s0.core),
+            );
+        }
+    }
+}
+
+/// The waits-for edges RV011 uses: `a → b` when core `a` blocks on data
+/// produced by core `b` (queue pops and SPL result routing).
+fn waits_for_edges(cx: &InterlockCtx) -> BTreeSet<(usize, usize)> {
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (&cfg, cores) in cx.initers {
+        if let Some(f) = cx.funcs.get(&cfg) {
+            if let FunctionKind::Compute {
+                dest: Dest::Thread(t),
+                ..
+            } = f.kind()
+            {
+                for &c in cores {
+                    for &d in cx.core_of_thread.get(t).map_or(&[][..], |v| &v[..]) {
+                        if d != c {
+                            edges.insert((d, c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (q, rs) in cx.receivers {
+        if let Some(ss) = cx.senders.get(q) {
+            for &r in rs {
+                for &s in ss {
+                    if r != s {
+                        edges.insert((r, s));
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Which cores' SPL inits route results into each core's output queue
+/// (including self-feeding).
+fn spl_feeders(cx: &InterlockCtx) -> BTreeMap<usize, BTreeSet<usize>> {
+    let mut feed: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (&cfg, cores) in cx.initers {
+        let Some(f) = cx.funcs.get(&cfg) else {
+            continue;
+        };
+        match f.kind() {
+            FunctionKind::Compute {
+                dest: Dest::SelfCore,
+                ..
+            }
+            | FunctionKind::Barrier { .. } => {
+                for &c in cores {
+                    feed.entry(c).or_default().insert(c);
+                }
+            }
+            FunctionKind::Compute {
+                dest: Dest::Thread(t),
+                ..
+            } => {
+                for &c in cores {
+                    for &d in cx.core_of_thread.get(t).map_or(&[][..], |v| &v[..]) {
+                        feed.entry(d).or_default().insert(c);
+                    }
+                }
+            }
+        }
+    }
+    feed
+}
+
+/// Whether `insts` has a path from entry to a pc in `produce` that never
+/// steps onto a pc in `cuts`. Indirect jumps conservatively reach.
+fn reaches_avoiding(insts: &[Inst], produce: &BTreeSet<usize>, cuts: &BTreeSet<usize>) -> bool {
+    let n = insts.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    while let Some(pc) = stack.pop() {
+        if pc >= n || seen[pc] {
+            continue;
+        }
+        seen[pc] = true;
+        if cuts.contains(&pc) {
+            continue;
+        }
+        if produce.contains(&pc) {
+            return true;
+        }
+        match insts[pc] {
+            Inst::Halt => {}
+            Inst::Jalr { .. } => return true,
+            Inst::Jal { target, .. } => stack.push(target as usize),
+            Inst::Branch { target, .. } => {
+                stack.push(target as usize);
+                stack.push(pc + 1);
+            }
+            _ => stack.push(pc + 1),
+        }
+    }
+    false
+}
+
+/// RV020: a waits-for strongly connected component in which no member can
+/// reach an instruction that produces data for another member without
+/// first blocking on in-component data. Queues start empty, so if nobody
+/// can inject first, every member blocks forever.
+fn comm_deadlock_lint(cx: &InterlockCtx, diags: &mut Vec<Diagnostic>) {
+    let edges = waits_for_edges(cx);
+    if edges.is_empty() {
+        return;
+    }
+    let feed = spl_feeders(cx);
+    let nodes: BTreeSet<usize> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let closure = |start: usize, forward: bool| -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for &(a, b) in &edges {
+                let (from, to) = if forward { (a, b) } else { (b, a) };
+                if from == n && !seen.contains(&to) {
+                    stack.push(to);
+                }
+            }
+        }
+        seen
+    };
+    let mut reported: BTreeSet<usize> = BTreeSet::new();
+    for &n in &nodes {
+        if reported.contains(&n) {
+            continue;
+        }
+        let scc: BTreeSet<usize> = closure(n, true)
+            .intersection(&closure(n, false))
+            .copied()
+            .collect();
+        if scc.len() < 2 {
+            continue;
+        }
+        reported.extend(&scc);
+        let mut blocked_anchor: Option<(&ThreadSpec, usize, u32)> = None;
+        let mut all_stuck = true;
+        for &c in &scc {
+            let Some(t) = cx.bundle.threads.iter().find(|t| t.core == c) else {
+                all_stuck = false;
+                break;
+            };
+            let insts = t.program.insts();
+            let mut produce: BTreeSet<usize> = BTreeSet::new();
+            let mut cuts: BTreeSet<usize> = BTreeSet::new();
+            for (pc, inst) in insts.iter().enumerate() {
+                match *inst {
+                    Inst::HwqSend { q, .. } => {
+                        let feeds_member = cx
+                            .receivers
+                            .get(&q)
+                            .is_some_and(|rs| rs.iter().any(|&r| r != c && scc.contains(&r)));
+                        if feeds_member {
+                            produce.insert(pc);
+                        }
+                    }
+                    Inst::SplInit { cfg } => {
+                        if let Some(f) = cx.funcs.get(&cfg) {
+                            if let FunctionKind::Compute {
+                                dest: Dest::Thread(th),
+                                ..
+                            } = f.kind()
+                            {
+                                let ds = cx.core_of_thread.get(th).map_or(&[][..], |v| &v[..]);
+                                if ds.iter().any(|&d| d != c && scc.contains(&d)) {
+                                    produce.insert(pc);
+                                }
+                            }
+                        }
+                    }
+                    Inst::HwqRecv { q, .. } => {
+                        // A pop blocks only if every possible sender is an
+                        // in-component peer (someone outside could feed it).
+                        let stuck = cx.senders.get(&q).is_some_and(|ss| {
+                            !ss.is_empty() && ss.iter().all(|&s| s != c && scc.contains(&s))
+                        });
+                        if stuck {
+                            cuts.insert(pc);
+                        }
+                    }
+                    Inst::SplStore { .. } => {
+                        let stuck = feed.get(&c).is_some_and(|fs| {
+                            !fs.is_empty() && fs.iter().all(|&s| s != c && scc.contains(&s))
+                        });
+                        if stuck {
+                            cuts.insert(pc);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if reaches_avoiding(insts, &produce, &cuts) {
+                all_stuck = false;
+                break;
+            }
+            if blocked_anchor.is_none() {
+                if let Some(&pc) = cuts.iter().next() {
+                    blocked_anchor = Some((t, c, pc as u32));
+                }
+            }
+        }
+        if all_stuck {
+            let cores: Vec<usize> = scc.iter().copied().collect();
+            let d = Diagnostic::new(
+                Code::Rv020CommDeadlock,
+                Severity::Error,
+                blocked_anchor.map_or("", |(t, _, _)| t.program.name()),
+                blocked_anchor.map(|(_, _, pc)| pc),
+                format!(
+                    "cores {cores:?} provably deadlock: every core blocks on \
+                     data produced inside the cycle before it can produce \
+                     anything for the others, and all queues start empty"
+                ),
+            );
+            diags.push(match blocked_anchor {
+                Some((_, c, _)) => d.with_core(c),
+                None => d,
+            });
+        }
+    }
+}
+
+/// RV021: two or more *remote* producers route SPL results into one core's
+/// output queue. Arrival interleaving on the temporally shared partition is
+/// nondeterministic, so the consumer's result stream is corrupted — a
+/// write-write race on the shared output queue.
+fn spl_race_lint(cx: &InterlockCtx, sums: &[Summ], diags: &mut Vec<Diagnostic>) {
+    let by_core: BTreeMap<usize, &Summ> = sums.iter().map(|s| (s.core, s)).collect();
+    // Destination core → remote producers that provably (min > 0) feed it.
+    let mut feeders: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for s in sums {
+        for (&k, &c) in &s.flow.counts {
+            let EventKind::SplInit(cfg) = k else { continue };
+            if c.min == 0 {
+                continue;
+            }
+            let Some(f) = cx.funcs.get(&cfg) else {
+                continue;
+            };
+            let FunctionKind::Compute {
+                dest: Dest::Thread(t),
+                ..
+            } = f.kind()
+            else {
+                continue;
+            };
+            for &d in cx.core_of_thread.get(t).map_or(&[][..], |v| &v[..]) {
+                if d != s.core {
+                    feeders.entry(d).or_default().insert(s.core);
+                }
+            }
+        }
+    }
+    for (d, fs) in feeders {
+        if fs.len() < 2 {
+            continue;
+        }
+        let producers: Vec<usize> = fs.iter().copied().collect();
+        let (prog, pc) = by_core
+            .get(&d)
+            .map(|s| (s.spec.program.name(), s.flow.anchor(EventKind::SplStore)))
+            .unwrap_or(("", None));
+        diags.push(
+            Diagnostic::new(
+                Code::Rv021SplRace,
+                Severity::Error,
+                prog,
+                pc,
+                format!(
+                    "cores {producers:?} all route SPL results into core {d}'s \
+                     output queue; their interleaving on the temporally shared \
+                     partition is nondeterministic and corrupts the consumer's \
+                     result stream"
+                ),
+            )
+            .with_core(d),
+        );
+    }
+}
+
+/// RV022: per-core SPL result-flow balance. `produced` counts results
+/// routed into the core's output queue (remote and self compute feeds plus
+/// its own barrier arrivals); `consumed` is its `spl_store` count.
+fn spl_flow_lints(cx: &InterlockCtx, sums: &[Summ], diags: &mut Vec<Diagnostic>) {
+    let mut produced: BTreeMap<usize, Count> = BTreeMap::new();
+    for s in sums {
+        for (&k, &c) in &s.flow.counts {
+            let EventKind::SplInit(cfg) = k else { continue };
+            let dests: Vec<usize> = match cx.funcs.get(&cfg).map(|f| f.kind()) {
+                // Unknown configuration: RV008's territory; the routing is
+                // unknowable, so skip the whole quantitative analysis.
+                None => return,
+                Some(FunctionKind::Barrier { .. }) => vec![s.core],
+                Some(FunctionKind::Compute {
+                    dest: Dest::SelfCore,
+                    ..
+                }) => vec![s.core],
+                Some(FunctionKind::Compute {
+                    dest: Dest::Thread(t),
+                    ..
+                }) => {
+                    let ds = cx.core_of_thread.get(t).map_or(&[][..], |v| &v[..]);
+                    if ds.is_empty() {
+                        // Unbound destination: RV013's territory.
+                        return;
+                    }
+                    ds.to_vec()
+                }
+            };
+            for d in dests {
+                let e = produced.entry(d).or_insert(Count::ZERO);
+                *e = e.add(c);
+            }
+        }
+    }
+    for s in sums {
+        if !cx.cluster_of.contains_key(&s.core) {
+            continue; // SPL use without a cluster is RV013's territory
+        }
+        let consumed = s.flow.count(EventKind::SplStore);
+        let prod = produced.get(&s.core).copied().unwrap_or(Count::ZERO);
+        let anchor = s.flow.anchor(EventKind::SplStore);
+        if let Bound::Fin(pmax) = prod.max {
+            if consumed.min > pmax {
+                diags.push(
+                    Diagnostic::new(
+                        Code::Rv022SplFlowImbalance,
+                        Severity::Error,
+                        s.spec.program.name(),
+                        anchor,
+                        format!(
+                            "core {} pops its SPL output queue {} but at most \
+                             {pmax} results are ever routed to it; the excess \
+                             `spl_store` blocks forever",
+                            s.core,
+                            fmt_count(consumed)
+                        ),
+                    )
+                    .with_core(s.core),
+                );
+                continue;
+            }
+        }
+        if let Bound::Fin(cmax) = consumed.max {
+            if prod.min > cmax {
+                let leftover = prod.min - cmax;
+                let (sev, tail) = if leftover > IN_FLIGHT_LIMIT {
+                    (
+                        Severity::Error,
+                        format!(
+                            "{leftover} unconsumed results exceed the \
+                             {IN_FLIGHT_LIMIT}-result in-flight limit; \
+                             initiation toward the core stalls forever"
+                        ),
+                    )
+                } else {
+                    (
+                        Severity::Warning,
+                        format!("{leftover} results are left unconsumed at exit"),
+                    )
+                };
+                diags.push(
+                    Diagnostic::new(
+                        Code::Rv022SplFlowImbalance,
+                        sev,
+                        s.spec.program.name(),
+                        anchor,
+                        format!(
+                            "core {} receives {} SPL results but pops its \
+                             output queue {}; {tail}",
+                            s.core,
+                            fmt_count(prod),
+                            fmt_count(consumed)
+                        ),
+                    )
+                    .with_core(s.core),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::bundle::{verify_bundle, Bundle, ClusterSpec, ThreadSpec};
+    use crate::diag::{Code, Diagnostic, Severity};
+    use remap_isa::Reg::*;
+    use remap_isa::{Asm, Program};
+    use remap_spl::{Dest, SplConfig, SplFunction};
+
+    fn prog(name: &str, build: impl FnOnce(&mut Asm)) -> Program {
+        let mut a = Asm::new(name);
+        build(&mut a);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    fn thread(core: usize, p: &Program) -> ThreadSpec<'_> {
+        ThreadSpec {
+            core,
+            thread: core as u32,
+            program: p,
+            init_regs: Vec::new(),
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn count_sends(a: &mut Asm, n: i32, q: u8) {
+        a.li(R1, 0);
+        a.li(R2, n);
+        let l = a.fresh_label("s");
+        a.label(l.clone());
+        a.hwq_send(R1, q);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, l);
+    }
+
+    fn count_recvs(a: &mut Asm, n: i32, q: u8) {
+        a.li(R1, 0);
+        a.li(R2, n);
+        let l = a.fresh_label("r");
+        a.label(l.clone());
+        a.hwq_recv(R3, q);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, l);
+    }
+
+    #[test]
+    fn rv015_guaranteed_underflow() {
+        let p0 = prog("send2", |a| count_sends(a, 2, 0));
+        let p1 = prog("recv3", |a| count_recvs(a, 3, 0));
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        assert!(codes(&d).contains(&Code::Rv015QueueUnderflow), "{d:?}");
+        let f = d
+            .iter()
+            .find(|x| x.code == Code::Rv015QueueUnderflow)
+            .unwrap();
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.core, Some(1), "anchored at the receiver");
+    }
+
+    #[test]
+    fn rv016_overflow_past_capacity_is_error() {
+        let p0 = prog("send9", |a| count_sends(a, 9, 0));
+        let p1 = prog("recv1", |a| count_recvs(a, 1, 0));
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            hwq_queues: 32,
+            hwq_capacity: 4,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        let f = d
+            .iter()
+            .find(|x| x.code == Code::Rv016QueueOverflow)
+            .expect("overflow must be flagged");
+        assert_eq!(f.severity, Severity::Error, "8 > capacity 4: {f}");
+    }
+
+    #[test]
+    fn rv016_leftovers_within_capacity_is_warning() {
+        let p0 = prog("send3", |a| count_sends(a, 3, 0));
+        let p1 = prog("recv1", |a| count_recvs(a, 1, 0));
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        let f = d
+            .iter()
+            .find(|x| x.code == Code::Rv016QueueOverflow)
+            .expect("leftovers must be flagged");
+        assert_eq!(f.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn rv017_unbounded_producer_bounded_consumer() {
+        let p0 = prog("spin-send", |a| {
+            let l = a.fresh_label("p");
+            a.label(l.clone());
+            a.hwq_send(R1, 0);
+            a.lw(R2, R4, 0);
+            a.bne(R2, R0, l);
+        });
+        let p1 = prog("recv4", |a| count_recvs(a, 4, 0));
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        assert!(codes(&d).contains(&Code::Rv017QueueRateMismatch), "{d:?}");
+    }
+
+    #[test]
+    fn matched_counts_stay_silent() {
+        let p0 = prog("send4", |a| count_sends(a, 4, 0));
+        let p1 = prog("recv4", |a| count_recvs(a, 4, 0));
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        for c in codes(&d) {
+            assert!(
+                !matches!(
+                    c,
+                    Code::Rv015QueueUnderflow
+                        | Code::Rv016QueueOverflow
+                        | Code::Rv017QueueRateMismatch
+                ),
+                "{d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rv018_hwbar_divergence() {
+        let p0 = prog("bar2", |a| {
+            a.hwbar(0);
+            a.hwbar(0);
+        });
+        let p1 = prog("bar3", |a| {
+            a.hwbar(0);
+            a.hwbar(0);
+            a.hwbar(0);
+        });
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            hwbars: vec![(0, 2)],
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        assert!(codes(&d).contains(&Code::Rv018BarrierDivergence), "{d:?}");
+    }
+
+    #[test]
+    fn rv019_path_divergence_is_warning_only() {
+        // Core 0 arrives 2 or 3 times depending on a loaded flag; core 1
+        // always arrives 3 times. Overlap at 3 → not RV018; warn RV019.
+        let p0 = prog("bar23", |a| {
+            a.hwbar(0);
+            a.hwbar(0);
+            a.lw(R1, R4, 0);
+            a.beq(R1, R0, "skip");
+            a.hwbar(0);
+            a.label("skip");
+        });
+        let p1 = prog("bar3", |a| {
+            a.hwbar(0);
+            a.hwbar(0);
+            a.hwbar(0);
+        });
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            hwbars: vec![(0, 2)],
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        let cs = codes(&d);
+        assert!(!cs.contains(&Code::Rv018BarrierDivergence), "{d:?}");
+        assert!(cs.contains(&Code::Rv019BarrierPathDivergence), "{d:?}");
+    }
+
+    fn sw_bar(a: &mut Asm) {
+        // Minimal software-barrier shape: amoadd on a li-known counter.
+        a.li(R20, 0x6_0000);
+        a.li(R24, 1);
+        a.amoadd(R25, R20, R24);
+    }
+
+    #[test]
+    fn rv018_software_barrier_counter_divergence() {
+        let p0 = prog("sw2", |a| {
+            sw_bar(a);
+            sw_bar(a);
+        });
+        let p1 = prog("sw3", |a| {
+            sw_bar(a);
+            sw_bar(a);
+            sw_bar(a);
+        });
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        assert!(codes(&d).contains(&Code::Rv018BarrierDivergence), "{d:?}");
+    }
+
+    #[test]
+    fn unknown_amoadd_address_suppresses_sw_barrier_groups() {
+        let p0 = prog("sw2", |a| {
+            sw_bar(a);
+            sw_bar(a);
+        });
+        let p1 = prog("swx", |a| {
+            a.lw(R20, R4, 0); // counter address from memory: unknown
+            a.li(R24, 1);
+            a.amoadd(R25, R20, R24);
+        });
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        assert!(!codes(&d).contains(&Code::Rv018BarrierDivergence), "{d:?}");
+    }
+
+    #[test]
+    fn rv020_cross_queue_deadlock() {
+        let p0 = prog("a", |a| {
+            a.hwq_recv(R1, 1);
+            a.hwq_send(R1, 0);
+        });
+        let p1 = prog("b", |a| {
+            a.hwq_recv(R1, 0);
+            a.hwq_send(R1, 1);
+        });
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        let cs = codes(&d);
+        assert!(cs.contains(&Code::Rv020CommDeadlock), "{d:?}");
+        assert!(cs.contains(&Code::Rv011WaitCycle), "RV011 still warns");
+    }
+
+    #[test]
+    fn rv020_silent_when_one_side_injects_first() {
+        let p0 = prog("a", |a| {
+            a.hwq_send(R1, 0); // injects before blocking
+            a.hwq_recv(R1, 1);
+        });
+        let p1 = prog("b", |a| {
+            a.hwq_recv(R1, 0);
+            a.hwq_send(R1, 1);
+        });
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        let cs = codes(&d);
+        assert!(!cs.contains(&Code::Rv020CommDeadlock), "{d:?}");
+        assert!(cs.contains(&Code::Rv011WaitCycle), "cycle shape remains");
+    }
+
+    #[test]
+    fn rv021_two_remote_producers_race() {
+        let cfg = SplConfig::paper(3);
+        let f = SplFunction::compute("f", 4, Dest::Thread(2), |e| e.u64(0));
+        let feed = |name: &str| {
+            prog(name, |a| {
+                a.li(R1, 7);
+                a.spl_load(R1, 0, 8);
+                a.spl_init(0);
+            })
+        };
+        let p0 = feed("prod0");
+        let p1 = feed("prod1");
+        let p2 = prog("cons", |a| {
+            a.spl_store(R2);
+            a.spl_store(R3);
+        });
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1), thread(2, &p2)],
+            clusters: vec![ClusterSpec {
+                config: &cfg,
+                cores: vec![0, 1, 2],
+            }],
+            functions: vec![(0, &f)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        assert!(codes(&d).contains(&Code::Rv021SplRace), "{d:?}");
+    }
+
+    #[test]
+    fn rv022_store_excess_is_error() {
+        let cfg = SplConfig::paper(2);
+        let f = SplFunction::compute("f", 4, Dest::Thread(1), |e| e.u64(0));
+        let p0 = prog("prod", |a| {
+            a.li(R1, 7);
+            a.spl_load(R1, 0, 8);
+            a.spl_init(0);
+            a.spl_load(R1, 0, 8);
+            a.spl_init(0);
+        });
+        let p1 = prog("cons", |a| {
+            a.spl_store(R2);
+            a.spl_store(R2);
+            a.spl_store(R2);
+        });
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            clusters: vec![ClusterSpec {
+                config: &cfg,
+                cores: vec![0, 1],
+            }],
+            functions: vec![(0, &f)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        let f = d
+            .iter()
+            .find(|x| x.code == Code::Rv022SplFlowImbalance)
+            .expect("imbalance must be flagged");
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.core, Some(1));
+    }
+
+    #[test]
+    fn rv022_unconsumed_past_in_flight_limit_is_error() {
+        let cfg = SplConfig::paper(2);
+        let f = SplFunction::compute("f", 4, Dest::Thread(1), |e| e.u64(0));
+        let p0 = prog("prod", |a| {
+            a.li(R1, 0);
+            a.li(R2, 30);
+            a.li(R3, 7);
+            a.label("l");
+            a.spl_load(R3, 0, 8);
+            a.spl_init(0);
+            a.addi(R1, R1, 1);
+            a.bne(R1, R2, "l");
+        });
+        let p1 = prog("cons", |a| {
+            a.spl_store(R2);
+        });
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            clusters: vec![ClusterSpec {
+                config: &cfg,
+                cores: vec![0, 1],
+            }],
+            functions: vec![(0, &f)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        let f = d
+            .iter()
+            .find(|x| x.code == Code::Rv022SplFlowImbalance)
+            .expect("imbalance must be flagged");
+        assert_eq!(f.severity, Severity::Error, "29 leftovers > 24: {f}");
+    }
+
+    #[test]
+    fn rv022_small_leftover_is_warning() {
+        let cfg = SplConfig::paper(2);
+        let f = SplFunction::compute("f", 4, Dest::Thread(1), |e| e.u64(0));
+        let p0 = prog("prod", |a| {
+            a.li(R3, 7);
+            a.spl_load(R3, 0, 8);
+            a.spl_init(0);
+            a.spl_load(R3, 0, 8);
+            a.spl_init(0);
+        });
+        let p1 = prog("cons", |a| {
+            a.spl_store(R2);
+        });
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            clusters: vec![ClusterSpec {
+                config: &cfg,
+                cores: vec![0, 1],
+            }],
+            functions: vec![(0, &f)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        let f = d
+            .iter()
+            .find(|x| x.code == Code::Rv022SplFlowImbalance)
+            .expect("imbalance must be flagged");
+        assert_eq!(f.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn balanced_spl_flow_stays_silent() {
+        let cfg = SplConfig::paper(2);
+        let f = SplFunction::compute("f", 4, Dest::Thread(1), |e| e.u64(0));
+        let p0 = prog("prod", |a| {
+            a.li(R3, 7);
+            a.spl_load(R3, 0, 8);
+            a.spl_init(0);
+        });
+        let p1 = prog("cons", |a| {
+            a.spl_store(R2);
+        });
+        let b = Bundle {
+            threads: vec![thread(0, &p0), thread(1, &p1)],
+            clusters: vec![ClusterSpec {
+                config: &cfg,
+                cores: vec![0, 1],
+            }],
+            functions: vec![(0, &f)],
+            hwq_queues: 32,
+            hwq_capacity: 64,
+            ..Bundle::default()
+        };
+        let d = verify_bundle(&b);
+        for c in codes(&d) {
+            assert!(
+                !matches!(c, Code::Rv021SplRace | Code::Rv022SplFlowImbalance),
+                "{d:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Seeded mutation corpus for the inter-core lints (RV015–RV022).
+//!
+//! Each case is a pair: a *clean* system that verifies with zero
+//! RV015–RV022 findings and runs to completion on the simulator, and a
+//! *mutated* twin with one seeded protocol bug — a dropped send, a swapped
+//! queue id, a skipped barrier arm, a widened SPL footprint, a crossed
+//! wait cycle, a racing second producer. For every mutation the corpus
+//! checks both directions of the tentpole claim:
+//!
+//! 1. **Static detection** — `System::verify` flags the bug with the
+//!    expected lint at error severity.
+//! 2. **Real misbehavior** — the same system, run unprotected on the
+//!    simulator, actually deadlocks (or produces a corrupted result
+//!    stream), so the lint is reporting a genuine bug rather than a
+//!    stylistic complaint.
+
+use remap::{CoreKind, RunError, System, SystemBuilder};
+use remap_isa::Reg::*;
+use remap_isa::{Asm, Program};
+use remap_spl::{Dest, SplConfig, SplFunction};
+use remap_verify::{Code, Diagnostic, Severity};
+
+const BUDGET: u64 = 600_000; // > the 200k-cycle deadlock window
+
+fn prog(name: &str, build: impl FnOnce(&mut Asm)) -> Program {
+    let mut a = Asm::new(name);
+    build(&mut a);
+    a.halt();
+    a.assemble().unwrap()
+}
+
+fn is_interlock(code: Code) -> bool {
+    matches!(
+        code,
+        Code::Rv015QueueUnderflow
+            | Code::Rv016QueueOverflow
+            | Code::Rv017QueueRateMismatch
+            | Code::Rv018BarrierDivergence
+            | Code::Rv019BarrierPathDivergence
+            | Code::Rv020CommDeadlock
+            | Code::Rv021SplRace
+            | Code::Rv022SplFlowImbalance
+    )
+}
+
+/// The clean twin must produce zero RV015–RV022 findings and finish.
+fn assert_clean_and_runs(mut sys: System, what: &str) {
+    let noise: Vec<Diagnostic> = sys
+        .verify()
+        .into_iter()
+        .filter(|d| is_interlock(d.code))
+        .collect();
+    assert!(noise.is_empty(), "{what}: false positives: {noise:?}");
+    sys.run(BUDGET).unwrap_or_else(|e| panic!("{what}: {e}"));
+}
+
+/// The mutant must be flagged with `code` at error severity.
+fn assert_flagged(sys: &System, code: Code, what: &str) {
+    let diags = sys.verify();
+    let hit = diags.iter().find(|d| d.code == code);
+    let hit = hit.unwrap_or_else(|| panic!("{what}: {code:?} not flagged in {diags:?}"));
+    assert_eq!(hit.severity, Severity::Error, "{what}: {hit}");
+}
+
+/// The mutant, actually simulated, must deadlock.
+fn assert_deadlocks(mut sys: System, what: &str) {
+    match sys.run(BUDGET) {
+        Err(RunError::Deadlock { .. }) => {}
+        other => panic!("{what}: expected a runtime deadlock, got {other:?}"),
+    }
+}
+
+/// Producer/consumer over hardware queue 0; `sends` values against
+/// `recvs` expected, with one send optionally redirected to queue 1.
+fn pipeline(sends: i32, recvs: i32, swapped_sends: i32) -> System {
+    let p = prog("producer", |a| {
+        a.li(R1, 0);
+        a.li(R2, sends);
+        if sends > 0 {
+            a.label("send");
+            a.hwq_send(R1, 0);
+            a.addi(R1, R1, 1);
+            a.bne(R1, R2, "send");
+        }
+        for _ in 0..swapped_sends {
+            a.hwq_send(R1, 1); // mutation: wrong queue id
+        }
+    });
+    let c = prog("consumer", |a| {
+        a.li(R1, 0);
+        a.li(R2, recvs);
+        a.label("recv");
+        a.hwq_recv(R3, 0);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "recv");
+    });
+    let mut b = SystemBuilder::new();
+    b.add_core(CoreKind::Ooo1, p);
+    b.add_core(CoreKind::Ooo1, c);
+    b.build()
+}
+
+#[test]
+fn dropped_send_is_flagged_and_deadlocks() {
+    assert_clean_and_runs(pipeline(5, 5, 0), "balanced pipeline");
+    let mutant = || pipeline(4, 5, 0); // mutation: one send dropped
+    assert_flagged(&mutant(), Code::Rv015QueueUnderflow, "dropped send");
+    assert_deadlocks(mutant(), "dropped send");
+}
+
+#[test]
+fn swapped_queue_id_is_flagged_and_deadlocks() {
+    let mutant = || pipeline(4, 5, 1); // mutation: last send goes to queue 1
+    assert_flagged(&mutant(), Code::Rv015QueueUnderflow, "swapped queue id");
+    assert_deadlocks(mutant(), "swapped queue id");
+}
+
+/// Producer pushing `sends` values at a tiny queue capacity against a
+/// consumer draining only `recvs`.
+fn overflowing_pipeline(sends: i32, recvs: i32) -> System {
+    let p = prog("producer", |a| {
+        a.li(R1, 0);
+        a.li(R2, sends);
+        a.label("send");
+        a.hwq_send(R1, 0);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "send");
+    });
+    let c = prog("consumer", |a| {
+        a.li(R1, 0);
+        a.li(R2, recvs);
+        a.label("recv");
+        a.hwq_recv(R3, 0);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "recv");
+    });
+    let mut b = SystemBuilder::new();
+    b.add_core(CoreKind::Ooo1, p);
+    b.add_core(CoreKind::Ooo1, c);
+    b.hwq(32, 4);
+    b.build()
+}
+
+#[test]
+fn overflow_past_capacity_is_flagged_and_deadlocks() {
+    assert_clean_and_runs(
+        overflowing_pipeline(4, 4),
+        "balanced tiny-capacity pipeline",
+    );
+    // Mutation: the consumer's loop bound shrank from 12 to 2; ten excess
+    // values cannot fit in a 4-deep queue, so the producer wedges.
+    let mutant = || overflowing_pipeline(12, 2);
+    assert_flagged(&mutant(), Code::Rv016QueueOverflow, "overflow");
+    assert_deadlocks(mutant(), "overflow");
+}
+
+/// Two cores polling hardware barrier 0 for `a` and `b` episodes.
+fn hwbar_pair(a_eps: i32, b_eps: i32) -> System {
+    let mk = |name: &str, eps: i32| {
+        prog(name, |a| {
+            a.li(R1, 0);
+            a.li(R2, eps);
+            a.label("ep");
+            a.hwbar(0);
+            a.addi(R1, R1, 1);
+            a.bne(R1, R2, "ep");
+        })
+    };
+    let mut b = SystemBuilder::new();
+    b.add_core(CoreKind::Ooo1, mk("left", a_eps));
+    b.add_core(CoreKind::Ooo1, mk("right", b_eps));
+    b.hwbar(0, 2);
+    b.build()
+}
+
+#[test]
+fn skipped_hwbar_arm_is_flagged_and_deadlocks() {
+    assert_clean_and_runs(hwbar_pair(6, 6), "matched hw barrier");
+    let mutant = || hwbar_pair(6, 5); // mutation: one arm skips an episode
+    assert_flagged(&mutant(), Code::Rv018BarrierDivergence, "skipped hwbar arm");
+    assert_deadlocks(mutant(), "skipped hwbar arm");
+}
+
+/// Two cores arriving at an SPL barrier configuration for `a`/`b` episodes.
+fn spl_barrier_pair(a_eps: i32, b_eps: i32) -> System {
+    let mk = |name: &str, eps: i32| {
+        prog(name, |a| {
+            a.li(R1, 0);
+            a.li(R2, eps);
+            a.label("ep");
+            a.spl_init(1);
+            a.spl_store(R3); // wait for the release token
+            a.addi(R1, R1, 1);
+            a.bne(R1, R2, "ep");
+        })
+    };
+    let mut b = SystemBuilder::new();
+    b.add_core(CoreKind::Ooo1, mk("left", a_eps));
+    b.add_core(CoreKind::Ooo1, mk("right", b_eps));
+    b.add_spl_cluster(SplConfig::paper(2), vec![0, 1]);
+    b.register_spl(1, SplFunction::barrier("sync", 2, |_| 1));
+    b.barrier_spec(1, 1, 2);
+    b.build()
+}
+
+#[test]
+fn skipped_spl_barrier_arm_is_flagged_and_deadlocks() {
+    assert_clean_and_runs(spl_barrier_pair(4, 4), "matched SPL barrier");
+    let mutant = || spl_barrier_pair(4, 3); // mutation: one arm skips an episode
+    assert_flagged(
+        &mutant(),
+        Code::Rv018BarrierDivergence,
+        "skipped SPL barrier arm",
+    );
+    assert_deadlocks(mutant(), "skipped SPL barrier arm");
+}
+
+/// Producer routing `inits` SPL results to a consumer draining `stores`.
+fn spl_pipeline(inits: i32, stores: i32) -> System {
+    let p = prog("producer", |a| {
+        a.li(R1, 0);
+        a.li(R2, inits);
+        a.li(R3, 7);
+        a.label("work");
+        a.spl_load(R3, 0, 4);
+        a.spl_init(1);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "work");
+    });
+    let c = prog("consumer", |a| {
+        a.li(R1, 0);
+        a.li(R2, stores);
+        a.label("drain");
+        a.spl_store(R3);
+        a.addi(R1, R1, 1);
+        a.bne(R1, R2, "drain");
+    });
+    let mut b = SystemBuilder::new();
+    b.add_core(CoreKind::Ooo1, p);
+    b.add_core(CoreKind::Ooo1, c);
+    b.add_spl_cluster(SplConfig::paper(2), vec![0, 1]);
+    b.register_spl(
+        1,
+        SplFunction::compute("x+1", 4, Dest::Thread(1), |e| e.u64(0) + 1),
+    );
+    b.build()
+}
+
+#[test]
+fn widened_spl_footprint_is_flagged_and_deadlocks() {
+    assert_clean_and_runs(spl_pipeline(8, 8), "balanced SPL pipeline");
+    // Mutation: the producer's footprint widened from 8 to 40 results while
+    // the consumer still drains 8. 32 leftovers blow through the 24-result
+    // in-flight limit and wedge initiation.
+    let mutant = || spl_pipeline(40, 8);
+    assert_flagged(&mutant(), Code::Rv022SplFlowImbalance, "widened footprint");
+    assert_deadlocks(mutant(), "widened footprint");
+}
+
+#[test]
+fn starved_spl_consumer_is_flagged_and_deadlocks() {
+    // Mutation in the other direction: the consumer pops more results than
+    // the producer ever routes to it.
+    let mutant = || spl_pipeline(3, 8);
+    assert_flagged(&mutant(), Code::Rv022SplFlowImbalance, "starved consumer");
+    assert_deadlocks(mutant(), "starved consumer");
+}
+
+/// Two cores exchanging one value per queue; `crossed` orders both sides
+/// receive-before-send.
+fn exchange(crossed: bool) -> System {
+    let mk = |name: &str, my_q: u8, peer_q: u8, recv_first: bool| {
+        prog(name, |a| {
+            a.li(R1, 42);
+            if recv_first {
+                a.hwq_recv(R2, peer_q);
+                a.hwq_send(R1, my_q);
+            } else {
+                a.hwq_send(R1, my_q);
+                a.hwq_recv(R2, peer_q);
+            }
+        })
+    };
+    let mut b = SystemBuilder::new();
+    b.add_core(CoreKind::Ooo1, mk("left", 0, 1, crossed));
+    b.add_core(CoreKind::Ooo1, mk("right", 1, 0, true));
+    b.build()
+}
+
+#[test]
+fn crossed_exchange_is_flagged_and_deadlocks() {
+    assert_clean_and_runs(exchange(false), "send-first exchange");
+    let mutant = || exchange(true); // mutation: both sides receive first
+    assert_flagged(&mutant(), Code::Rv020CommDeadlock, "crossed exchange");
+    assert_deadlocks(mutant(), "crossed exchange");
+}
+
+/// One consumer fed by one or two producers with distinct result values.
+fn race(second_producer: bool) -> System {
+    let feed = |name: &str, value: i32, inits: i32| {
+        prog(name, |a| {
+            a.li(R3, value);
+            for _ in 0..inits {
+                a.spl_load(R3, 0, 4);
+                a.spl_init(1);
+            }
+        })
+    };
+    let c = prog("consumer", |a| {
+        a.spl_store(R5);
+        a.spl_store(R6);
+        a.add(R7, R5, R6);
+    });
+    let mut b = SystemBuilder::new();
+    b.add_core(
+        CoreKind::Ooo1,
+        feed("alpha", 111, if second_producer { 1 } else { 2 }),
+    );
+    b.add_core(
+        CoreKind::Ooo1,
+        if second_producer {
+            feed("beta", 222, 1) // mutation: a second producer joins in
+        } else {
+            prog("beta", |_| {})
+        },
+    );
+    b.add_core(CoreKind::Ooo1, c);
+    b.add_core(CoreKind::Ooo1, prog("idle", |_| {}));
+    b.add_spl_cluster(SplConfig::paper(4), vec![0, 1, 2, 3]);
+    b.register_spl(
+        1,
+        SplFunction::compute("id", 4, Dest::Thread(2), |e| e.u64(0)),
+    );
+    b.build()
+}
+
+#[test]
+fn spl_write_write_race_is_flagged_and_corrupts_the_stream() {
+    // Clean: one producer, both consumed values are 111 → sum 222.
+    let mut clean = race(false);
+    assert_clean_and_runs(race(false), "single producer");
+    clean.run(BUDGET).unwrap();
+    assert_eq!(clean.reg(2, R7), 222, "single-source oracle");
+
+    // Mutant: statically flagged as a write-write race on core 2's output
+    // queue...
+    let mutant = || race(true);
+    assert_flagged(&mutant(), Code::Rv021SplRace, "racing producers");
+
+    // ...and genuinely corrupted when run unprotected: a value from the
+    // interloper lands in the consumer's stream, so the sum no longer
+    // matches the single-source oracle.
+    let mut sys = mutant();
+    sys.run(BUDGET).unwrap_or_else(|e| panic!("race run: {e}"));
+    assert_eq!(
+        sys.reg(2, R7),
+        333,
+        "one of the two consumed values came from the racing producer"
+    );
+}

@@ -102,6 +102,7 @@ proptest! {
             barrier_totals: vec![(1, 2)],
             hwbars: vec![(0, 2)],
             hwq_queues: 32,
+            hwq_capacity: 64,
         };
         let _ = verify_bundle(&bundle);
     }

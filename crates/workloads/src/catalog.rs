@@ -1,0 +1,161 @@
+//! The labeled workload-configuration catalog for whole-system
+//! verification.
+//!
+//! [`canonical`] enumerates every (benchmark, mode) combination the paper
+//! evaluates — the same 88 configurations the `skip_parity` suite runs —
+//! built at a small problem size (program *structure* does not depend on
+//! `n`). [`extended`] adds the shapes the verifier must also prove clean
+//! but that the canonical matrix does not reach: multi-cluster barrier
+//! grids (8 and 16 threads across 2–4 SPL clusters) and fault-injected
+//! plans (queue drop/dup/delay, barrier delay with software demotion, SPL
+//! bit-flips), whose recovery machinery must not change the static
+//! protocol structure.
+
+use crate::barriers::{BarrierBench, BarrierMode};
+use crate::comm::CommBench;
+use crate::comp::CompBench;
+use crate::{CommMode, CompMode};
+use remap::{FaultPlan, SiteCfg, System};
+
+/// Computation-only mode labels, in `remap run` spelling.
+const COMP_MODES: [(&str, CompMode); 3] = [
+    ("seq", CompMode::SeqOoo1),
+    ("seq2", CompMode::SeqOoo2),
+    ("spl", CompMode::Spl),
+];
+
+/// Communication mode labels, in `remap run` spelling.
+const COMM_MODES: [(&str, CommMode); 7] = [
+    ("seq", CommMode::SeqOoo1),
+    ("seq2", CommMode::SeqOoo2),
+    ("comp", CommMode::Comp1T),
+    ("comm", CommMode::Comm2T),
+    ("compcomm", CommMode::CompComm2T),
+    ("ooo2comm", CommMode::Ooo2Comm),
+    ("swq", CommMode::SwQueue2T),
+];
+
+/// Canonical barrier problem size: structure-preserving and fast to build.
+fn barrier_n(b: BarrierBench) -> usize {
+    match b {
+        BarrierBench::Dijkstra => 20,
+        _ => 32,
+    }
+}
+
+/// Every (benchmark, mode) combination the paper evaluates, labeled
+/// `"{bench} [{mode}]"`.
+pub fn canonical() -> Vec<(String, System)> {
+    let mut v = Vec::new();
+    for b in CompBench::ALL {
+        for (label, m) in COMP_MODES {
+            v.push((format!("{} [{label}]", b.name()), b.build(m, 64)));
+        }
+    }
+    for b in CommBench::ALL {
+        for (label, m) in COMM_MODES {
+            v.push((format!("{} [{label}]", b.name()), b.build(m, 64)));
+        }
+    }
+    for b in BarrierBench::ALL {
+        let mut modes = vec![
+            ("seq".to_string(), BarrierMode::Seq),
+            ("sw:4".to_string(), BarrierMode::Sw(4)),
+            ("barrier:4".to_string(), BarrierMode::Remap(4)),
+            ("hwnet:4".to_string(), BarrierMode::HwIdeal(4)),
+        ];
+        if b.supports_comp() {
+            modes.push(("barrier+comp:4".to_string(), BarrierMode::RemapComp(4)));
+        }
+        for (label, m) in modes {
+            v.push((format!("{} [{label}]", b.name()), b.build(m, barrier_n(b))));
+        }
+    }
+    v
+}
+
+/// Multi-cluster grids and fault-injected plans beyond the canonical
+/// matrix. All of them must verify clean: cross-cluster barrier routing and
+/// modeled fault recovery never change the static protocol.
+pub fn extended() -> Vec<(String, System)> {
+    let mut v = Vec::new();
+    // Two-cluster grids (8 threads across 2 SPL clusters).
+    for b in BarrierBench::ALL {
+        let n = match b {
+            BarrierBench::Dijkstra => 40,
+            _ => 32,
+        };
+        let mut modes = vec![
+            ("sw:8".to_string(), BarrierMode::Sw(8)),
+            ("barrier:8".to_string(), BarrierMode::Remap(8)),
+            ("hwnet:8".to_string(), BarrierMode::HwIdeal(8)),
+        ];
+        if b.supports_comp() {
+            modes.push(("barrier+comp:8".to_string(), BarrierMode::RemapComp(8)));
+        }
+        for (label, m) in modes {
+            v.push((format!("{} [{label}]", b.name()), b.build(m, n)));
+        }
+    }
+    // Four-cluster grid (16 threads).
+    v.push((
+        "ll3 [barrier:16]".to_string(),
+        BarrierBench::Ll3.build(BarrierMode::Remap(16), 64),
+    ));
+    // Queue faults on the communication benchmarks.
+    let mut comm_plan = FaultPlan::quiet(0xC0FFEE);
+    comm_plan.hwq_drop = SiteCfg::rate(2_000);
+    comm_plan.hwq_dup = SiteCfg::rate(1_000);
+    comm_plan.hwq_delay = SiteCfg::rate(4_000);
+    for b in CommBench::ALL {
+        let mut sys = b.build(CommMode::CompComm2T, 64);
+        sys.set_fault_plan(&comm_plan);
+        v.push((format!("{} [compcomm, faulted]", b.name()), sys));
+    }
+    // Barrier-release delays hot enough to trip the watchdog and demote
+    // configurations to the software path mid-run.
+    let mut bar_plan = FaultPlan::quiet(0xBAD_5EED);
+    bar_plan.barrier_delay = SiteCfg::rate(50_000);
+    for b in BarrierBench::ALL {
+        let mut sys = b.build(BarrierMode::Remap(4), barrier_n(b));
+        sys.set_fault_plan(&bar_plan);
+        v.push((format!("{} [barrier:4, faulted]", b.name()), sys));
+    }
+    // SPL bit-flips (parity + replay) and cache-line corruption on the
+    // computation benchmarks.
+    let mut spl_plan = FaultPlan::quiet(9);
+    spl_plan.spl_bitflip = SiteCfg::rate(2_000);
+    spl_plan.cache_corrupt = SiteCfg::rate(500);
+    for b in CompBench::ALL {
+        let mut sys = b.build(CompMode::Spl, 64);
+        sys.set_fault_plan(&spl_plan);
+        v.push((format!("{} [spl, faulted]", b.name()), sys));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn canonical_matrix_is_complete() {
+        let v = canonical();
+        assert_eq!(v.len(), 88, "7x3 comp + 7x7 comm + barrier modes");
+        let labels: BTreeSet<&str> = v.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels.len(), v.len(), "labels are unique");
+        assert!(labels.contains("wc [compcomm]"));
+        assert!(labels.contains("dijkstra [barrier+comp:4]"));
+    }
+
+    #[test]
+    fn extended_catalog_builds_and_labels_are_unique() {
+        let v = extended();
+        assert!(v.len() >= 25, "got {}", v.len());
+        let labels: BTreeSet<&str> = v.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels.len(), v.len());
+        assert!(labels.contains("ll3 [barrier:16]"));
+        assert!(labels.iter().any(|l| l.ends_with(", faulted]")));
+    }
+}

@@ -24,6 +24,7 @@
 //! performance results are only reported for functionally correct runs.
 
 pub mod barriers;
+pub mod catalog;
 pub mod comm;
 mod comm_progs;
 pub mod comp;

@@ -72,6 +72,21 @@ fn every_barrier_workload_verifies_clean() {
     }
 }
 
+/// The full labeled catalog — 88 canonical configurations plus the
+/// extended multi-cluster grids and fault-injected plans — verifies with
+/// zero diagnostics: the interprocedural message-flow lints (RV015–RV022)
+/// must hold without false positives over every shape the paper evaluates.
+#[test]
+fn canonical_and_extended_catalogs_verify_clean() {
+    let canonical = remap_suite::workloads::catalog::canonical();
+    assert_eq!(canonical.len(), 88);
+    let extended = remap_suite::workloads::catalog::extended();
+    assert!(!extended.is_empty());
+    for (label, sys) in canonical.iter().chain(extended.iter()) {
+        assert_clean(label, sys);
+    }
+}
+
 /// The static guarantee the verifier is meant to provide: a clean
 /// communication or barrier bundle actually completes.
 #[test]
