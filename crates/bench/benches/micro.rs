@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use remap::{CoreKind, SystemBuilder};
 use remap_isa::{Asm, Reg::*};
-use remap_mem::{Cache, CacheConfig, FlatMem, Hierarchy, HierarchyConfig, Mesi};
+use remap_mem::{Cache, CacheConfig, FlatMem, Hierarchy, HierarchyConfig, Mesi, PC_NONE};
 use remap_spl::{Dest, Spl, SplConfig, SplFunction};
 use std::hint::black_box;
 
@@ -36,10 +36,57 @@ fn bench_cache(c: &mut Criterion) {
             let mut h = Hierarchy::new(2, HierarchyConfig::default());
             let mut total = 0u64;
             for i in 0..10_000u64 {
-                let (_, lat) = h.load(((i / 64) % 2) as usize, (i * 12) % 65536, 4);
+                let (_, lat) = h.load(((i / 64) % 2) as usize, (i * 12) % 65536, 4, PC_NONE, total);
                 total += lat as u64;
             }
             black_box(total)
+        })
+    });
+}
+
+/// The MSHR bookkeeping under the two extreme miss shapes: a pointer
+/// chase (every miss untracked, no prefetch ever fires, file churns at
+/// demand rate) versus a stream (stride prefetches run ahead and demands
+/// merge into them). The gap is the cost/benefit of the file scans.
+fn bench_mshr_churn(c: &mut Criterion) {
+    c.bench_function("mshr_churn_chase_4k", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(1, HierarchyConfig::default());
+            let mut t = 0u64;
+            let mut seed = 7u64;
+            for _ in 0..4096 {
+                let addr = (splitmix64(&mut seed) % (8 << 20)) & !7;
+                let (_, lat) = h.load(0, addr, 4, 3, t);
+                t += lat as u64;
+            }
+            black_box(t)
+        })
+    });
+    c.bench_function("mshr_churn_stream_4k", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(1, HierarchyConfig::default());
+            let mut t = 0u64;
+            for i in 0..4096u64 {
+                let (_, lat) = h.load(0, i * 8, 4, 3, t);
+                t += lat as u64;
+            }
+            black_box(t)
+        })
+    });
+}
+
+/// Stride-prefetcher hot path: a dense line-stride miss stream where every
+/// full miss trains the RPT and issues a prefetch burst.
+fn bench_prefetch_stride(c: &mut Criterion) {
+    c.bench_function("prefetch_stride_4k_lines", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(1, HierarchyConfig::default());
+            let mut t = 0u64;
+            for i in 0..4096u64 {
+                let (_, lat) = h.load(0, i * 32, 4, 5, t);
+                t += lat as u64;
+            }
+            black_box((t, h.mlp_stats().prefetch_issued))
         })
     });
 }
@@ -281,7 +328,8 @@ fn bench_spl_tick_into(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(10);
-    targets = bench_core_step, bench_cache, bench_flatmem, bench_cache_tag_array,
-        bench_spl, bench_assembler, bench_sim_throughput, bench_spl_tick_into
+    targets = bench_core_step, bench_cache, bench_mshr_churn, bench_prefetch_stride,
+        bench_flatmem, bench_cache_tag_array, bench_spl, bench_assembler,
+        bench_sim_throughput, bench_spl_tick_into
 );
 criterion_main!(micro);

@@ -21,6 +21,7 @@
 
 pub mod faultsweep;
 pub mod figures;
+pub mod mlp;
 pub mod runner;
 pub mod simperf;
 

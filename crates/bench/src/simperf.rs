@@ -504,10 +504,31 @@ pub fn report(jobs: usize, path: &str) {
             println!("########################################################################");
         }
     }
+    let existing = std::fs::read_to_string(path).ok();
+    let force = std::env::var("REMAP_FORCE_BASELINE").ok();
+    if !overwrite_allowed(existing.as_deref(), perf.pool_degraded(), force.as_deref()) {
+        println!(
+            "refusing to overwrite {path}: the checked-in baseline was recorded with a \
+             healthy worker pool, and replacing it with this degraded ({}-job) run would \
+             silently skew sweep_speedup. Set REMAP_FORCE_BASELINE=1 to overwrite anyway.",
+            perf.jobs
+        );
+        return;
+    }
     match std::fs::write(path, perf.to_json()) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => println!("could not write {path}: {e}"),
     }
+}
+
+/// Whether this run may replace the baseline at `path`: a degraded
+/// (single-worker) run must never silently overwrite a baseline recorded
+/// with a healthy pool. `REMAP_FORCE_BASELINE` (any non-empty value)
+/// overrides; a missing or already-degraded baseline is always fair game.
+fn overwrite_allowed(existing: Option<&str>, degraded_now: bool, force: Option<&str>) -> bool {
+    !degraded_now
+        || matches!(force, Some(s) if !s.is_empty())
+        || !existing.is_some_and(|doc| doc.contains("\"pool_degraded\": false"))
 }
 
 #[cfg(test)]
@@ -609,5 +630,21 @@ mod tests {
         let (n, warning) = reps_from(Some("0"));
         assert_eq!(n, 2);
         assert!(warning.is_some());
+    }
+
+    #[test]
+    fn degraded_runs_cannot_silently_replace_a_healthy_baseline() {
+        let healthy = "{\n  \"jobs\": 2,\n  \"pool_degraded\": false,\n}";
+        let degraded = "{\n  \"jobs\": 1,\n  \"pool_degraded\": true,\n}";
+        // A healthy run always writes; a degraded run only over a missing
+        // or equally degraded baseline.
+        assert!(overwrite_allowed(Some(healthy), false, None));
+        assert!(!overwrite_allowed(Some(healthy), true, None));
+        assert!(overwrite_allowed(Some(degraded), true, None));
+        assert!(overwrite_allowed(None, true, None));
+        // REMAP_FORCE_BASELINE=1 (any non-empty value) overrides; an empty
+        // value does not, matching the other REMAP_* env gates.
+        assert!(overwrite_allowed(Some(healthy), true, Some("1")));
+        assert!(!overwrite_allowed(Some(healthy), true, Some("")));
     }
 }

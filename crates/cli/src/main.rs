@@ -220,7 +220,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let names: Vec<&str> = BENCH_TARGETS
             .iter()
             .map(|(n, _)| *n)
-            .chain(["simperf", "faultsweep", "all"])
+            .chain(["simperf", "faultsweep", "mlp", "all"])
             .collect();
         format!(
             "usage: remap bench <target>\ntargets: {}\n(job count: REMAP_JOBS, currently {jobs})",
@@ -236,12 +236,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "faultsweep" => remap_bench::faultsweep::report(jobs, "BENCH_faultsweep.json"),
+        "mlp" => remap_bench::mlp::report(jobs, "BENCH_simperf.json"),
         "all" => {
             for (_, f) in BENCH_TARGETS.iter().filter(|(n, _)| *n != "smoke") {
                 f(jobs);
             }
             remap_bench::faultsweep::report(jobs, "BENCH_faultsweep.json")?;
             remap_bench::simperf::report(jobs, "BENCH_simperf.json");
+            remap_bench::mlp::report(jobs, "BENCH_simperf.json")?;
             Ok(())
         }
         name => match BENCH_TARGETS.iter().find(|(n, _)| *n == name) {

@@ -117,6 +117,11 @@ pub struct RunReport {
     ///
     /// [`FaultPlan`]: remap_fault::FaultPlan
     pub faults: FaultReport,
+    /// Memory-level-parallelism accounting from the non-blocking hierarchy
+    /// (all zeros under `REMAP_NO_MLP` / [`System::set_mlp`]`(false)`).
+    ///
+    /// [`System::set_mlp`]: crate::System::set_mlp
+    pub mlp: remap_mem::MlpStats,
     /// Host wall-clock seconds spent inside [`System::run`](crate::System::run).
     pub wall_seconds: f64,
 }
@@ -185,6 +190,7 @@ mod tests {
             skipped_cycles: 5,
             core_stats: vec![a, b],
             faults: FaultReport::default(),
+            mlp: remap_mem::MlpStats::default(),
             wall_seconds: 0.002,
         };
         assert_eq!(r.total_committed(), 40);

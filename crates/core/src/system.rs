@@ -172,16 +172,22 @@ struct Env {
 
 impl CorePorts for Env {
     fn inst_fetch(&mut self, core: usize, addr: u64) -> u32 {
-        self.hier.inst_fetch(core, addr)
+        self.hier.inst_fetch(core, addr, self.cycle)
     }
-    fn load(&mut self, core: usize, addr: u64, size: u8) -> (u64, u32) {
-        self.hier.load(core, addr, size)
+    fn load(&mut self, core: usize, addr: u64, size: u8, pc: u32) -> (u64, u32) {
+        self.hier.load(core, addr, size, pc, self.cycle)
     }
     fn store(&mut self, core: usize, addr: u64, size: u8, value: u64) -> u32 {
-        self.hier.store(core, addr, size, value)
+        self.hier.store(core, addr, size, value, self.cycle)
     }
     fn amo_add(&mut self, core: usize, addr: u64, delta: i64) -> (i64, u32) {
-        self.hier.amo_add(core, addr, delta)
+        self.hier.amo_add(core, addr, delta, self.cycle)
+    }
+    fn load_ready(&self, core: usize, addr: u64) -> bool {
+        self.hier.load_ready(core, addr, self.cycle)
+    }
+    fn load_wake(&self, core: usize) -> u64 {
+        self.hier.load_wake(core, self.cycle)
     }
 
     fn spl_load(&mut self, core: usize, offset: u8, nbytes: u8, value: u64) -> PortPush {
@@ -1116,10 +1122,15 @@ impl System {
         if let Some(f) = self.env.fault.as_deref() {
             wake = wake.min(f.next_wake);
         }
-        // The blocking-latency hierarchy never schedules events of its own
-        // (misses live in core-side timestamps), and the thread-to-core,
-        // hardware-queue, and hardware-barrier tables are purely reactive.
-        debug_assert!(self.env.hier.next_event().is_none());
+        // The hierarchy schedules events only when a full MSHR file is
+        // refusing demands: its earliest fill completion is when a held
+        // load could issue. (The blocking model and a non-full file never
+        // schedule anything — misses live in core-side timestamps. The
+        // thread-to-core, hardware-queue, and hardware-barrier tables are
+        // purely reactive.)
+        if let Some(d) = self.env.hier.next_event(now) {
+            wake = wake.min(d);
+        }
         Some(wake)
     }
 
@@ -1263,6 +1274,7 @@ impl System {
             skipped_cycles: self.skipped_cycles,
             core_stats: self.cores.iter().map(|c| c.stats().clone()).collect(),
             faults: self.fault_report(),
+            mlp: self.env.hier.mlp_stats(),
             wall_seconds: wall_start.elapsed().as_secs_f64(),
         })
     }
@@ -1294,6 +1306,14 @@ impl System {
         self.env.fault = Some(Box::new(FaultCtl::new(plan, nq)));
     }
 
+    /// Switches the memory hierarchy between the non-blocking latency model
+    /// (MSHRs, prefetchers, memory-controller queue) and the blocking
+    /// reference model. Timing-only: architectural results are identical
+    /// either way. Resets the hierarchy's MLP counters.
+    pub fn set_mlp(&mut self, enabled: bool) {
+        self.env.hier.set_mlp(enabled);
+    }
+
     /// Aggregated fault accounting across all sites (all zeros when no plan
     /// is installed).
     pub fn fault_report(&self) -> FaultReport {
@@ -1311,11 +1331,12 @@ impl System {
         rep
     }
 
-    /// Per-core blocked-on diagnostics for the still-running cores.
+    /// Per-core blocked-on diagnostics for the still-running cores. Consults
+    /// the environment so memory-system holds (full MSHR files) get named.
     fn blocked_cores(&self) -> Vec<(usize, BlockedOn)> {
         self.running
             .iter()
-            .map(|&id| (id, self.cores[id].blocked_on()))
+            .map(|&id| (id, self.cores[id].blocked_on_with(&self.env)))
             .collect()
     }
 

@@ -132,6 +132,14 @@ pub enum BlockedOn {
     Atomic,
     /// Store waiting for a post-commit store-buffer slot.
     StoreBuffer,
+    /// Demand load refused by a full miss-status-register file (the
+    /// non-blocking memory hierarchy cannot start another fill).
+    MshrFull {
+        /// Which cache's MSHR file is exhausted.
+        cache: &'static str,
+        /// Address of the held load.
+        line: u64,
+    },
     /// Ordinary pipeline activity (not parked on an external resource).
     Pipeline,
     /// The core has committed its halt.
@@ -150,6 +158,9 @@ impl std::fmt::Display for BlockedOn {
             BlockedOn::Fence => write!(f, "fence (draining stores)"),
             BlockedOn::Atomic => write!(f, "atomic (operands/stores pending)"),
             BlockedOn::StoreBuffer => write!(f, "store buffer full"),
+            BlockedOn::MshrFull { cache, line } => {
+                write!(f, "{cache} MSHRs full (load {line:#x} held)")
+            }
             BlockedOn::Pipeline => write!(f, "pipeline (no external resource)"),
             BlockedOn::Halted => write!(f, "halted"),
         }
@@ -474,11 +485,23 @@ impl Core {
                             }
                             wake = wake.min(self.fp_div_free_at);
                         }
-                        InstClass::Load => {
-                            if self.load_check(i) != LoadPath::Blocked {
-                                return None;
+                        InstClass::Load => match self.load_check(i) {
+                            LoadPath::Blocked => {}
+                            LoadPath::Memory(addr) => {
+                                // A miss the hierarchy would refuse (MSHR
+                                // file full) is not progress; the file's
+                                // earliest fill completion is the wake.
+                                if ports.load_ready(self.id, addr) {
+                                    return None;
+                                }
+                                let w = ports.load_wake(self.id);
+                                if w <= next {
+                                    return None;
+                                }
+                                wake = wake.min(w);
                             }
-                        }
+                            LoadPath::Forward(_) => return None,
+                        },
                         _ => return None,
                     }
                 }
@@ -556,6 +579,29 @@ impl Core {
             (Inst::Sw { .. } | Inst::Sb { .. }, Status::Done) => BlockedOn::StoreBuffer,
             _ => BlockedOn::Pipeline,
         }
+    }
+
+    /// Like [`Core::blocked_on`], but additionally consults the environment
+    /// so memory-system holds get named: a head load the hierarchy refuses
+    /// (full MSHR file) reports [`BlockedOn::MshrFull`] instead of the
+    /// generic pipeline bucket.
+    pub fn blocked_on_with<P: CorePorts + ?Sized>(&self, ports: &P) -> BlockedOn {
+        let b = self.blocked_on();
+        if b == BlockedOn::Pipeline {
+            if let Some(e) = self.rob.front() {
+                if e.status == Status::Waiting && e.inst.class() == InstClass::Load {
+                    if let LoadPath::Memory(addr) = self.load_check(0) {
+                        if !ports.load_ready(self.id, addr) {
+                            return BlockedOn::MshrFull {
+                                cache: "L1D",
+                                line: addr,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        b
     }
 
     /// Bulk-advances the core over `delta` cycles that [`Core::next_event`]
@@ -1053,16 +1099,21 @@ impl Core {
                         self.stats.issued += 1;
                         continue;
                     }
-                    LoadPath::Memory => {
-                        let a = self.src_val(i, 0);
-                        let (offset, size, sign) = match self.rob[i].inst {
-                            Inst::Lw { offset, .. } => (offset, 4u8, true),
-                            Inst::Lb { offset, .. } => (offset, 1u8, true),
-                            Inst::Lbu { offset, .. } => (offset, 1u8, false),
+                    LoadPath::Memory(addr) => {
+                        if !ports.load_ready(self.id, addr) {
+                            // The hierarchy cannot start another fill (MSHR
+                            // file full): hold the load without consuming a
+                            // load/store unit and retry next cycle.
+                            continue;
+                        }
+                        let (size, sign) = match self.rob[i].inst {
+                            Inst::Lw { .. } => (4u8, true),
+                            Inst::Lb { .. } => (1u8, true),
+                            Inst::Lbu { .. } => (1u8, false),
                             _ => unreachable!("load class"),
                         };
-                        let addr = (a + offset as i64) as u64;
-                        let (raw, mlat) = ports.load(self.id, addr, size);
+                        let pc = self.rob[i].pc;
+                        let (raw, mlat) = ports.load(self.id, addr, size, pc);
                         let v = match (size, sign) {
                             (1, true) => raw as u8 as i8 as i64,
                             (1, false) => raw as u8 as i64,
@@ -1250,7 +1301,7 @@ impl Core {
                 return LoadPath::Blocked;
             }
         }
-        LoadPath::Memory
+        LoadPath::Memory(addr)
     }
 
     // --- writeback ------------------------------------------------------------
@@ -1604,7 +1655,8 @@ impl Core {
 enum LoadPath {
     Blocked,
     Forward(i64),
-    Memory,
+    /// Go to the memory hierarchy at this effective address.
+    Memory(u64),
 }
 
 #[cfg(test)]

@@ -21,8 +21,10 @@ pub enum PortPush {
 pub trait CorePorts {
     /// Timing for fetching the instruction at byte address `addr`.
     fn inst_fetch(&mut self, core: usize, addr: u64) -> u32;
-    /// Functional load of `size` bytes with its latency.
-    fn load(&mut self, core: usize, addr: u64, size: u8) -> (u64, u32);
+    /// Functional load of `size` bytes with its latency. `pc` identifies
+    /// the load instruction for the environment's stride prefetcher
+    /// (implementations without one ignore it).
+    fn load(&mut self, core: usize, addr: u64, size: u8, pc: u32) -> (u64, u32);
     /// Functional store of `size` bytes with its latency.
     fn store(&mut self, core: usize, addr: u64, size: u8, value: u64) -> u32;
     /// Atomic fetch-and-add of a 32-bit word.
@@ -76,6 +78,18 @@ pub trait CorePorts {
     fn hwbar_ready(&self, _core: usize, _id: u8) -> bool {
         true
     }
+    /// Would a demand load of `addr` be accepted right now? A non-blocking
+    /// memory hierarchy refuses a load whose miss can neither merge with an
+    /// outstanding fill nor allocate an MSHR; the core holds the load and
+    /// re-probes. The default (blocking memory) always accepts.
+    fn load_ready(&self, _core: usize, _addr: u64) -> bool {
+        true
+    }
+    /// Wake point paired with [`CorePorts::load_ready`]: the earliest cycle
+    /// a refused load could be accepted (`u64::MAX` when never refused).
+    fn load_wake(&self, _core: usize) -> u64 {
+        u64::MAX
+    }
 }
 
 /// A degenerate environment for unit tests: flat memory with fixed latency
@@ -98,7 +112,7 @@ impl CorePorts for NullPorts {
     fn inst_fetch(&mut self, _core: usize, _addr: u64) -> u32 {
         self.mem_latency.max(1)
     }
-    fn load(&mut self, _core: usize, addr: u64, size: u8) -> (u64, u32) {
+    fn load(&mut self, _core: usize, addr: u64, size: u8, _pc: u32) -> (u64, u32) {
         let v = match size {
             1 => self.mem.read_u8(addr) as u64,
             4 => self.mem.read_u32(addr) as u64,

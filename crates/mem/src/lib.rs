@@ -14,23 +14,39 @@
 //! (SESC does the same for most of its models) and keeps functional
 //! correctness independent of timing bugs.
 //!
+//! Misses are *non-blocking* by default: per-core MSHR files overlap and
+//! merge outstanding fills, stride/next-line prefetchers run ahead of
+//! regular miss streams, and a per-cluster memory controller bounds
+//! in-flight DRAM requests (see DESIGN.md §15). All of that is timing-only
+//! state; `REMAP_NO_MLP=1` or [`Hierarchy::set_mlp`] restore the blocking
+//! latency model exactly.
+//!
 //! ```
-//! use remap_mem::{Hierarchy, HierarchyConfig};
+//! use remap_mem::{Hierarchy, HierarchyConfig, PC_NONE};
 //!
 //! let mut h = Hierarchy::new(2, HierarchyConfig::default());
-//! let lat_miss = h.store(0, 0x100, 4, 42);
-//! let (v, lat_hit) = h.load(0, 0x100, 4);
+//! let lat_miss = h.store(0, 0x100, 4, 42, 0);
+//! let (v, lat_hit) = h.load(0, 0x100, 4, PC_NONE, lat_miss as u64);
 //! assert_eq!(v, 42);
 //! assert!(lat_hit < lat_miss, "second access hits in the L1");
 //! // A load by the other core snoops the modified line out of core 0.
-//! let (v1, _) = h.load(1, 0x100, 4);
+//! let (v1, _) = h.load(1, 0x100, 4, PC_NONE, (lat_miss + lat_hit) as u64);
 //! assert_eq!(v1, 42);
 //! ```
 
 mod cache;
 mod flat;
 mod hierarchy;
+mod memctl;
+mod mshr;
+mod prefetch;
 
 pub use cache::{Cache, CacheConfig, CacheStats, Mesi};
 pub use flat::FlatMem;
-pub use hierarchy::{BusStats, CacheFault, Hierarchy, HierarchyConfig};
+pub use hierarchy::{
+    mlp_enabled_from_env, BusStats, CacheFault, Hierarchy, HierarchyConfig, MlpConfig, MlpStats,
+    MC_CLUSTER_CORES, PC_NONE,
+};
+pub use memctl::MemCtl;
+pub use mshr::MshrFile;
+pub use prefetch::StrideRpt;

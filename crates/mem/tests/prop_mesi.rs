@@ -3,7 +3,7 @@
 //! multiple cores.
 
 use proptest::prelude::*;
-use remap_mem::{Hierarchy, HierarchyConfig};
+use remap_mem::{Hierarchy, HierarchyConfig, PC_NONE};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -57,22 +57,25 @@ proptest! {
     fn coherent_and_single_writer(ops in proptest::collection::vec(arb_op(4, 8), 1..200)) {
         let mut h = Hierarchy::new(4, HierarchyConfig::default());
         let mut reference: HashMap<u64, u32> = HashMap::new();
+        let mut t = 0u64;
         for op in &ops {
             match *op {
                 Op::Load { core, slot } => {
                     let a = slot_addr(slot);
-                    let (v, lat) = h.load(core, a, 4);
+                    let (v, lat) = h.load(core, a, 4, PC_NONE, t);
+                    t += lat as u64;
                     prop_assert!(lat >= 2);
                     prop_assert_eq!(v as u32, reference.get(&a).copied().unwrap_or(0));
                 }
                 Op::Store { core, slot, val } => {
                     let a = slot_addr(slot);
-                    h.store(core, a, 4, val as u64);
+                    t += h.store(core, a, 4, val as u64, t) as u64;
                     reference.insert(a, val);
                 }
                 Op::Amo { core, slot, delta } => {
                     let a = slot_addr(slot);
-                    let (old, _) = h.amo_add(core, a, delta as i64);
+                    let (old, lat) = h.amo_add(core, a, delta as i64, t);
+                    t += lat as u64;
                     let expect = reference.get(&a).copied().unwrap_or(0);
                     prop_assert_eq!(old as u32, expect);
                     reference.insert(a, (expect as i32).wrapping_add(delta) as u32);
@@ -89,8 +92,8 @@ proptest! {
     fn repeat_access_not_slower(slot in 0usize..8) {
         let mut h = Hierarchy::new(2, HierarchyConfig::default());
         let a = slot_addr(slot);
-        let (_, first) = h.load(0, a, 4);
-        let (_, second) = h.load(0, a, 4);
+        let (_, first) = h.load(0, a, 4, PC_NONE, 0);
+        let (_, second) = h.load(0, a, 4, PC_NONE, first as u64);
         prop_assert!(second <= first);
     }
 }

@@ -91,32 +91,65 @@ fn steady_state_cycles_do_not_allocate() {
 /// fallback into the coherence path.
 #[test]
 fn hierarchy_fast_paths_do_not_allocate() {
-    use remap_mem::{Hierarchy, HierarchyConfig};
+    use remap_mem::{Hierarchy, HierarchyConfig, PC_NONE};
 
     let _guard = SERIAL.lock().unwrap();
     let mut h = Hierarchy::new(2, HierarchyConfig::default());
+    h.set_mlp(true); // robust against REMAP_NO_MLP leaking into the test env
 
     // Warm-up: touch the whole working set from both cores so every page
     // of the arena is resident and both L1/L2 tag arrays are populated.
-    let warm = |h: &mut Hierarchy| {
+    let warm = |h: &mut Hierarchy, t0: u64| {
+        let mut t = t0;
         for i in 0..4096u64 {
             let addr = (i * 36) % 131072;
-            h.store(0, addr, 4, i);
-            h.load(1, addr, 4);
-            h.inst_fetch(0, (i * 4) % 65536);
-            h.amo_add(1, 131072 + (i % 64) * 8, 1);
+            t += h.store(0, addr, 4, i, t) as u64;
+            let (_, l) = h.load(1, addr, 4, PC_NONE, t);
+            t += l as u64;
+            t += h.inst_fetch(0, (i * 4) % 65536, t) as u64;
+            let (_, l) = h.amo_add(1, 131072 + (i % 64) * 8, 1, t);
+            t += l as u64;
         }
+        t
     };
-    warm(&mut h);
+    let t = warm(&mut h, 0);
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    warm(&mut h);
+    let mut t = warm(&mut h, t);
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(
         after - before,
         0,
         "warmed hierarchy load/store/fetch/amo traffic allocated {} times",
         after - before
+    );
+
+    // MSHR/prefetch burst: demand misses that allocate miss-status
+    // registers, train the stride prefetcher, and enqueue memory-controller
+    // requests must be allocation-free too — every MLP structure is
+    // fixed-capacity at construction. The prewarm streams 2 MB of stores at
+    // line stride so all pages are resident and the first half has been
+    // evicted from the 1 MB L2 by the second, making the measured loads
+    // genuine full misses.
+    let base = 0x10_0000u64; // clear of the warm arena
+    for i in 0..65536u64 {
+        t += h.store(0, base + i * 32, 4, i, t) as u64;
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..2048u64 {
+        let (_, l) = h.load(0, base + i * 32, 4, 7, t);
+        t += l as u64;
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "MSHR-allocating miss burst allocated {} times",
+        after - before
+    );
+    assert!(
+        h.mlp_stats().prefetch_issued > 0,
+        "burst never engaged the prefetcher; the assertion is vacuous"
     );
 }
 

@@ -91,6 +91,10 @@ fn assert_parity(
         rs.faults, rt.faults,
         "{label}: fault counters diverged (zeros when no plan is set)"
     );
+    assert_eq!(
+        rs.mlp, rt.mlp,
+        "{label}: MSHR/prefetch/memory-controller counters diverged"
+    );
     rs
 }
 
