@@ -325,11 +325,101 @@ fn bench_spl_tick_into(c: &mut Criterion) {
     });
 }
 
+/// The sweep marshaller on a skewed workload: eight configs, one 16×
+/// straggler, two best-of-N reps each. Sleep-based costs so the skew — and
+/// therefore the marshalling comparison — is independent of host core
+/// count (CI runners may expose a single CPU).
+///
+/// * `sweep_join_e2e_skewed` vs `sweep_stream_e2e_skewed`: end-to-end
+///   wall time. Join-at-end runs a config's reps back to back on one
+///   worker, so the straggler's tail is `16 × reps`; the streaming engine
+///   splits `(config, rep)` granules across workers and the tail halves.
+/// * `sweep_join_ttfr` vs `sweep_stream_ttfr`: time to first result. The
+///   join pool cannot surface anything before the whole sweep lands; the
+///   streaming consumer gets item 0 the moment its reps finish (the
+///   1-item window keeps workers off later items so teardown is instant).
+fn bench_sweep_marshaller(c: &mut Criterion) {
+    use remap_bench::runner::run_join_at_end;
+    use remap_bench::sweep::{stream, SweepOpts};
+    use std::ops::ControlFlow;
+    use std::time::Duration;
+
+    const JOBS: usize = 2;
+    const REPS: usize = 2;
+    let items: Vec<usize> = (0..8).collect();
+    let rep_cost = |i: usize| {
+        if i == 3 {
+            Duration::from_millis(8)
+        } else {
+            Duration::from_micros(500)
+        }
+    };
+
+    c.bench_function("sweep_join_e2e_skewed", |b| {
+        b.iter(|| {
+            let out = run_join_at_end(JOBS, &items, |i, _| {
+                for _ in 0..REPS {
+                    std::thread::sleep(rep_cost(i));
+                }
+                i
+            });
+            black_box(out.len())
+        })
+    });
+    c.bench_function("sweep_stream_e2e_skewed", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            stream(
+                SweepOpts::new(JOBS).reps(REPS),
+                &items,
+                |i, _, _| {
+                    std::thread::sleep(rep_cost(i));
+                    i
+                },
+                |_, batch| {
+                    n += batch.len();
+                    ControlFlow::Continue(())
+                },
+            );
+            black_box(n)
+        })
+    });
+    c.bench_function("sweep_join_ttfr", |b| {
+        b.iter(|| {
+            let out = run_join_at_end(JOBS, &items, |i, _| {
+                for _ in 0..REPS {
+                    std::thread::sleep(rep_cost(i));
+                }
+                i
+            });
+            black_box(out[0])
+        })
+    });
+    c.bench_function("sweep_stream_ttfr", |b| {
+        b.iter(|| {
+            let mut first = None;
+            stream(
+                SweepOpts::new(JOBS).reps(REPS).window(1),
+                &items,
+                |i, _, _| {
+                    std::thread::sleep(rep_cost(i));
+                    i
+                },
+                |_, batch| {
+                    first = Some(batch[0]);
+                    ControlFlow::Break(())
+                },
+            );
+            black_box(first)
+        })
+    });
+}
+
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(10);
     targets = bench_core_step, bench_cache, bench_mshr_churn, bench_prefetch_stride,
         bench_flatmem, bench_cache_tag_array, bench_spl, bench_assembler,
-        bench_sim_throughput, bench_spl_tick_into
+        bench_sim_throughput, bench_spl_tick_into, bench_sweep_marshaller
 );
 criterion_main!(micro);

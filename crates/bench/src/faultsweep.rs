@@ -22,9 +22,12 @@
 //! (wall-clock fields are deliberately excluded).
 
 use crate::runner::{self, JobFailure};
+use crate::sweep::{stream_jsonl, JsonlOpts, SweepOpts};
 use remap::{CoreKind, FaultPlan, RunError, SiteCfg, SystemBuilder};
 use remap_isa::{Asm, Reg::*};
 use remap_spl::{Dest, SplConfig, SplFunction};
+use std::ops::ControlFlow;
+use std::path::Path;
 
 /// Seed of every plan in the sweep. Fixed so `BENCH_faultsweep.json` is
 /// reproducible byte for byte; chaos comes from the hash stream, not the
@@ -297,10 +300,61 @@ pub fn run_cell(cell: Cell) -> Result<CellResult, String> {
     })
 }
 
-/// Renders the sweep as JSON. Hand-rolled (the workspace carries no
-/// serialization dependency) and free of wall-clock fields, so the same
-/// seed yields byte-identical output.
-pub fn to_json(results: &[Result<CellResult, JobFailure>]) -> String {
+/// The JSON object for one successful cell, without indentation, comma,
+/// or newline — the unit the streaming pipeline journals and emits.
+pub fn result_line(c: &CellResult) -> String {
+    let f = &c.faults;
+    format!(
+        "{{\"archetype\": \"{}\", \"rate_ppm\": {}, \"protected\": {}, \
+         \"ok\": {}, \"cycles\": {}, \"injected\": {}, \"detected\": {}, \
+         \"recovered\": {}, \"silent\": {}, \"hwq_retries\": {}, \
+         \"barrier_demotions\": {}}}",
+        c.cell.archetype.name(),
+        c.cell.rate_ppm,
+        c.cell.protected,
+        c.ok,
+        c.cycles,
+        f.total_injected(),
+        f.spl.detected + f.hwq.detected + f.barrier.detected + f.cache.detected,
+        f.total_recovered(),
+        f.total_silent(),
+        f.hwq_retries,
+        f.barrier_demotions,
+    )
+}
+
+/// The JSON object for a cell whose job failed every attempt.
+pub fn failure_line(fail: &JobFailure) -> String {
+    format!(
+        "{{\"job_failure\": {}, \"attempts\": {}, \"message\": {:?}}}",
+        fail.index, fail.attempts, fail.message
+    )
+}
+
+/// Runs one cell with the crash-resilient retry policy (two attempts,
+/// panics caught) and renders its JSON line — success or failure, a
+/// granule always yields a line, so a streamed sweep never stalls on a
+/// bad cell.
+pub fn cell_line(index: usize, cell: Cell) -> String {
+    const ATTEMPTS: u32 = 2;
+    let mut last = String::new();
+    for _ in 0..ATTEMPTS {
+        match std::panic::catch_unwind(|| run_cell(cell)) {
+            Ok(Ok(c)) => return result_line(&c),
+            Ok(Err(e)) => last = runner::truncate_message(e),
+            Err(p) => last = runner::panic_message(&*p),
+        }
+    }
+    failure_line(&JobFailure {
+        index,
+        attempts: ATTEMPTS,
+        message: last,
+    })
+}
+
+/// Wraps already-rendered cell lines in the report envelope. Shared by
+/// the streaming path and [`to_json`] so both are byte-identical.
+pub fn wrap_lines(lines: &[String]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"seed\": {SWEEP_SEED},\n"));
@@ -309,96 +363,92 @@ pub fn to_json(results: &[Result<CellResult, JobFailure>]) -> String {
         RATES_PPM.map(|r| r.to_string()).join(", ")
     ));
     s.push_str("  \"cells\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        match r {
-            Ok(c) => {
-                let f = &c.faults;
-                s.push_str(&format!(
-                    "    {{\"archetype\": \"{}\", \"rate_ppm\": {}, \"protected\": {}, \
-                     \"ok\": {}, \"cycles\": {}, \"injected\": {}, \"detected\": {}, \
-                     \"recovered\": {}, \"silent\": {}, \"hwq_retries\": {}, \
-                     \"barrier_demotions\": {}}}{comma}\n",
-                    c.cell.archetype.name(),
-                    c.cell.rate_ppm,
-                    c.cell.protected,
-                    c.ok,
-                    c.cycles,
-                    f.total_injected(),
-                    f.spl.detected + f.hwq.detected + f.barrier.detected + f.cache.detected,
-                    f.total_recovered(),
-                    f.total_silent(),
-                    f.hwq_retries,
-                    f.barrier_demotions,
-                ));
-            }
-            Err(fail) => {
-                s.push_str(&format!(
-                    "    {{\"job_failure\": {}, \"attempts\": {}, \"message\": {:?}}}{comma}\n",
-                    fail.index, fail.attempts, fail.message
-                ));
-            }
-        }
+    for (i, line) in lines.iter().enumerate() {
+        let comma = if i + 1 < lines.len() { "," } else { "" };
+        s.push_str(&format!("    {line}{comma}\n"));
     }
     s.push_str("  ]\n}\n");
     s
 }
 
-/// Runs the full grid on `jobs` workers through the crash-resilient
-/// runner, prints a table, and writes the JSON report to `path`.
+/// Renders the sweep as JSON. Hand-rolled (the workspace carries no
+/// serialization dependency) and free of wall-clock fields, so the same
+/// seed yields byte-identical output.
+pub fn to_json(results: &[Result<CellResult, JobFailure>]) -> String {
+    let lines: Vec<String> = results
+        .iter()
+        .map(|r| match r {
+            Ok(c) => result_line(c),
+            Err(fail) => failure_line(fail),
+        })
+        .collect();
+    wrap_lines(&lines)
+}
+
+/// Inspects a rendered cell line for the two harness defects the sweep
+/// polices: a job that failed every attempt, or a *protected* cell with
+/// silent corruption. String-level because resumed lines are replayed
+/// from the journal, never recomputed into structs.
+pub fn line_error(line: &str) -> Option<String> {
+    if line.contains("\"job_failure\"") {
+        return Some(format!("cell failed every attempt: {line}"));
+    }
+    if line.contains("\"protected\": true") && !line.contains("\"silent\": 0,") {
+        return Some(format!("silent corruption in a protected config: {line}"));
+    }
+    None
+}
+
+/// The journal path of a sweep written to `path`.
+pub fn journal_path(path: &str) -> String {
+    format!("{path}.journal")
+}
+
+/// Runs the full grid on `jobs` workers through the ordered-streaming
+/// engine, printing each cell's JSON line the moment the head of line
+/// completes, and writes the JSON report to `path`.
+///
+/// Completed cells checkpoint to `<path>.journal`; a killed sweep re-run
+/// with the same arguments replays the journaled prefix and computes only
+/// the remainder. The journal is removed once the report is written, so a
+/// *completed* sweep leaves only the artifact (and back-to-back runs stay
+/// byte-comparable).
 ///
 /// Returns `Err` when the sweep found a harness defect: a job that failed
 /// both attempts, or a *protected* configuration with silent corruption.
 pub fn report(jobs: usize, path: &str) -> Result<(), String> {
     crate::banner("faultsweep", "deterministic fault injection sweep");
     let cells = grid();
-    let results = runner::run_resilient(jobs, &cells, |_, &cell| run_cell(cell));
-    println!(
-        "{:<12} {:>9} {:>10} {:>6} {:>10} {:>9} {:>9} {:>9} {:>7} {:>8} {:>9}",
-        "archetype",
-        "rate_ppm",
-        "protected",
-        "ok",
-        "cycles",
-        "injected",
-        "detected",
-        "recovered",
-        "silent",
-        "retries",
-        "demotions"
-    );
+    let journal = journal_path(path);
+    let fingerprint = format!("faultsweep v1 seed={SWEEP_SEED} cells={}", cells.len());
+    let mut lines: Vec<String> = Vec::with_capacity(cells.len());
     let mut errors: Vec<String> = Vec::new();
-    for r in &results {
-        match r {
-            Ok(c) => {
-                let f = &c.faults;
-                println!(
-                    "{:<12} {:>9} {:>10} {:>6} {:>10} {:>9} {:>9} {:>9} {:>7} {:>8} {:>9}",
-                    c.cell.archetype.name(),
-                    c.cell.rate_ppm,
-                    c.cell.protected,
-                    c.ok,
-                    c.cycles,
-                    f.total_injected(),
-                    f.spl.detected + f.hwq.detected + f.barrier.detected + f.cache.detected,
-                    f.total_recovered(),
-                    f.total_silent(),
-                    f.hwq_retries,
-                    f.barrier_demotions,
-                );
-                if c.cell.protected && f.total_silent() > 0 {
-                    errors.push(format!(
-                        "{} at {} ppm: {} silent corruption(s) in a protected config",
-                        c.cell.archetype.name(),
-                        c.cell.rate_ppm,
-                        f.total_silent()
-                    ));
-                }
+    let opts = JsonlOpts {
+        sweep: SweepOpts::new(jobs),
+        fingerprint: &fingerprint,
+        journal: Some(Path::new(&journal)),
+    };
+    let outcome = stream_jsonl(
+        &opts,
+        &cells,
+        |i, &cell| cell_line(i, cell),
+        |i, line| {
+            println!("  cell {i:>2}/{}: {line}", cells.len());
+            if let Some(e) = line_error(line) {
+                errors.push(e);
             }
-            Err(fail) => errors.push(fail.to_string()),
-        }
+            lines.push(line.to_string());
+            ControlFlow::Continue(())
+        },
+    )
+    .map_err(|e| format!("sweep journal I/O failed: {e}"))?;
+    if outcome.resumed > 0 {
+        println!(
+            "resumed {} of {} cells from {journal}",
+            outcome.resumed, outcome.total
+        );
     }
-    let json = to_json(&results);
+    let json = wrap_lines(&lines);
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => errors.push(format!("could not write {path}: {e}")),
@@ -478,6 +528,49 @@ mod tests {
         let c = run_cell(cell).expect("unprotected runs don't fail the harness");
         assert!(c.faults.total_silent() > 0);
         assert!(!c.ok, "a flipped line must break the read checksum");
+    }
+
+    #[test]
+    fn streamed_lines_match_join_at_end_json() {
+        // A representative slice of the grid: every archetype, mixed
+        // rates and protection (full grid twice would double test time).
+        let cells: Vec<Cell> = grid().into_iter().take(9).collect();
+        let results = runner::run_resilient(2, &cells, |_, &cell| run_cell(cell));
+        let joined = to_json(&results);
+        let mut lines = Vec::new();
+        let opts = JsonlOpts {
+            sweep: SweepOpts::new(2),
+            fingerprint: "test",
+            journal: None,
+        };
+        let outcome = stream_jsonl(
+            &opts,
+            &cells,
+            |i, &cell| cell_line(i, cell),
+            |_, line| {
+                lines.push(line.to_string());
+                ControlFlow::Continue(())
+            },
+        )
+        .expect("no journal, no I/O to fail");
+        assert!(outcome.completed);
+        assert_eq!(
+            wrap_lines(&lines),
+            joined,
+            "streamed must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn line_error_flags_the_two_defects() {
+        assert!(line_error("{\"job_failure\": 3, \"attempts\": 2, \"message\": \"x\"}").is_some());
+        let bad = "{\"archetype\": \"spl_affine\", \"protected\": true, \"silent\": 2, \"x\": 0}";
+        assert!(line_error(bad).is_some());
+        let good = "{\"archetype\": \"spl_affine\", \"protected\": true, \"silent\": 0, \"x\": 0}";
+        assert!(line_error(good).is_none());
+        let unprot =
+            "{\"archetype\": \"spl_affine\", \"protected\": false, \"silent\": 9, \"x\": 0}";
+        assert!(line_error(unprot).is_none(), "unprotected silence is data");
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub mod faultsweep;
 pub mod figures;
 pub mod mlp;
 pub mod runner;
+pub mod serve;
 pub mod simperf;
+pub mod sweep;
 
 use remap::{CoreCalibration, RegionMeasurement, WholeProgram, WholeProgramResult};
 use remap_workloads::barriers::{BarrierBench, BarrierMode};

@@ -13,9 +13,10 @@
 //! zero hits-under-miss or an undefined prefetch accuracy means the MLP
 //! machinery silently disengaged, and the target fails.
 
-use crate::runner;
+use crate::sweep::{self, SweepOpts};
 use remap_workloads::comp::CompBench;
 use remap_workloads::CompMode;
+use std::ops::ControlFlow;
 
 /// Generous per-run bound; these workloads finish in well under a million.
 const MAX_CYCLES: u64 = 50_000_000;
@@ -163,7 +164,6 @@ pub fn report(jobs: usize, path: &str) -> Result<(), String> {
         "non-blocking memory ablation (MSHRs + prefetch + MC)",
     );
     let grid = grid();
-    let rows = runner::run_with_jobs(jobs, &grid, |_, c| run_one(c));
     println!(
         "{:<24} {:>12} {:>12} {:>8} {:>10} {:>8} {:>9} {:>8} {:>6} {:>8}",
         "config",
@@ -177,21 +177,32 @@ pub fn report(jobs: usize, path: &str) -> Result<(), String> {
         "pf-lt",
         "mc-peak"
     );
-    for r in &rows {
-        println!(
-            "{:<24} {:>12} {:>12} {:>7.1}% {:>10} {:>8} {:>9} {:>8} {:>6} {:>8}",
-            r.name,
-            r.blocking_cycles,
-            r.mlp_cycles,
-            r.reduction_pct(),
-            r.mlp.mshr_hits_under_miss,
-            r.mlp.mshr_merges,
-            r.mlp.prefetch_issued,
-            r.mlp.prefetch_useful,
-            r.mlp.prefetch_late,
-            r.mlp.mc_queue_peak
-        );
-    }
+    // Rows stream through the ordered marshaller: each prints the moment
+    // the head of line completes instead of after the full sweep joins.
+    let mut rows: Vec<Row> = Vec::with_capacity(grid.len());
+    sweep::stream(
+        SweepOpts::new(jobs),
+        &grid,
+        |_, c, _| run_one(c),
+        |_, mut batch| {
+            let r = batch.pop().expect("one rep per config");
+            println!(
+                "{:<24} {:>12} {:>12} {:>7.1}% {:>10} {:>8} {:>9} {:>8} {:>6} {:>8}",
+                r.name,
+                r.blocking_cycles,
+                r.mlp_cycles,
+                r.reduction_pct(),
+                r.mlp.mshr_hits_under_miss,
+                r.mlp.mshr_merges,
+                r.mlp.prefetch_issued,
+                r.mlp.prefetch_useful,
+                r.mlp.prefetch_late,
+                r.mlp.mc_queue_peak
+            );
+            rows.push(r);
+            ControlFlow::Continue(())
+        },
+    );
     let big_wins = rows.iter().filter(|r| r.reduction_pct() >= 10.0).count();
     println!();
     println!(

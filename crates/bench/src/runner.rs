@@ -7,12 +7,16 @@
 //! std-only worker pool (no rayon, no registry dependencies) used by the
 //! `benches/` targets and the `remap bench` CLI subcommand:
 //!
-//! * work is pulled from a shared atomic index, so long configs don't
-//!   stall a statically partitioned worker;
+//! * work is pulled from a shared granule counter (see [`crate::sweep`]),
+//!   so long configs don't stall a statically partitioned worker;
 //! * results are returned **in item order**, independent of the job count
 //!   or scheduling — a parallel sweep is bit-identical to a serial one;
+//! * since the sweep-pipeline rework, [`run_with_jobs`] is a collect
+//!   adapter over the bounded-window ordered-streaming engine in
+//!   [`crate::sweep`]; the old join-at-end pool survives only as the
+//!   [`run_join_at_end`] microbenchmark baseline;
 //! * a panicking worker propagates its payload to the caller via
-//!   [`std::panic::resume_unwind`] once the pool drains;
+//!   [`std::panic::resume_unwind`];
 //! * the default job count honours the `REMAP_JOBS` environment variable
 //!   and otherwise uses [`std::thread::available_parallelism`].
 
@@ -76,14 +80,50 @@ pub fn jobs_explicit_from(env: Option<&str>) -> bool {
 /// Runs `f(index, &items[index])` for every item on a pool of `jobs`
 /// worker threads and returns the results in item order.
 ///
+/// Since the sweep-pipeline rework this is a thin collect adapter over
+/// [`crate::sweep::stream`]: results still come back as one in-order
+/// vector, but they are marshalled through the bounded-window streaming
+/// engine rather than buffered per worker and sorted at the end. The
+/// old join-at-end behaviour survives as [`run_join_at_end`], kept as the
+/// baseline of the marshaller microbenchmark.
+///
 /// `jobs <= 1` (or a single item) degrades to a plain serial loop on the
 /// calling thread — the serial baseline of the speedup measurements runs
 /// through exactly this code path with `jobs == 1`.
 ///
 /// # Panics
 ///
-/// Re-raises the first worker panic (by spawn order) on the caller.
+/// Re-raises the first worker panic on the caller.
 pub fn run_with_jobs<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let mut out: Vec<T> = Vec::with_capacity(items.len());
+    crate::sweep::stream(
+        crate::sweep::SweepOpts::new(jobs),
+        items,
+        |i, item, _| f(i, item),
+        |_, mut batch| {
+            out.push(batch.pop().expect("one rep per item"));
+            std::ops::ControlFlow::Continue(())
+        },
+    );
+    out
+}
+
+/// The pre-pipeline join-at-end runner: workers buffer `(index, result)`
+/// pairs privately, the caller joins every worker, sorts once, and only
+/// then sees the first result. Kept verbatim as the baseline that the
+/// `sweep_marshaller` microbenchmark (and the streaming determinism tests)
+/// compare the ordered-streaming engine against — do not route new sweeps
+/// through it.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic (by spawn order) on the caller.
+pub fn run_join_at_end<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
 where
     I: Sync,
     T: Send,
@@ -167,14 +207,46 @@ impl std::fmt::Display for JobFailure {
     }
 }
 
-fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = p.downcast_ref::<&str>() {
+/// Longest failure message kept in a [`JobFailure`] (and therefore in the
+/// JSON reports). A pathological payload — a panic carrying a
+/// multi-megabyte dump — is truncated at a char boundary with a note of
+/// how much was dropped, so one bad job cannot bloat a sweep artifact.
+pub const MAX_FAILURE_MESSAGE_BYTES: usize = 4096;
+
+/// Renders a panic payload for a [`JobFailure`]. Besides the common
+/// `&str`/`String` payloads, `Box<dyn Error>`-style payloads (as raised by
+/// `std::panic::panic_any` on an error value) are downcast and displayed;
+/// anything else degrades to a placeholder. The result is bounded by
+/// [`MAX_FAILURE_MESSAGE_BYTES`].
+pub fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    let msg = if let Some(s) = p.downcast_ref::<&str>() {
         format!("panic: {s}")
     } else if let Some(s) = p.downcast_ref::<String>() {
         format!("panic: {s}")
+    } else if let Some(e) = p.downcast_ref::<Box<dyn std::error::Error + Send + Sync>>() {
+        format!("panic: {e}")
+    } else if let Some(e) = p.downcast_ref::<Box<dyn std::error::Error + Send>>() {
+        format!("panic: {e}")
+    } else if let Some(e) = p.downcast_ref::<std::io::Error>() {
+        format!("panic: {e}")
     } else {
         "panic: <non-string payload>".to_string()
+    };
+    truncate_message(msg)
+}
+
+/// Bounds a failure message to [`MAX_FAILURE_MESSAGE_BYTES`], cutting at a
+/// char boundary and recording how many bytes were dropped.
+pub fn truncate_message(msg: String) -> String {
+    if msg.len() <= MAX_FAILURE_MESSAGE_BYTES {
+        return msg;
     }
+    let mut cut = MAX_FAILURE_MESSAGE_BYTES;
+    while !msg.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    let dropped = msg.len() - cut;
+    format!("{} … ({dropped} bytes truncated)", &msg[..cut])
 }
 
 /// Crash-resilient sweep: like [`run_with_jobs`], but a job that panics or
@@ -196,7 +268,7 @@ where
         for _attempt in 0..2 {
             match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
                 Ok(Ok(t)) => return Ok(t),
-                Ok(Err(e)) => last = e,
+                Ok(Err(e)) => last = truncate_message(e),
                 Err(p) => last = panic_message(p.as_ref()),
             }
         }
@@ -338,6 +410,50 @@ mod tests {
         });
         assert_eq!(got, vec![Ok(42)]);
         assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_at_end_matches_streaming_runner() {
+        let items: Vec<usize> = (0..41).collect();
+        for jobs in [1, 2, 5] {
+            let joined = run_join_at_end(jobs, &items, |i, &x| (i, x * 7));
+            let streamed = run_with_jobs(jobs, &items, |i, &x| (i, x * 7));
+            assert_eq!(joined, streamed, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn panic_message_downcasts_error_payloads() {
+        let e: Box<dyn std::error::Error + Send + Sync> = "disk on fire".into();
+        let p: Box<dyn std::any::Any + Send> = Box::new(e);
+        assert_eq!(panic_message(p.as_ref()), "panic: disk on fire");
+        let io = std::io::Error::other("queue jammed");
+        let e: Box<dyn std::error::Error + Send> = Box::new(io);
+        let p: Box<dyn std::any::Any + Send> = Box::new(e);
+        assert_eq!(panic_message(p.as_ref()), "panic: queue jammed");
+        let p: Box<dyn std::any::Any + Send> = Box::new(std::io::Error::other("io went away"));
+        assert_eq!(panic_message(p.as_ref()), "panic: io went away");
+        let p: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(p.as_ref()), "panic: <non-string payload>");
+    }
+
+    #[test]
+    fn pathological_messages_are_truncated() {
+        // A multi-megabyte panic payload must not reach the JSON reports
+        // whole. The cut lands on a char boundary even mid-multibyte.
+        let huge = "é".repeat(3 * 1024 * 1024);
+        let p: Box<dyn std::any::Any + Send> = Box::new(huge.clone());
+        let msg = panic_message(p.as_ref());
+        assert!(msg.len() <= MAX_FAILURE_MESSAGE_BYTES + 64, "{}", msg.len());
+        assert!(msg.contains("bytes truncated"), "truncation is recorded");
+        assert!(msg.starts_with("panic: é"));
+        // The same bound applies to `Err` messages through run_resilient.
+        let got = run_resilient(1, &[()], |_, _| -> Result<(), String> {
+            Err("x".repeat(1 << 20))
+        });
+        let f = got[0].as_ref().expect_err("job fails both attempts");
+        assert!(f.message.len() <= MAX_FAILURE_MESSAGE_BYTES + 64);
+        assert!(f.message.contains("bytes truncated"));
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! `remap serve`: sweep-as-a-service over a local TCP socket.
+//!
+//! A long-running server accepts queued sweep requests and streams each
+//! request's results back **in deterministic item order**, line by line,
+//! the moment the ordered-streaming engine ([`crate::sweep`]) marshals
+//! them — a client watching the socket sees the first result after the
+//! first config finishes, not after the whole sweep joins. Requests are
+//! processed strictly in arrival order (one sweep at a time, connections
+//! queue in the listener backlog), so the service is a sweep *queue*, not
+//! a sweep *pool*: determinism and the simulator's own worker pool stay in
+//! charge of parallelism.
+//!
+//! ## Protocol (line-oriented, UTF-8)
+//!
+//! The client sends one request per line; the server answers with a
+//! framed response and then reads the next line. Frames:
+//!
+//! ```text
+//! -> ping
+//! <- +ok pong
+//! -> sweep ll2 barrier:8 8 16 32
+//! <- +begin sweep 3
+//! <- +item 0 {"n": 8, ...}
+//! <- +item 1 {"n": 16, ...}
+//! <- +item 2 {"n": 32, ...}
+//! <- +end sweep 3
+//! -> faultsweep
+//! <- +begin faultsweep 24
+//! <- +item 0 {"archetype": ...}
+//! <- ...
+//! <- +end faultsweep 24
+//! -> shutdown
+//! <- +ok bye
+//! ```
+//!
+//! Errors are a single `+err <message>` line; the connection survives
+//! them. Served sweeps are not journaled (they stream to the socket; the
+//! client owns persistence) but run through the same engine, so item
+//! ordering is bit-identical to the offline `remap bench` targets.
+
+use crate::sweep::{stream_jsonl, JsonlOpts, SweepOpts};
+use remap_workloads::barriers::{BarrierBench, BarrierMode};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::ControlFlow;
+
+/// A bound, not-yet-running sweep server.
+pub struct Server {
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds the service to `addr` (e.g. `127.0.0.1:47113`, or port `0`
+    /// for an ephemeral port — query it with [`Server::local_addr`]).
+    pub fn bind(addr: &str) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        Ok(Server { listener })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Accepts and serves connections in arrival order until a client
+    /// sends `shutdown`. Each sweep runs on `jobs` workers.
+    pub fn run(self, jobs: usize) -> Result<(), String> {
+        for conn in self.listener.incoming() {
+            let conn = conn.map_err(|e| format!("accept failed: {e}"))?;
+            match handle_connection(conn, jobs) {
+                Ok(ConnectionEnd::Shutdown) => return Ok(()),
+                Ok(ConnectionEnd::Closed) => {}
+                // A client dropping mid-stream must not kill the service.
+                Err(e) => eprintln!("warning: connection error: {e}"),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a connection's request loop ended.
+enum ConnectionEnd {
+    /// The client closed the connection (or sent nothing more).
+    Closed,
+    /// The client asked the whole service to stop.
+    Shutdown,
+}
+
+fn handle_connection(stream: TcpStream, jobs: usize) -> std::io::Result<ConnectionEnd> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let request = line?;
+        let request = request.trim();
+        if request.is_empty() {
+            continue;
+        }
+        if request == "shutdown" {
+            writer.write_all(b"+ok bye\n")?;
+            writer.flush()?;
+            return Ok(ConnectionEnd::Shutdown);
+        }
+        respond(request, jobs, &mut writer)?;
+        writer.flush()?;
+    }
+    Ok(ConnectionEnd::Closed)
+}
+
+/// Handles one request line, writing a framed response to `out`.
+fn respond(request: &str, jobs: usize, out: &mut dyn Write) -> std::io::Result<()> {
+    let words: Vec<&str> = request.split_whitespace().collect();
+    match words.as_slice() {
+        ["ping"] => out.write_all(b"+ok pong\n"),
+        ["faultsweep"] => {
+            let cells = crate::faultsweep::grid();
+            writeln!(out, "+begin faultsweep {}", cells.len())?;
+            let opts = JsonlOpts {
+                sweep: SweepOpts::new(jobs),
+                fingerprint: "serve faultsweep",
+                journal: None,
+            };
+            let mut io_err = None;
+            stream_jsonl(
+                &opts,
+                &cells,
+                |i, &cell| crate::faultsweep::cell_line(i, cell),
+                |i, line| match writeln!(out, "+item {i} {line}") {
+                    Ok(()) => ControlFlow::Continue(()),
+                    Err(e) => {
+                        io_err = Some(e);
+                        ControlFlow::Break(())
+                    }
+                },
+            )?;
+            if let Some(e) = io_err {
+                return Err(e);
+            }
+            writeln!(out, "+end faultsweep {}", cells.len())
+        }
+        ["sweep", bench, mode, sizes @ ..] if !sizes.is_empty() => {
+            let Some(bench) = BarrierBench::ALL
+                .iter()
+                .copied()
+                .find(|b| b.name().eq_ignore_ascii_case(bench))
+            else {
+                return writeln!(out, "+err unknown barrier benchmark `{bench}`");
+            };
+            let Some(mode) = parse_barrier_mode(mode) else {
+                return writeln!(out, "+err unknown barrier mode `{mode}`");
+            };
+            let mut parsed = Vec::with_capacity(sizes.len());
+            for s in sizes {
+                match s.parse::<usize>() {
+                    Ok(n) => parsed.push(n),
+                    Err(_) => return writeln!(out, "+err bad size `{s}`"),
+                }
+            }
+            writeln!(out, "+begin sweep {}", parsed.len())?;
+            let mut io_err = None;
+            let opts = JsonlOpts {
+                sweep: SweepOpts::new(jobs),
+                fingerprint: "serve sweep",
+                journal: None,
+            };
+            stream_jsonl(
+                &opts,
+                &parsed,
+                |_, &n| {
+                    let (n, per_iter, rel_ed) = crate::barrier_point(bench, mode, n);
+                    format!(
+                        "{{\"n\": {n}, \"cycles_per_iter\": {per_iter:.1}, \"rel_ed\": {rel_ed:.4}}}"
+                    )
+                },
+                |i, line| match writeln!(out, "+item {i} {line}") {
+                    Ok(()) => ControlFlow::Continue(()),
+                    Err(e) => {
+                        io_err = Some(e);
+                        ControlFlow::Break(())
+                    }
+                },
+            )?;
+            if let Some(e) = io_err {
+                return Err(e);
+            }
+            writeln!(out, "+end sweep {}", parsed.len())
+        }
+        _ => writeln!(
+            out,
+            "+err unknown request `{request}` (try: ping | faultsweep | \
+             sweep <bench> <mode> <sizes...> | shutdown)"
+        ),
+    }
+}
+
+/// Barrier-mode parser of the serve protocol — same grammar as the CLI
+/// (`seq`, `sw:<p>`, `barrier:<p>`, `barrier+comp:<p>`, `hwnet:<p>`).
+fn parse_barrier_mode(mode: &str) -> Option<BarrierMode> {
+    if mode == "seq" {
+        return Some(BarrierMode::Seq);
+    }
+    let threads = |prefix: &str| {
+        mode.strip_prefix(prefix)
+            .and_then(|s| s.strip_prefix(':'))
+            .and_then(|s| s.parse::<usize>().ok())
+    };
+    if mode.starts_with("barrier+comp") {
+        return threads("barrier+comp").map(BarrierMode::RemapComp);
+    }
+    if mode.starts_with("barrier") {
+        return threads("barrier").map(BarrierMode::Remap);
+    }
+    if mode.starts_with("sw") {
+        return threads("sw").map(BarrierMode::Sw);
+    }
+    if mode.starts_with("hwnet") {
+        return threads("hwnet").map(BarrierMode::HwIdeal);
+    }
+    None
+}
+
+/// Client side: connects to `addr`, submits one request line, and copies
+/// the framed response to `out` until the frame closes. Returns whether
+/// the request succeeded (`+err` responses return `Ok(false)`).
+pub fn submit(addr: &str, request: &str, out: &mut dyn Write) -> Result<bool, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(format!("{request}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let reader = BufReader::new(stream);
+    let mut ok = true;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("connection dropped mid-response: {e}"))?;
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+        if line.starts_with("+err") {
+            return Ok(false);
+        }
+        if line.starts_with("+ok") || line.starts_with("+end") {
+            return Ok(ok);
+        }
+        if !(line.starts_with("+begin") || line.starts_with("+item")) {
+            ok = false;
+        }
+    }
+    Err("connection closed before the response frame ended".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_mode_grammar_matches_cli() {
+        assert_eq!(parse_barrier_mode("seq"), Some(BarrierMode::Seq));
+        assert_eq!(parse_barrier_mode("sw:8"), Some(BarrierMode::Sw(8)));
+        assert_eq!(parse_barrier_mode("barrier:4"), Some(BarrierMode::Remap(4)));
+        assert_eq!(
+            parse_barrier_mode("barrier+comp:16"),
+            Some(BarrierMode::RemapComp(16))
+        );
+        assert_eq!(parse_barrier_mode("hwnet:6"), Some(BarrierMode::HwIdeal(6)));
+        assert_eq!(parse_barrier_mode("barrier"), None);
+        assert_eq!(parse_barrier_mode("sw:x"), None);
+        assert_eq!(parse_barrier_mode("bogus:2"), None);
+    }
+
+    #[test]
+    fn unknown_requests_answer_err_without_closing() {
+        let mut out = Vec::new();
+        respond("frobnicate", 1, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("+err"), "{s}");
+    }
+
+    #[test]
+    fn sweep_request_rejects_bad_operands() {
+        for req in [
+            "sweep nosuch barrier:8 8",
+            "sweep ll2 bogus:2 8",
+            "sweep ll2 barrier:8 eight",
+        ] {
+            let mut out = Vec::new();
+            respond(req, 1, &mut out).unwrap();
+            let s = String::from_utf8(out).unwrap();
+            assert!(s.starts_with("+err"), "{req} -> {s}");
+        }
+    }
+}

@@ -15,14 +15,21 @@
 //!    subset ([`COMPUTE_MODES`]).
 //! 2. **What does the worker pool buy?** The same 94-config sweep is timed
 //!    end to end with one job and with the default job count; the ratio is
-//!    the sweep speedup on this host. The report records the host's
-//!    `available_parallelism` and flags a pool degraded to one worker.
+//!    the sweep speedup on this host. The parallel pass fans `(config,
+//!    rep)` granules across the pool through the ordered-streaming engine
+//!    ([`crate::sweep`]), so a straggler's repetitions steal onto idle
+//!    workers. The report records the host's `available_parallelism`,
+//!    flags a pool degraded to one worker, and rolls the prior report's
+//!    aggregates into a bounded `history` array so the throughput
+//!    trajectory survives across PRs.
 
+use crate::sweep::{self, SweepOpts};
 use crate::{runner, sweep_sizes, REGION_N};
 use remap_workloads::barriers::{BarrierBench, BarrierMode};
 use remap_workloads::comm::CommBench;
 use remap_workloads::comp::CompBench;
 use remap_workloads::{CommMode, CompMode, Measurement};
+use std::ops::ControlFlow;
 use std::time::Instant;
 
 /// One simulator-performance configuration: a benchmark in one mode.
@@ -205,8 +212,12 @@ fn run_once(cfg: &Config) -> (Measurement, f64) {
     (m, start.elapsed().as_secs_f64())
 }
 
-fn run_one(cfg: &Config, reps: usize) -> Record {
-    let (first, wall) = run_once(cfg);
+/// Folds one config's rep results (in rep order) into its best-of-N
+/// record. The simulator is deterministic; repetitions only de-noise the
+/// host-side clock, so cycle counts must agree and only walls are min'd.
+fn merge_reps(cfg: &Config, batch: Vec<(Measurement, f64)>) -> Record {
+    let mut it = batch.into_iter();
+    let (first, wall) = it.next().expect("at least one rep per config");
     let mut best = Record {
         config: *cfg,
         cycles: first.cycles,
@@ -215,10 +226,7 @@ fn run_one(cfg: &Config, reps: usize) -> Record {
         wall_seconds: wall,
         sim_wall_seconds: first.sim_wall_seconds,
     };
-    for _ in 1..reps {
-        let (m, wall) = run_once(cfg);
-        // The simulator is deterministic; repetitions only de-noise the
-        // host-side clock.
+    for (m, wall) in it {
         assert_eq!(
             (m.cycles, m.committed),
             (best.cycles, best.committed),
@@ -230,6 +238,10 @@ fn run_one(cfg: &Config, reps: usize) -> Record {
         best.sim_wall_seconds = best.sim_wall_seconds.min(m.sim_wall_seconds);
     }
     best
+}
+
+fn run_one(cfg: &Config, reps: usize) -> Record {
+    merge_reps(cfg, (0..reps).map(|_| run_once(cfg)).collect())
 }
 
 /// Modes whose runs are compute-bound (no inter-core traffic dominating):
@@ -262,6 +274,15 @@ pub struct SimPerf {
     pub serial_wall_seconds: f64,
     /// End-to-end wall seconds of the `jobs`-job pass.
     pub parallel_wall_seconds: f64,
+    /// Short git commit the report was measured at (`"unknown"` outside a
+    /// work tree).
+    pub commit: String,
+    /// Unix seconds the report was measured at.
+    pub written_epoch_seconds: u64,
+    /// Prior aggregates rolled forward from the report being replaced —
+    /// pre-rendered one-line JSON objects, newest first, at most
+    /// [`HISTORY_CAP`]. See [`roll_history`].
+    pub history: Vec<String>,
     /// Per-config records from the serial (uncontended) pass.
     pub records: Vec<Record>,
 }
@@ -373,6 +394,17 @@ impl SimPerf {
             "  \"aggregate_skip_rate\": {:.4},\n",
             self.aggregate_skip_rate()
         ));
+        s.push_str(&format!("  \"commit\": {:?},\n", self.commit));
+        s.push_str(&format!(
+            "  \"written_epoch_seconds\": {},\n",
+            self.written_epoch_seconds
+        ));
+        s.push_str("  \"history\": [\n");
+        for (i, h) in self.history.iter().enumerate() {
+            let comma = if i + 1 < self.history.len() { "," } else { "" };
+            s.push_str(&format!("    {h}{comma}\n"));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"configs\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             s.push_str(&format!(
@@ -395,7 +427,25 @@ impl SimPerf {
     }
 }
 
+/// Short commit hash of the work tree, `"unknown"` when git is absent.
+fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Runs the serial and parallel sweeps and returns the timing report.
+///
+/// The parallel pass fans `(config, rep)` granules — not whole configs —
+/// across the pool via [`sweep::stream`], so the best-of-N repetitions of
+/// a straggler config steal onto idle workers and the sweep tail shrinks;
+/// each config's reps are merged back in rep order by the serial consumer.
 pub fn measure(jobs: usize) -> SimPerf {
     let grid = configs();
     let reps = reps();
@@ -403,7 +453,16 @@ pub fn measure(jobs: usize) -> SimPerf {
     let records = runner::run_with_jobs(1, &grid, |_, c| run_one(c, reps));
     let serial_wall_seconds = serial_start.elapsed().as_secs_f64();
     let parallel_start = Instant::now();
-    let parallel = runner::run_with_jobs(jobs, &grid, |_, c| run_one(c, reps));
+    let mut parallel: Vec<Record> = Vec::with_capacity(grid.len());
+    sweep::stream(
+        SweepOpts::new(jobs).reps(reps),
+        &grid,
+        |_, c, _rep| run_once(c),
+        |i, batch| {
+            parallel.push(merge_reps(&grid[i], batch));
+            ControlFlow::Continue(())
+        },
+    );
     let parallel_wall_seconds = parallel_start.elapsed().as_secs_f64();
     // The simulations are deterministic: the pooled pass must reproduce
     // the serial cycle counts exactly.
@@ -425,15 +484,80 @@ pub fn measure(jobs: usize) -> SimPerf {
             .unwrap_or(0),
         serial_wall_seconds,
         parallel_wall_seconds,
+        commit: current_commit(),
+        written_epoch_seconds: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        history: Vec::new(),
         records,
     }
+}
+
+/// Bound on the rolled-forward history: roughly a PR-per-entry trajectory
+/// covering the recent past without growing the artifact unboundedly.
+pub const HISTORY_CAP: usize = 16;
+
+/// The raw value of a top-level `"key": value` line of a simperf document.
+/// Anchored on the two-space top-level indent, so per-config rows (four
+/// spaces) and `baseline_`-prefixed keys cannot shadow it.
+fn top_level_raw<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\n  \"{key}\": ");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = &doc[start..];
+    let end = rest.find('\n')?;
+    Some(rest[..end].trim().trim_end_matches(','))
+}
+
+/// Prior `history` entry lines of an existing document, verbatim (no
+/// reserialization — the trajectory must survive format drift in newer
+/// fields).
+fn prior_history(doc: &str) -> Vec<String> {
+    let needle = "\n  \"history\": [";
+    let Some(start) = doc.find(needle) else {
+        return Vec::new();
+    };
+    let rest = &doc[start + needle.len()..];
+    let Some(end) = rest.find("\n  ]") else {
+        return Vec::new();
+    };
+    rest[..end]
+        .lines()
+        .filter_map(|l| {
+            let t = l.trim().trim_end_matches(',');
+            (t.starts_with('{') && t.ends_with('}')).then(|| t.to_string())
+        })
+        .collect()
+}
+
+/// Rolls the report being replaced into the new report's `history`: the
+/// old document's own aggregates become the newest entry, its prior
+/// entries follow, and the list is truncated to [`HISTORY_CAP`]. A
+/// missing or unreadable old document yields an empty history.
+pub fn roll_history(existing: Option<&str>) -> Vec<String> {
+    let Some(doc) = existing else {
+        return Vec::new();
+    };
+    let mut v = Vec::new();
+    if let Some(agg) = top_level_raw(doc, "aggregate_sim_kcps") {
+        let commit = top_level_raw(doc, "commit").unwrap_or("\"unknown\"");
+        let when = top_level_raw(doc, "written_epoch_seconds").unwrap_or("0");
+        let compute = top_level_raw(doc, "compute_sim_kcps").unwrap_or("0.0");
+        v.push(format!(
+            "{{\"commit\": {commit}, \"written_epoch_seconds\": {when}, \
+             \"aggregate_sim_kcps\": {agg}, \"compute_sim_kcps\": {compute}}}"
+        ));
+    }
+    v.extend(prior_history(doc));
+    v.truncate(HISTORY_CAP);
+    v
 }
 
 /// Runs [`measure`], prints a human summary, and writes
 /// `BENCH_simperf.json` to `path`.
 pub fn report(jobs: usize, path: &str) {
     crate::banner("simperf", "simulator throughput and sweep parallelism");
-    let perf = measure(jobs);
+    let mut perf = measure(jobs);
     println!(
         "{:<12} {:<16} {:>12} {:>12} {:>7} {:>10} {:>10} {:>10} {:>10}",
         "benchmark",
@@ -505,6 +629,13 @@ pub fn report(jobs: usize, path: &str) {
         }
     }
     let existing = std::fs::read_to_string(path).ok();
+    perf.history = roll_history(existing.as_deref());
+    if !perf.history.is_empty() {
+        println!(
+            "rolling {} prior aggregate(s) into the report history",
+            perf.history.len()
+        );
+    }
     let force = std::env::var("REMAP_FORCE_BASELINE").ok();
     if !overwrite_allowed(existing.as_deref(), perf.pool_degraded(), force.as_deref()) {
         println!(
@@ -551,6 +682,11 @@ mod tests {
             host_parallelism: 8,
             serial_wall_seconds: 2.0,
             parallel_wall_seconds: 0.5,
+            commit: "abc1234".to_string(),
+            written_epoch_seconds: 1_754_700_000,
+            history: vec!["{\"commit\": \"0ld0000\", \"written_epoch_seconds\": 1, \
+                 \"aggregate_sim_kcps\": 2228.2, \"compute_sim_kcps\": 4107.8}"
+                .to_string()],
             records: vec![Record {
                 config: Config {
                     bench: "adpcm",
@@ -585,6 +721,9 @@ mod tests {
         assert!(j.contains("\"baseline_compute_sim_kcps\": 4107.8"));
         assert!(j.contains("\"baseline_aggregate_sim_kcps\": 2228.2"));
         assert!(j.contains("\"compute_speedup_vs_baseline\""));
+        assert!(j.contains("\"commit\": \"abc1234\""));
+        assert!(j.contains("\"written_epoch_seconds\": 1754700000"));
+        assert!(j.contains("\"history\": [\n    {\"commit\": \"0ld0000\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
@@ -597,6 +736,9 @@ mod tests {
             host_parallelism: 1,
             serial_wall_seconds: 1.0,
             parallel_wall_seconds: 1.0,
+            commit: "unknown".to_string(),
+            written_epoch_seconds: 0,
+            history: Vec::new(),
             records: Vec::new(),
         };
         assert!(perf.pool_degraded());
@@ -630,6 +772,44 @@ mod tests {
         let (n, warning) = reps_from(Some("0"));
         assert_eq!(n, 2);
         assert!(warning.is_some());
+    }
+
+    #[test]
+    fn history_rolls_prior_aggregates_forward() {
+        // No old report → empty history.
+        assert!(roll_history(None).is_empty());
+        // An old report without history fields of its own becomes the
+        // first entry with unknown commit/date.
+        let old = "{\n  \"jobs\": 2,\n  \"aggregate_sim_kcps\": 4308.6,\n  \
+                   \"compute_sim_kcps\": 7844.5,\n  \
+                   \"baseline_aggregate_sim_kcps\": 2228.2,\n  \"configs\": [\n  ]\n}\n";
+        let h = roll_history(Some(old));
+        assert_eq!(h.len(), 1);
+        assert!(h[0].contains("\"aggregate_sim_kcps\": 4308.6"), "{}", h[0]);
+        assert!(h[0].contains("\"compute_sim_kcps\": 7844.5"), "{}", h[0]);
+        assert!(h[0].contains("\"commit\": \"unknown\""), "{}", h[0]);
+        assert!(
+            !h[0].contains("2228.2"),
+            "baseline_-prefixed keys must not shadow: {}",
+            h[0]
+        );
+        // A report carrying history chains: its own aggregate leads, the
+        // prior entries follow verbatim, capped at HISTORY_CAP.
+        let mut with_history = String::from(
+            "{\n  \"aggregate_sim_kcps\": 5000.0,\n  \"compute_sim_kcps\": 9000.0,\n  \
+             \"commit\": \"abc1234\",\n  \"written_epoch_seconds\": 77,\n  \"history\": [\n",
+        );
+        for i in 0..HISTORY_CAP + 3 {
+            with_history.push_str(&format!(
+                "    {{\"commit\": \"old{i}\", \"aggregate_sim_kcps\": {i}.0}},\n"
+            ));
+        }
+        with_history.push_str("  ],\n  \"configs\": [\n  ]\n}\n");
+        let h = roll_history(Some(&with_history));
+        assert_eq!(h.len(), HISTORY_CAP, "bounded");
+        assert!(h[0].contains("\"commit\": \"abc1234\""), "{}", h[0]);
+        assert!(h[0].contains("\"written_epoch_seconds\": 77"), "{}", h[0]);
+        assert!(h[1].contains("\"commit\": \"old0\""), "{}", h[1]);
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Kill/resume contract of the journaled sweep pipeline: a sweep that
+//! dies mid-flight loses at most the in-flight window, and re-running it
+//! with the journal present replays the checkpointed prefix, computes only
+//! the remainder, and produces byte-identical merged output.
+
+use remap_bench::sweep::{stream_jsonl, JsonlOpts, SweepOpts};
+use std::ops::ControlFlow;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const FINGERPRINT: &str = "crash-resume-test v1";
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("remap-crash-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.journal"))
+}
+
+fn render(i: usize, &x: &u64) -> String {
+    // Deterministic but index-scrambled payloads, so any ordering or
+    // indexing defect shows up as a byte diff.
+    let mut h = x.wrapping_mul(0x9E3779B97F4A7C15) ^ (i as u64);
+    for _ in 0..((i * 31) % 200) {
+        h = h.rotate_left(11).wrapping_add(0xABCD);
+    }
+    format!("{{\"i\": {i}, \"h\": {h}}}")
+}
+
+fn opts<'a>(journal: Option<&'a PathBuf>) -> JsonlOpts<'a> {
+    JsonlOpts {
+        sweep: SweepOpts::new(4).window(3),
+        fingerprint: FINGERPRINT,
+        journal: journal.map(|p| p.as_path()),
+    }
+}
+
+#[test]
+fn killed_sweep_resumes_byte_identical() {
+    let items: Vec<u64> = (0..37).map(|i| i * 13 + 5).collect();
+
+    // Reference: the uninterrupted sweep, no journal.
+    let mut reference = Vec::new();
+    stream_jsonl(&opts(None), &items, render, |_, line| {
+        reference.push(line.to_string());
+        ControlFlow::Continue(())
+    })
+    .expect("uninterrupted sweep");
+    assert_eq!(reference.len(), items.len());
+
+    // "Kill" a journaled sweep after 7 emissions: the consumer breaks,
+    // the pool drops, in-flight work past the break point is discarded.
+    const SURVIVED: usize = 7;
+    let journal = temp_journal("kill");
+    let _ = std::fs::remove_file(&journal);
+    let mut partial = Vec::new();
+    let outcome = stream_jsonl(&opts(Some(&journal)), &items, render, |i, line| {
+        partial.push(line.to_string());
+        if i + 1 == SURVIVED {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })
+    .expect("journal writes");
+    assert!(!outcome.completed, "a killed sweep is not complete");
+    assert_eq!(partial.len(), SURVIVED);
+    let journal_text = std::fs::read_to_string(&journal).expect("journal survives the kill");
+    assert_eq!(
+        journal_text.lines().count(),
+        SURVIVED + 1,
+        "header plus one record per emitted line:\n{journal_text}"
+    );
+
+    // Resume: the journaled prefix replays without recomputation, only
+    // the remainder runs, and the merged output is byte-identical.
+    let computed = AtomicUsize::new(0);
+    let mut merged = Vec::new();
+    let outcome = stream_jsonl(
+        &opts(Some(&journal)),
+        &items,
+        |i, x| {
+            computed.fetch_add(1, Ordering::SeqCst);
+            render(i, x)
+        },
+        |_, line| {
+            merged.push(line.to_string());
+            ControlFlow::Continue(())
+        },
+    )
+    .expect("resume");
+    assert!(outcome.completed);
+    assert_eq!(
+        outcome.resumed, SURVIVED,
+        "prefix replayed from the journal"
+    );
+    assert_eq!(
+        computed.load(Ordering::SeqCst),
+        items.len() - SURVIVED,
+        "journaled items must not be recomputed"
+    );
+    assert_eq!(merged, reference, "resumed output is byte-identical");
+    assert!(
+        !journal.exists(),
+        "a completed sweep removes its journal so the next run starts fresh"
+    );
+}
+
+#[test]
+fn torn_tail_is_recomputed_not_trusted() {
+    let items: Vec<u64> = (0..10).collect();
+    let mut reference = Vec::new();
+    stream_jsonl(&opts(None), &items, render, |_, line| {
+        reference.push(line.to_string());
+        ControlFlow::Continue(())
+    })
+    .expect("reference sweep");
+
+    // A journal whose last record lost its newline (the classic torn
+    // write of a killed process): the intact prefix resumes, the torn
+    // record recomputes.
+    let journal = temp_journal("torn");
+    let mut doc = format!("#remap-sweep-journal v1 {} {FINGERPRINT}\n", items.len());
+    doc.push_str(&format!("0 {}\n", reference[0]));
+    doc.push_str(&format!("1 {}\n", reference[1]));
+    doc.push_str(&format!("2 {}", &reference[2][..reference[2].len() / 2]));
+    std::fs::write(&journal, doc).expect("write torn journal");
+
+    let computed = AtomicUsize::new(0);
+    let mut merged = Vec::new();
+    let outcome = stream_jsonl(
+        &opts(Some(&journal)),
+        &items,
+        |i, x| {
+            computed.fetch_add(1, Ordering::SeqCst);
+            render(i, x)
+        },
+        |_, line| {
+            merged.push(line.to_string());
+            ControlFlow::Continue(())
+        },
+    )
+    .expect("resume over torn tail");
+    assert_eq!(outcome.resumed, 2, "only the intact prefix replays");
+    assert_eq!(computed.load(Ordering::SeqCst), items.len() - 2);
+    assert_eq!(merged, reference, "torn tail heals byte-identically");
+}
+
+#[test]
+fn foreign_journal_is_ignored() {
+    let items: Vec<u64> = (0..6).collect();
+    let journal = temp_journal("foreign");
+    std::fs::write(
+        &journal,
+        format!(
+            "#remap-sweep-journal v1 {} some-other-sweep v9\n0 {{\"bogus\": 1}}\n",
+            items.len()
+        ),
+    )
+    .expect("write foreign journal");
+
+    let computed = AtomicUsize::new(0);
+    let mut merged = Vec::new();
+    let outcome = stream_jsonl(
+        &opts(Some(&journal)),
+        &items,
+        |i, x| {
+            computed.fetch_add(1, Ordering::SeqCst);
+            render(i, x)
+        },
+        |_, line| {
+            merged.push(line.to_string());
+            ControlFlow::Continue(())
+        },
+    )
+    .expect("sweep over foreign journal");
+    assert_eq!(outcome.resumed, 0, "a foreign fingerprint resumes nothing");
+    assert_eq!(computed.load(Ordering::SeqCst), items.len());
+    assert!(
+        !merged.iter().any(|l| l.contains("bogus")),
+        "foreign records never reach the output"
+    );
+}

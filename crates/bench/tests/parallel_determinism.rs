@@ -62,3 +62,33 @@ fn barrier_sweep_is_deterministic_under_parallelism() {
     let parallel = run_with_jobs(JOBS, &grid, run);
     assert_identical(&serial, &parallel, "barrier");
 }
+
+#[test]
+fn rep_split_streaming_is_deterministic_on_real_workloads() {
+    // The simperf-style rep-split path: each config runs `reps` granules
+    // that may land on different workers, and the ordered consumer merges
+    // them. The merged sweep must equal the serial single-rep reference.
+    use remap_bench::sweep::{stream, SweepOpts};
+    use std::ops::ControlFlow;
+
+    let bench = CompBench::ALL[0];
+    let grid: Vec<(CompMode, usize)> = CompMode::ALL
+        .into_iter()
+        .flat_map(|m| [64usize, 96, 128].into_iter().map(move |n| (m, n)))
+        .collect();
+    let serial = run_with_jobs(1, &grid, |_, &(m, n)| bench.run(m, n).expect("validates"));
+    let mut merged: Vec<Measurement> = Vec::with_capacity(grid.len());
+    stream(
+        SweepOpts::new(JOBS).reps(3).window(2),
+        &grid,
+        |_, &(m, n), _rep| bench.run(m, n).expect("validates"),
+        |_, batch| {
+            assert_eq!(batch.len(), 3, "all reps arrive together");
+            assert_eq!(batch[0], batch[1], "reps are bit-identical");
+            assert_eq!(batch[0], batch[2], "reps are bit-identical");
+            merged.push(batch.into_iter().next().unwrap());
+            ControlFlow::Continue(())
+        },
+    );
+    assert_identical(&serial, &merged, "rep-split stream");
+}

@@ -1,0 +1,153 @@
+//! The streaming marshaller must be invisible in the results: any pool
+//! shape (jobs × window × reps) yields exactly the join-at-end baseline's
+//! values in exactly its order, and the `remap serve` request handlers
+//! stream the same ordered lines.
+
+use remap_bench::runner::run_join_at_end;
+use remap_bench::sweep::{stream, stream_jsonl, JsonlOpts, SweepOpts};
+use std::ops::ControlFlow;
+
+/// A cheap but order-sensitive workload: index-dependent arithmetic with
+/// an index-dependent spin so completion order scrambles under stealing.
+fn work(i: usize, x: u64) -> u64 {
+    let mut h = x.wrapping_mul(0x9E3779B97F4A7C15) ^ (i as u64);
+    for _ in 0..((i * 37) % 300) {
+        h = h.rotate_left(13).wrapping_mul(31).wrapping_add(7);
+    }
+    h
+}
+
+#[test]
+fn stream_matches_join_at_end_across_pool_shapes() {
+    let items: Vec<u64> = (0..131).map(|i| i * 17 + 3).collect();
+    let reference = run_join_at_end(4, &items, |i, &x| work(i, x));
+    for jobs in [1, 2, 3, 8] {
+        for window in [1, 2, 7, 64, 1000] {
+            let mut streamed = Vec::with_capacity(items.len());
+            let n = stream(
+                SweepOpts::new(jobs).window(window),
+                &items,
+                |i, &x, _| work(i, x),
+                |_, mut b| {
+                    streamed.push(b.pop().unwrap());
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(n, items.len(), "jobs={jobs} window={window}");
+            assert_eq!(streamed, reference, "jobs={jobs} window={window}");
+        }
+    }
+}
+
+#[test]
+fn rep_split_merges_to_the_single_rep_result() {
+    let items: Vec<u64> = (0..53).collect();
+    let reference = run_join_at_end(4, &items, |i, &x| work(i, x));
+    for reps in [2, 3, 5] {
+        let mut merged = Vec::with_capacity(items.len());
+        stream(
+            SweepOpts::new(4).reps(reps).window(3),
+            &items,
+            |i, &x, _rep| work(i, x),
+            |_, batch| {
+                assert_eq!(batch.len(), reps);
+                assert!(
+                    batch.windows(2).all(|w| w[0] == w[1]),
+                    "deterministic work must agree across reps"
+                );
+                merged.push(batch[0]);
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(merged, reference, "reps={reps}");
+    }
+}
+
+#[test]
+fn jsonl_streaming_is_ordered_and_byte_stable() {
+    let items: Vec<u64> = (0..40).collect();
+    let render = |i: usize, &x: &u64| format!("{{\"i\": {i}, \"h\": {}}}", work(i, x));
+    let collect = |jobs: usize| {
+        let mut lines = Vec::new();
+        let opts = JsonlOpts {
+            sweep: SweepOpts::new(jobs).window(2),
+            fingerprint: "test",
+            journal: None,
+        };
+        let outcome = stream_jsonl(&opts, &items, render, |i, line| {
+            assert_eq!(i, lines.len(), "lines arrive in index order");
+            lines.push(line.to_string());
+            ControlFlow::Continue(())
+        })
+        .expect("no journal, no I/O");
+        assert!(outcome.completed);
+        lines.join("\n")
+    };
+    let serial = collect(1);
+    let pooled = collect(6);
+    assert_eq!(serial, pooled, "pooled JSON-lines are byte-identical");
+}
+
+#[test]
+fn serve_streams_ordered_sweep_results() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = remap_bench::serve::Server::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run(2));
+
+    // Two queued sweep requests on one connection, then shutdown: each
+    // response frame must carry every item in ascending index order.
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    let mut r = BufReader::new(stream);
+    let mut frame = |req: &str| {
+        writeln!(w, "{req}").expect("send");
+        w.flush().expect("flush");
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            r.read_line(&mut line).expect("read");
+            let line = line.trim_end().to_string();
+            let done =
+                line.starts_with("+end") || line.starts_with("+ok") || line.starts_with("+err");
+            lines.push(line);
+            if done {
+                break;
+            }
+        }
+        lines
+    };
+
+    assert_eq!(frame("ping"), vec!["+ok pong"]);
+    for sizes in [vec![8, 16, 32], vec![16, 8]] {
+        let req = format!(
+            "sweep ll2 barrier:4 {}",
+            sizes
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let lines = frame(&req);
+        assert_eq!(lines[0], format!("+begin sweep {}", sizes.len()));
+        assert_eq!(
+            *lines.last().unwrap(),
+            format!("+end sweep {}", sizes.len())
+        );
+        for (i, (line, n)) in lines[1..lines.len() - 1].iter().zip(&sizes).enumerate() {
+            assert!(
+                line.starts_with(&format!("+item {i} {{\"n\": {n},")),
+                "item {i} of {req}: {line}"
+            );
+        }
+    }
+    let err = frame("sweep nosuch barrier:4 8");
+    assert!(err[0].starts_with("+err"), "{err:?}");
+
+    assert_eq!(frame("shutdown"), vec!["+ok bye"]);
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+}

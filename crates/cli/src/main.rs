@@ -23,6 +23,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("verify") => return cmd_verify(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -48,6 +50,9 @@ fn print_usage() {
     println!("  remap run <bench> <mode> [size]     run one validated workload");
     println!("  remap sweep <bench> <mode> [sizes]  sweep a barrier workload");
     println!("  remap bench <target>                regenerate a paper figure (parallel sweep)");
+    println!("  remap serve <addr>                  run the sweep service on a local socket");
+    println!("  remap submit <addr> <request...>    send one request to a running service");
+    println!("      requests: ping | faultsweep | sweep <bench> <mode> <sizes...> | shutdown");
     println!("  remap verify [bench] [options]      statically verify workload programs");
     println!("      --all             also check multi-cluster grids and faulted plans");
     println!("      --format <f>      output format: text (default) or json");
@@ -253,6 +258,40 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             }
             None => Err(format!("unknown bench target `{name}`\n{}", usage())),
         },
+    }
+}
+
+/// `remap serve <addr>`: the long-running sweep service. Blocks until a
+/// client sends `shutdown`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let [addr] = args else {
+        return Err("usage: remap serve <addr>   (e.g. remap serve 127.0.0.1:47113)".into());
+    };
+    let jobs = remap_bench::runner::jobs();
+    let server = remap_bench::serve::Server::bind(addr)?;
+    println!(
+        "remap sweep service listening on {} ({jobs} jobs); requests: \
+         ping | faultsweep | sweep <bench> <mode> <sizes...> | shutdown",
+        server.local_addr()
+    );
+    server.run(jobs)
+}
+
+/// `remap submit <addr> <request...>`: one-shot client of the service.
+/// Streams the framed response to stdout; exits nonzero on `+err`.
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let [addr, request @ ..] = args else {
+        return Err("usage: remap submit <addr> <request...>".into());
+    };
+    if request.is_empty() {
+        return Err("usage: remap submit <addr> <request...>".into());
+    }
+    let request = request.join(" ");
+    let mut stdout = std::io::stdout().lock();
+    match remap_bench::serve::submit(addr, &request, &mut stdout) {
+        Ok(true) => Ok(()),
+        Ok(false) => Err(format!("request `{request}` was rejected by the service")),
+        Err(e) => Err(e),
     }
 }
 
