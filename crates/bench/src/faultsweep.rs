@@ -385,15 +385,32 @@ pub fn to_json(results: &[Result<CellResult, JobFailure>]) -> String {
     wrap_lines(&lines)
 }
 
+/// The raw value of `"key": ` in a flat rendered JSON line (up to the
+/// next `,` or `}`), or `None` when the key is absent. A tiny positional
+/// scanner, not a parser: every line this sweep inspects is rendered by
+/// [`result_line`]/[`failure_line`], whose objects are one level deep.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
 /// Inspects a rendered cell line for the two harness defects the sweep
 /// polices: a job that failed every attempt, or a *protected* cell with
 /// silent corruption. String-level because resumed lines are replayed
-/// from the journal, never recomputed into structs.
+/// from the journal, never recomputed into structs; fields are located by
+/// key ([`json_field`]) rather than by exact serialization, so drift in
+/// [`result_line`]'s field order or spacing cannot silently disable the
+/// check.
 pub fn line_error(line: &str) -> Option<String> {
-    if line.contains("\"job_failure\"") {
+    if json_field(line, "job_failure").is_some() {
         return Some(format!("cell failed every attempt: {line}"));
     }
-    if line.contains("\"protected\": true") && !line.contains("\"silent\": 0,") {
+    if json_field(line, "protected") == Some("true")
+        && json_field(line, "silent").is_some_and(|s| s != "0")
+    {
         return Some(format!("silent corruption in a protected config: {line}"));
     }
     None
@@ -402,6 +419,26 @@ pub fn line_error(line: &str) -> Option<String> {
 /// The journal path of a sweep written to `path`.
 pub fn journal_path(path: &str) -> String {
     format!("{path}.journal")
+}
+
+/// Journal fingerprint of the sweep: encodes the seed *and every cell's
+/// definition*, not just the cell count, so a binary whose grid contents
+/// changed (archetypes or rates reordered, swapped, or re-tuned) under the
+/// same count and seed can never splice stale journaled results into a
+/// fresh report.
+pub fn fingerprint(cells: &[Cell]) -> String {
+    let grid: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{}:{}:{}",
+                c.archetype.name(),
+                c.rate_ppm,
+                u8::from(c.protected)
+            )
+        })
+        .collect();
+    format!("faultsweep v1 seed={SWEEP_SEED} grid={}", grid.join(","))
 }
 
 /// Runs the full grid on `jobs` workers through the ordered-streaming
@@ -420,7 +457,7 @@ pub fn report(jobs: usize, path: &str) -> Result<(), String> {
     crate::banner("faultsweep", "deterministic fault injection sweep");
     let cells = grid();
     let journal = journal_path(path);
-    let fingerprint = format!("faultsweep v1 seed={SWEEP_SEED} cells={}", cells.len());
+    let fingerprint = fingerprint(&cells);
     let mut lines: Vec<String> = Vec::with_capacity(cells.len());
     let mut errors: Vec<String> = Vec::new();
     let opts = JsonlOpts {
@@ -571,6 +608,63 @@ mod tests {
         let unprot =
             "{\"archetype\": \"spl_affine\", \"protected\": false, \"silent\": 9, \"x\": 0}";
         assert!(line_error(unprot).is_none(), "unprotected silence is data");
+    }
+
+    #[test]
+    fn line_error_fires_on_a_result_line_rendered_cell() {
+        // Guard against serialization drift: the defect check must parse
+        // fields out of whatever result_line actually renders, not match
+        // a hard-coded byte pattern of it.
+        let mut faults = remap::FaultReport::default();
+        faults.spl.injected = 3;
+        faults.spl.silent = 2;
+        let bad = CellResult {
+            cell: Cell {
+                archetype: Archetype::SplAffine,
+                rate_ppm: 200_000,
+                protected: true,
+            },
+            ok: true,
+            cycles: 1234,
+            faults,
+        };
+        let line = result_line(&bad);
+        assert!(
+            line_error(&line).is_some(),
+            "protected cell with silent corruption must be flagged: {line}"
+        );
+        let clean = CellResult {
+            faults: remap::FaultReport::default(),
+            ..bad
+        };
+        assert!(line_error(&result_line(&clean)).is_none());
+        let unprotected = CellResult {
+            cell: Cell {
+                protected: false,
+                ..bad.cell
+            },
+            ..bad
+        };
+        assert!(
+            line_error(&result_line(&unprotected)).is_none(),
+            "unprotected silence is data, not a defect"
+        );
+    }
+
+    #[test]
+    fn fingerprint_encodes_grid_contents_not_just_count() {
+        let cells = grid();
+        let fp = fingerprint(&cells);
+        assert!(fp.contains("spl_affine") && fp.contains("200000"));
+        assert!(!fp.contains('\n'), "journal headers are one line");
+        // Same count, same seed, swapped cells: a different fingerprint.
+        let mut swapped = cells.clone();
+        swapped.swap(0, 1);
+        assert_ne!(fp, fingerprint(&swapped));
+        // A re-tuned rate with the same count: a different fingerprint.
+        let mut retuned = cells.clone();
+        retuned[3].rate_ppm += 1;
+        assert_ne!(fp, fingerprint(&retuned));
     }
 
     #[test]

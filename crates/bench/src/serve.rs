@@ -43,6 +43,7 @@ use remap_workloads::barriers::{BarrierBench, BarrierMode};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A bound, not-yet-running sweep server.
 pub struct Server {
@@ -102,10 +103,21 @@ fn handle_connection(stream: TcpStream, jobs: usize) -> std::io::Result<Connecti
             writer.flush()?;
             return Ok(ConnectionEnd::Shutdown);
         }
-        respond(request, jobs, &mut writer)?;
+        respond_guarded(request, jobs, &mut writer)?;
         writer.flush()?;
     }
     Ok(ConnectionEnd::Closed)
+}
+
+/// [`respond`] behind a panic guard: a workload that panics mid-request
+/// (a `sweep` whose simulator run asserts, say) answers `+err` instead of
+/// unwinding through [`Server::run`] and killing the long-running service
+/// on one bad request. The connection — and the service — survive.
+fn respond_guarded(request: &str, jobs: usize, out: &mut dyn Write) -> std::io::Result<()> {
+    match catch_unwind(AssertUnwindSafe(|| respond(request, jobs, out))) {
+        Ok(result) => result,
+        Err(p) => writeln!(out, "+err request panicked: {}", crate::runner::panic_message(&*p)),
+    }
 }
 
 /// Handles one request line, writing a framed response to `out`.
@@ -113,6 +125,9 @@ fn respond(request: &str, jobs: usize, out: &mut dyn Write) -> std::io::Result<(
     let words: Vec<&str> = request.split_whitespace().collect();
     match words.as_slice() {
         ["ping"] => out.write_all(b"+ok pong\n"),
+        // Deterministic panic source for the guard test; never advertised.
+        #[cfg(test)]
+        ["__test_panic"] => panic!("deliberate request panic"),
         ["faultsweep"] => {
             let cells = crate::faultsweep::grid();
             writeln!(out, "+begin faultsweep {}", cells.len())?;
@@ -273,6 +288,15 @@ mod tests {
         respond("frobnicate", 1, &mut out).unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.starts_with("+err"), "{s}");
+    }
+
+    #[test]
+    fn panicking_request_answers_err_instead_of_unwinding() {
+        let mut out = Vec::new();
+        respond_guarded("__test_panic", 1, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("+err"), "{s}");
+        assert!(s.contains("deliberate request panic"), "{s}");
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! this engine through [`crate::runner::run_with_jobs`].
 
 use std::any::Any;
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -280,19 +280,24 @@ pub struct JsonlOutcome {
 const JOURNAL_MAGIC: &str = "#remap-sweep-journal v1";
 
 /// Parses the journal at `path`: returns the validated prefix of emitted
-/// lines, or an empty vector when the journal is missing, foreign (wrong
-/// fingerprint or item count), or corrupt from its first line. A torn tail
-/// — a final line without its newline, or with the wrong index — is
-/// dropped; everything before it is trusted.
-fn load_journal(path: &Path, fingerprint: &str, total: usize) -> Vec<String> {
+/// lines plus its length in bytes (header included), or an empty vector
+/// when the journal is missing, foreign (wrong fingerprint or item count),
+/// or corrupt from its first line. A torn tail — a final line without its
+/// newline, or with the wrong index — is dropped; everything before it is
+/// trusted. The byte length is what a resuming run must truncate the file
+/// to before appending: appending after a torn fragment would glue the
+/// next record onto it, and a second kill would leave a concatenated line
+/// a later load would accept as valid.
+fn load_journal(path: &Path, fingerprint: &str, total: usize) -> (Vec<String>, u64) {
     let Ok(raw) = std::fs::read_to_string(path) else {
-        return Vec::new();
+        return (Vec::new(), 0);
     };
     let header = format!("{JOURNAL_MAGIC} {total} {fingerprint}\n");
     let Some(mut rest) = raw.strip_prefix(header.as_str()) else {
-        return Vec::new();
+        return (Vec::new(), 0);
     };
     let mut lines = Vec::new();
+    let mut valid_bytes = header.len();
     // Each record is "<index> <payload>\n"; a record is only trusted when
     // its newline made it to disk and its index matches its position, so
     // a torn tail or a duplicated write stops the walk (everything before
@@ -306,9 +311,10 @@ fn load_journal(path: &Path, fingerprint: &str, total: usize) -> Vec<String> {
             break;
         }
         lines.push(payload.to_string());
+        valid_bytes += nl + 1;
         rest = &rest[nl + 1..];
     }
-    lines
+    (lines, valid_bytes as u64)
 }
 
 /// Streams one JSON-lines sweep with optional crash/resume journaling.
@@ -337,9 +343,9 @@ where
     C: FnMut(usize, &str) -> ControlFlow<()>,
 {
     let total = items.len();
-    let done = match opts.journal {
+    let (done, valid_bytes) = match opts.journal {
         Some(path) => load_journal(path, opts.fingerprint, total),
-        None => Vec::new(),
+        None => (Vec::new(), 0),
     };
     let resumed = done.len();
 
@@ -355,12 +361,18 @@ where
         }
     }
 
-    // (Re)open the journal: append after a valid prefix, start fresh
-    // (header included) otherwise.
+    // (Re)open the journal: append after the valid prefix, start fresh
+    // (header included) otherwise. The file is truncated to the validated
+    // prefix first — a torn tail the load rejected must not stay on disk,
+    // or the appended record would be glued onto the fragment and a second
+    // kill would leave a concatenated line the next load accepts.
     let mut journal = match opts.journal {
         Some(path) => {
             let mut fh = if resumed > 0 {
-                std::fs::OpenOptions::new().append(true).open(path)?
+                let mut fh = std::fs::OpenOptions::new().write(true).open(path)?;
+                fh.set_len(valid_bytes)?;
+                fh.seek(SeekFrom::Start(valid_bytes))?;
+                fh
             } else {
                 let mut fh = std::fs::File::create(path)?;
                 fh.write_all(format!("{JOURNAL_MAGIC} {total} {}\n", opts.fingerprint).as_bytes())?;
@@ -569,18 +581,24 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("remap-sweep-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("torn.journal");
-        std::fs::write(
-            &path,
-            format!("{JOURNAL_MAGIC} 5 fp\n0 alpha\n1 beta\n2 gam"),
-        )
-        .unwrap();
-        assert_eq!(load_journal(&path, "fp", 5), vec!["alpha", "beta"]);
+        let intact = format!("{JOURNAL_MAGIC} 5 fp\n0 alpha\n1 beta\n");
+        std::fs::write(&path, format!("{intact}2 gam")).unwrap();
+        let (lines, valid) = load_journal(&path, "fp", 5);
+        assert_eq!(lines, vec!["alpha", "beta"]);
+        assert_eq!(
+            valid as usize,
+            intact.len(),
+            "valid bytes cover exactly the intact prefix, not the torn tail"
+        );
         // Wrong fingerprint or total: the whole journal is ignored.
-        assert!(load_journal(&path, "other", 5).is_empty());
-        assert!(load_journal(&path, "fp", 6).is_empty());
+        assert!(load_journal(&path, "other", 5).0.is_empty());
+        assert!(load_journal(&path, "fp", 6).0.is_empty());
         // Index gap: trust stops at the gap.
-        std::fs::write(&path, format!("{JOURNAL_MAGIC} 5 fp\n0 alpha\n2 beta\n")).unwrap();
-        assert_eq!(load_journal(&path, "fp", 5), vec!["alpha"]);
+        let head = format!("{JOURNAL_MAGIC} 5 fp\n0 alpha\n");
+        std::fs::write(&path, format!("{head}2 beta\n")).unwrap();
+        let (lines, valid) = load_journal(&path, "fp", 5);
+        assert_eq!(lines, vec!["alpha"]);
+        assert_eq!(valid as usize, head.len());
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
     }

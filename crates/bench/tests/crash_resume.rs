@@ -146,6 +146,76 @@ fn torn_tail_is_recomputed_not_trusted() {
 }
 
 #[test]
+fn double_kill_over_torn_tail_resumes_byte_identical() {
+    // The dangerous sequence: kill leaves a torn last record, a resume
+    // appends new records, that resume is killed too, and a second resume
+    // loads the journal again. Without truncating the torn fragment before
+    // appending, the first resumed record would be glued onto the fragment
+    // ("2 gam2 {...}") and the second load would accept the concatenated
+    // line as a valid record, replaying corrupted payload.
+    let items: Vec<u64> = (0..12).collect();
+    let mut reference = Vec::new();
+    stream_jsonl(&opts(None), &items, render, |_, line| {
+        reference.push(line.to_string());
+        ControlFlow::Continue(())
+    })
+    .expect("reference sweep");
+
+    // Kill #1: intact records 0 and 1, record 2 torn mid-write.
+    let journal = temp_journal("double-kill");
+    let mut doc = format!("#remap-sweep-journal v1 {} {FINGERPRINT}\n", items.len());
+    doc.push_str(&format!("0 {}\n", reference[0]));
+    doc.push_str(&format!("1 {}\n", reference[1]));
+    doc.push_str(&format!("2 {}", &reference[2][..reference[2].len() / 2]));
+    std::fs::write(&journal, doc).expect("write torn journal");
+
+    // Kill #2: the resume replays the intact prefix, journals a few newly
+    // computed records, then dies before completing.
+    const SURVIVED: usize = 5;
+    let outcome = stream_jsonl(&opts(Some(&journal)), &items, render, |i, _| {
+        if i + 1 == SURVIVED {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })
+    .expect("first resume");
+    assert!(!outcome.completed);
+    assert_eq!(outcome.resumed, 2, "only the intact prefix replays");
+
+    // Between the kills, every journal record must stand on its own line
+    // with its own index — no record glued onto the torn fragment.
+    let text = std::fs::read_to_string(&journal).expect("journal survives");
+    for (pos, record) in text.lines().skip(1).enumerate() {
+        let (idx, payload) = record.split_once(' ').expect("record shape");
+        assert_eq!(idx.parse::<usize>().ok(), Some(pos), "record: {record}");
+        assert_eq!(payload, reference[pos], "record: {record}");
+    }
+
+    // Second resume: completes, byte-identical to the uninterrupted run.
+    let computed = AtomicUsize::new(0);
+    let mut merged = Vec::new();
+    let outcome = stream_jsonl(
+        &opts(Some(&journal)),
+        &items,
+        |i, x| {
+            computed.fetch_add(1, Ordering::SeqCst);
+            render(i, x)
+        },
+        |_, line| {
+            merged.push(line.to_string());
+            ControlFlow::Continue(())
+        },
+    )
+    .expect("second resume");
+    assert!(outcome.completed);
+    assert_eq!(outcome.resumed, SURVIVED, "both kills' records replay");
+    assert_eq!(computed.load(Ordering::SeqCst), items.len() - SURVIVED);
+    assert_eq!(merged, reference, "double-kill output is byte-identical");
+    assert!(!journal.exists(), "completed sweep removes its journal");
+}
+
+#[test]
 fn foreign_journal_is_ignored() {
     let items: Vec<u64> = (0..6).collect();
     let journal = temp_journal("foreign");
