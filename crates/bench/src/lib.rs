@@ -23,6 +23,7 @@ pub mod faultsweep;
 pub mod figures;
 pub mod mlp;
 pub mod runner;
+pub mod scaling;
 pub mod serve;
 pub mod simperf;
 pub mod sweep;

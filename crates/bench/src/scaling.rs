@@ -1,0 +1,472 @@
+//! `remap bench scaling`: grid scale-out curves and the directory
+//! ablation.
+//!
+//! Part one sweeps the barrier workloads across the grid sizes the
+//! directory-based hierarchy unlocks — the paper's quad cluster (4
+//! threads) plus the 16-, 36-, and 64-core meshes — and reports simulated
+//! cycles, speedup over the sequential baseline, and the directory's probe
+//! counters for every point. Part two times the simulator itself on a
+//! 36-core memory-bound stream with the directory on and off
+//! (`REMAP_NO_DIR`'s broadcast reference): filtering probes through sharer
+//! masks is a host-side win, and CI gates on it.
+//!
+//! Results land in `BENCH_scaling.json`. Two gates fail the target:
+//! a 16-thread grid that is not faster than the 4-thread grid on every
+//! swept workload (scale-out must actually scale), and a directory
+//! wall-time speedup under [`DIR_GATE_MIN_SPEEDUP`].
+
+use crate::sweep::{self, SweepOpts};
+use remap_mem::{DirStats, Hierarchy, HierarchyConfig, PC_NONE};
+use remap_workloads::barriers::{BarrierBench, BarrierMode};
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+/// Generous per-run bound; the swept configurations finish far earlier.
+const MAX_CYCLES: u64 = 200_000_000;
+
+/// Grid sizes of the scale-out sweep: the paper's quad cluster plus the
+/// 16-, 36-, and 64-core meshes.
+pub const THREADS: [usize; 4] = [4, 16, 36, 64];
+
+/// CI gate: minimum host wall-time speedup of the directory-routed
+/// 36-core hierarchy over the broadcast-snoop reference.
+pub const DIR_GATE_MIN_SPEEDUP: f64 = 1.5;
+
+/// One swept workload: a barrier benchmark at a problem size big enough
+/// that 64 threads still have work per barrier phase.
+#[derive(Debug, Clone, Copy)]
+struct Workload {
+    bench: BarrierBench,
+    n: usize,
+    /// CI gates a strictly increasing speedup curve across [`THREADS`].
+    /// The data-parallel loops must keep scaling; dijkstra's short barrier
+    /// intervals peak near 16 threads (its point in the artifact is the
+    /// contrast, not a gate).
+    monotone: bool,
+}
+
+fn workloads() -> [Workload; 3] {
+    [
+        Workload {
+            bench: BarrierBench::Ll3,
+            n: 8192,
+            monotone: true,
+        },
+        Workload {
+            bench: BarrierBench::Ll2,
+            n: 2048,
+            monotone: true,
+        },
+        Workload {
+            bench: BarrierBench::Dijkstra,
+            n: 400,
+            monotone: false,
+        },
+    ]
+}
+
+/// One sweep job: a workload in one mode (`None` = sequential baseline).
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    workload: Workload,
+    threads: Option<usize>,
+}
+
+/// One measured point.
+#[derive(Debug, Clone)]
+struct Point {
+    bench: &'static str,
+    threads: Option<usize>,
+    cycles: u64,
+    wall_ms: f64,
+    dir: DirStats,
+}
+
+impl Point {
+    /// Simulated kilocycles per second of host wall time.
+    fn effective_kcps(&self) -> f64 {
+        self.cycles as f64 / self.wall_ms
+    }
+}
+
+fn run_one(job: &Job) -> Point {
+    let mode = match job.threads {
+        Some(p) => BarrierMode::Remap(p),
+        None => BarrierMode::Seq,
+    };
+    let mut sys = job.workload.bench.build(mode, job.workload.n);
+    let t0 = Instant::now();
+    let report = sys.run(MAX_CYCLES).unwrap_or_else(|e| {
+        panic!(
+            "{:?} {mode:?} n={} failed: {e}",
+            job.workload.bench, job.workload.n
+        )
+    });
+    Point {
+        bench: job.workload.bench.name(),
+        threads: job.threads,
+        cycles: report.cycles,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        dir: report.dir,
+    }
+}
+
+/// The scale-out curve of one workload: sequential baseline plus one point
+/// per grid size.
+#[derive(Debug, Clone)]
+struct Curve {
+    bench: &'static str,
+    n: usize,
+    monotone: bool,
+    seq_cycles: u64,
+    points: Vec<Point>,
+}
+
+impl Curve {
+    fn speedup(&self, p: &Point) -> f64 {
+        self.seq_cycles as f64 / p.cycles as f64
+    }
+}
+
+/// The directory ablation: a 36-core grid where every core streams loads
+/// over a private region ~1.125 MB wide — wider than its 1 MB L2, so after
+/// the cold pass the cyclic LRU thrash keeps *every* access a full miss,
+/// and every full miss snoops. The broadcast reference walks all 35 remote
+/// cores per miss; the directory consults the sharer mask and probes
+/// nobody. Returns `(wall_seconds, loaded_sum, misses, stats)` so callers
+/// can assert the two models did identical architectural work.
+const ABLATION_CORES: usize = 36;
+/// 4096 L2 sets × (8 ways + 1) lines per core: one more tag per set than
+/// the associativity holds, the minimal guaranteed-thrash footprint.
+const ABLATION_LINES_PER_CORE: usize = 4096 * 9;
+/// Per-core region stride: comfortably past the 1.25 MB-aligned footprint.
+const ABLATION_REGION_BYTES: u64 = 2 * 1024 * 1024;
+
+fn ablation_accesses() -> u64 {
+    (ABLATION_CORES * ABLATION_LINES_PER_CORE) as u64
+}
+
+fn dir_ablation_run(dir_on: bool) -> (f64, u64, u64, DirStats) {
+    let mut h = Hierarchy::new(ABLATION_CORES, HierarchyConfig::default());
+    h.set_mlp(true);
+    h.set_dir(dir_on);
+    let t0 = Instant::now();
+    let mut now = 0u64;
+    let mut sum = 0u64;
+    for i in 0..ABLATION_LINES_PER_CORE {
+        for core in 0..ABLATION_CORES {
+            let addr = 0x100_0000 + core as u64 * ABLATION_REGION_BYTES + (i as u64) * 32;
+            let (v, lat) = h.load(core, addr, 8, PC_NONE, now);
+            sum = sum.wrapping_add(v);
+            now += lat as u64;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let misses = (0..ABLATION_CORES).map(|c| h.cache_stats(c).2.misses).sum();
+    (wall, sum, misses, h.dir_stats())
+}
+
+/// Best-of-`reps` wall time for one ablation variant, with the
+/// architectural observables of the first run (they are deterministic).
+fn dir_ablation_best(dir_on: bool, reps: usize) -> (f64, u64, u64, DirStats) {
+    let mut best = dir_ablation_run(dir_on);
+    for _ in 1..reps {
+        let r = dir_ablation_run(dir_on);
+        if r.0 < best.0 {
+            best.0 = r.0;
+        }
+    }
+    best
+}
+
+fn fmt_threads(t: Option<usize>) -> String {
+    match t {
+        Some(p) => p.to_string(),
+        None => "seq".to_string(),
+    }
+}
+
+/// Renders the whole document.
+fn doc_json(jobs: usize, curves: &[Curve], ablation: &str) -> String {
+    let mut s = format!("{{\n  \"jobs\": {jobs},\n  \"workloads\": [\n");
+    for (wi, c) in curves.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"bench\": \"{}\", \"n\": {}, \"seq_cycles\": {}, \
+             \"gated_monotone\": {}, \"points\": [\n",
+            c.bench, c.n, c.seq_cycles, c.monotone
+        ));
+        for (i, p) in c.points.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{ \"threads\": {}, \"cycles\": {}, \"speedup\": {:.3}, \
+                 \"wall_ms\": {:.1}, \"effective_kcps\": {:.1}, \
+                 \"dir_probes_sent\": {}, \"dir_probes_avoided\": {}, \
+                 \"dir_bank_conflicts\": {}, \"dir_hop_cycles\": {} }}{}\n",
+                p.threads.unwrap_or(1),
+                p.cycles,
+                c.speedup(p),
+                p.wall_ms,
+                p.effective_kcps(),
+                p.dir.probes_sent,
+                p.dir.probes_avoided,
+                p.dir.bank_conflicts,
+                p.dir.hop_cycles,
+                if i + 1 < c.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "    ] }}{}\n",
+            if wi + 1 < curves.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!("  ],\n  \"dir_ablation\": {ablation}\n}}\n"));
+    s
+}
+
+/// Runs the scale-out sweep and the directory ablation, prints both
+/// tables, enforces the CI gates, and writes `path`.
+pub fn report(jobs: usize, path: &str) -> Result<(), String> {
+    crate::banner(
+        "scaling",
+        "grid scale-out (4/16/36/64 cores) + directory ablation",
+    );
+    let workloads = workloads();
+    let mut grid: Vec<Job> = Vec::new();
+    for w in workloads {
+        grid.push(Job {
+            workload: w,
+            threads: None,
+        });
+        for p in THREADS {
+            grid.push(Job {
+                workload: w,
+                threads: Some(p),
+            });
+        }
+    }
+    println!(
+        "{:<10} {:>7} {:>12} {:>9} {:>10} {:>10} {:>12} {:>12}",
+        "bench", "threads", "cycles", "speedup", "wall-ms", "eff-kcps", "dir-probes", "dir-avoided"
+    );
+    let mut points: Vec<Point> = Vec::with_capacity(grid.len());
+    sweep::stream(
+        SweepOpts::new(jobs),
+        &grid,
+        |_, job, _| run_one(job),
+        |i, mut batch| {
+            let p = batch.pop().expect("one rep per job");
+            let seq_cycles = points
+                .iter()
+                .rev()
+                .find(|q| q.bench == p.bench && q.threads.is_none())
+                .map(|q| q.cycles);
+            let speedup = match (p.threads, seq_cycles) {
+                (Some(_), Some(s)) => format!("{:.3}", s as f64 / p.cycles as f64),
+                _ => "1.000".to_string(),
+            };
+            println!(
+                "{:<10} {:>7} {:>12} {:>9} {:>10.1} {:>10.1} {:>12} {:>12}",
+                p.bench,
+                fmt_threads(p.threads),
+                p.cycles,
+                speedup,
+                p.wall_ms,
+                p.effective_kcps(),
+                p.dir.probes_sent,
+                p.dir.probes_avoided
+            );
+            points.push(p);
+            let _ = i;
+            ControlFlow::Continue(())
+        },
+    );
+
+    // Re-group the ordered point stream into per-workload curves.
+    let mut curves: Vec<Curve> = Vec::new();
+    for w in workloads {
+        let name = w.bench.name();
+        let seq = points
+            .iter()
+            .find(|p| p.bench == name && p.threads.is_none())
+            .expect("baseline point present");
+        curves.push(Curve {
+            bench: name,
+            n: w.n,
+            monotone: w.monotone,
+            seq_cycles: seq.cycles,
+            points: points
+                .iter()
+                .filter(|p| p.bench == name && p.threads.is_some())
+                .cloned()
+                .collect(),
+        });
+    }
+
+    // The ablation is timing-sensitive: run it serially, after the sweep's
+    // worker pool has drained, best-of-five.
+    println!();
+    println!(
+        "directory ablation: {ABLATION_CORES}-core stream, {} accesses/run",
+        ablation_accesses()
+    );
+    let (wall_bcast, sum_b, miss_b, _) = dir_ablation_best(false, 5);
+    let (wall_dir, sum_d, miss_d, stats) = dir_ablation_best(true, 5);
+    if (sum_b, miss_b) != (sum_d, miss_d) {
+        return Err(format!(
+            "directory ablation diverged architecturally: \
+             broadcast (sum {sum_b}, misses {miss_b}) vs directory (sum {sum_d}, misses {miss_d})"
+        ));
+    }
+    let wall_speedup = wall_bcast / wall_dir;
+    println!(
+        "  broadcast {:.0} ms, directory {:.0} ms -> {:.2}x wall-time speedup \
+         ({} probes avoided)",
+        wall_bcast * 1e3,
+        wall_dir * 1e3,
+        wall_speedup,
+        stats.probes_avoided
+    );
+
+    // CI gates.
+    let mut failures = Vec::new();
+    for c in &curves {
+        let cy = |p: usize| {
+            c.points
+                .iter()
+                .find(|q| q.threads == Some(p))
+                .map(|q| q.cycles)
+                .unwrap_or(u64::MAX)
+        };
+        if cy(16) >= cy(4) {
+            failures.push(format!(
+                "{}: 16-thread grid ({} cycles) is not faster than 4-thread ({} cycles)",
+                c.bench,
+                cy(16),
+                cy(4)
+            ));
+        }
+        if c.points.iter().any(|p| p.cycles >= c.seq_cycles) {
+            failures.push(format!(
+                "{}: a grid point is slower than sequential",
+                c.bench
+            ));
+        }
+        if c.monotone {
+            for pair in c.points.windows(2) {
+                if pair[1].cycles >= pair[0].cycles {
+                    failures.push(format!(
+                        "{}: speedup curve is not monotone ({} threads: {} cycles, \
+                         {} threads: {} cycles)",
+                        c.bench,
+                        fmt_threads(pair[0].threads),
+                        pair[0].cycles,
+                        fmt_threads(pair[1].threads),
+                        pair[1].cycles
+                    ));
+                }
+            }
+        }
+    }
+    if wall_speedup < DIR_GATE_MIN_SPEEDUP {
+        failures.push(format!(
+            "directory wall-time speedup {wall_speedup:.2}x is under the \
+             {DIR_GATE_MIN_SPEEDUP}x gate"
+        ));
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "scaling gates failed:\n  {}",
+            failures.join("\n  ")
+        ));
+    }
+
+    let ablation = format!(
+        "{{ \"cores\": {ABLATION_CORES}, \"accesses_per_run\": {}, \
+         \"broadcast_wall_ms\": {:.1}, \"directory_wall_ms\": {:.1}, \
+         \"wall_time_speedup\": {:.2}, \"gate_min_speedup\": {DIR_GATE_MIN_SPEEDUP}, \
+         \"probes_avoided\": {} }}",
+        ablation_accesses(),
+        wall_bcast * 1e3,
+        wall_dir * 1e3,
+        wall_speedup,
+        stats.probes_avoided
+    );
+    let doc = doc_json(jobs, &curves, &ablation);
+    match std::fs::write(path, doc) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_shape_is_valid_jsonish() {
+        let curves = vec![Curve {
+            bench: "ll3",
+            n: 512,
+            monotone: true,
+            seq_cycles: 1000,
+            points: vec![Point {
+                bench: "ll3",
+                threads: Some(4),
+                cycles: 250,
+                wall_ms: 2.0,
+                dir: DirStats::default(),
+            }],
+        }];
+        let doc = doc_json(2, &curves, "{ \"cores\": 36 }");
+        assert!(doc.starts_with("{\n  \"jobs\": 2"), "{doc}");
+        assert!(doc.contains("\"speedup\": 4.000"), "{doc}");
+        assert!(doc.contains("\"dir_ablation\": { \"cores\": 36 }"), "{doc}");
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "balanced braces: {doc}"
+        );
+    }
+
+    #[test]
+    fn ablation_streams_are_architecturally_identical_and_filtered() {
+        // A scaled-down copy of the ablation drive (4 cores, tiny region)
+        // pinning the contract the full run asserts at 36 cores: identical
+        // sums and miss counts, and a directory that avoids every probe of
+        // a sharing-free stream.
+        let run = |dir_on: bool| {
+            let mut h = Hierarchy::new(4, HierarchyConfig::default());
+            h.set_mlp(true);
+            h.set_dir(dir_on);
+            let mut now = 0u64;
+            let mut sum = 0u64;
+            for i in 0..512 {
+                for core in 0..4 {
+                    let addr = 0x100_0000 + core as u64 * ABLATION_REGION_BYTES + i * 32;
+                    let (v, lat) = h.load(core, addr, 8, PC_NONE, now);
+                    sum = sum.wrapping_add(v);
+                    now += lat as u64;
+                }
+            }
+            let misses: u64 = (0..4).map(|c| h.cache_stats(c).2.misses).sum();
+            (sum, misses, h.dir_stats())
+        };
+        let (sum_b, miss_b, _) = run(false);
+        let (sum_d, miss_d, s) = run(true);
+        assert_eq!((sum_b, miss_b), (sum_d, miss_d));
+        assert_eq!(s.probes_sent, 0, "no line is ever shared");
+        assert!(s.probes_avoided > 0, "the filter visibly engaged");
+    }
+
+    #[test]
+    fn sweep_grid_covers_all_sizes_and_baselines() {
+        let w = workloads();
+        assert_eq!(w.len(), 3);
+        assert!(w.iter().all(|w| w.n >= 64), "64 threads need work each");
+        assert!(
+            w.iter().filter(|w| w.monotone).count() >= 2,
+            "at least two workloads gate the monotone scale-out curve"
+        );
+        assert_eq!(THREADS, [4, 16, 36, 64]);
+    }
+}

@@ -116,7 +116,11 @@ fn handle_connection(stream: TcpStream, jobs: usize) -> std::io::Result<Connecti
 fn respond_guarded(request: &str, jobs: usize, out: &mut dyn Write) -> std::io::Result<()> {
     match catch_unwind(AssertUnwindSafe(|| respond(request, jobs, out))) {
         Ok(result) => result,
-        Err(p) => writeln!(out, "+err request panicked: {}", crate::runner::panic_message(&*p)),
+        Err(p) => writeln!(
+            out,
+            "+err request panicked: {}",
+            crate::runner::panic_message(&*p)
+        ),
     }
 }
 

@@ -530,10 +530,23 @@ fn prior_history(doc: &str) -> Vec<String> {
         .collect()
 }
 
+/// The `"commit"` value of a history entry line (with its quotes), used to
+/// dedupe re-runs on the same commit.
+fn entry_commit(entry: &str) -> Option<&str> {
+    let needle = "\"commit\": ";
+    let start = entry.find(needle)? + needle.len();
+    let rest = &entry[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
 /// Rolls the report being replaced into the new report's `history`: the
 /// old document's own aggregates become the newest entry, its prior
-/// entries follow, and the list is truncated to [`HISTORY_CAP`]. A
-/// missing or unreadable old document yields an empty history.
+/// entries follow, and the list is truncated to [`HISTORY_CAP`]. Entries
+/// are deduplicated by commit hash (newest wins), so re-running simperf on
+/// the same commit does not stack duplicate aggregates; entries with an
+/// unknown commit are kept as-is (they cannot be told apart). A missing or
+/// unreadable old document yields an empty history.
 pub fn roll_history(existing: Option<&str>) -> Vec<String> {
     let Some(doc) = existing else {
         return Vec::new();
@@ -549,6 +562,11 @@ pub fn roll_history(existing: Option<&str>) -> Vec<String> {
         ));
     }
     v.extend(prior_history(doc));
+    let mut seen = std::collections::HashSet::new();
+    v.retain(|e| match entry_commit(e) {
+        Some(c) if c != "\"unknown\"" => seen.insert(c.to_string()),
+        _ => true,
+    });
     v.truncate(HISTORY_CAP);
     v
 }
@@ -810,6 +828,29 @@ mod tests {
         assert!(h[0].contains("\"commit\": \"abc1234\""), "{}", h[0]);
         assert!(h[0].contains("\"written_epoch_seconds\": 77"), "{}", h[0]);
         assert!(h[1].contains("\"commit\": \"old0\""), "{}", h[1]);
+    }
+
+    #[test]
+    fn rerunning_on_the_same_commit_does_not_stack_history() {
+        // The old report was itself produced at commit abc1234 and already
+        // carries an abc1234 history entry (a prior re-run): rolling keeps
+        // only the newest measurement for that commit.
+        let old = "{\n  \"aggregate_sim_kcps\": 5000.0,\n  \"compute_sim_kcps\": 9000.0,\n  \
+                   \"commit\": \"abc1234\",\n  \"written_epoch_seconds\": 77,\n  \"history\": [\n    \
+                   {\"commit\": \"abc1234\", \"aggregate_sim_kcps\": 4000.0},\n    \
+                   {\"commit\": \"def5678\", \"aggregate_sim_kcps\": 3000.0}\n  ],\n  \
+                   \"configs\": [\n  ]\n}\n";
+        let h = roll_history(Some(old));
+        assert_eq!(h.len(), 2, "same-commit entry deduped: {h:?}");
+        assert!(h[0].contains("\"aggregate_sim_kcps\": 5000.0"), "{}", h[0]);
+        assert!(h[1].contains("\"commit\": \"def5678\""), "{}", h[1]);
+        // Unknown commits cannot be told apart and are never collapsed.
+        let anon = "{\n  \"aggregate_sim_kcps\": 1.0,\n  \"compute_sim_kcps\": 2.0,\n  \
+                    \"history\": [\n    \
+                    {\"commit\": \"unknown\", \"aggregate_sim_kcps\": 3.0},\n    \
+                    {\"commit\": \"unknown\", \"aggregate_sim_kcps\": 4.0}\n  ],\n  \
+                    \"configs\": [\n  ]\n}\n";
+        assert_eq!(roll_history(Some(anon)).len(), 3, "unknowns all kept");
     }
 
     #[test]

@@ -225,7 +225,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let names: Vec<&str> = BENCH_TARGETS
             .iter()
             .map(|(n, _)| *n)
-            .chain(["simperf", "faultsweep", "mlp", "all"])
+            .chain(["simperf", "faultsweep", "mlp", "scaling", "all"])
             .collect();
         format!(
             "usage: remap bench <target>\ntargets: {}\n(job count: REMAP_JOBS, currently {jobs})",
@@ -242,6 +242,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         }
         "faultsweep" => remap_bench::faultsweep::report(jobs, "BENCH_faultsweep.json"),
         "mlp" => remap_bench::mlp::report(jobs, "BENCH_simperf.json"),
+        "scaling" => remap_bench::scaling::report(jobs, "BENCH_scaling.json"),
         "all" => {
             for (_, f) in BENCH_TARGETS.iter().filter(|(n, _)| *n != "smoke") {
                 f(jobs);
@@ -249,6 +250,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             remap_bench::faultsweep::report(jobs, "BENCH_faultsweep.json")?;
             remap_bench::simperf::report(jobs, "BENCH_simperf.json");
             remap_bench::mlp::report(jobs, "BENCH_simperf.json")?;
+            remap_bench::scaling::report(jobs, "BENCH_scaling.json")?;
             Ok(())
         }
         name => match BENCH_TARGETS.iter().find(|(n, _)| *n == name) {

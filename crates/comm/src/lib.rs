@@ -20,9 +20,11 @@ mod bus;
 mod hwbarrier;
 mod hwqueue;
 mod t2c;
+mod topology;
 
 pub use barrier::{ArriveOutcome, BarrierTable};
 pub use bus::{BarrierBus, BusMessage};
 pub use hwbarrier::HwBarrierNet;
 pub use hwqueue::HwQueueNet;
 pub use t2c::{T2cError, ThreadToCoreTable};
+pub use topology::{ClusterGrid, BARRIER_BUS_LATENCY, CLUSTER_HOP_LATENCY};

@@ -49,6 +49,11 @@ struct T2cEntry {
 #[derive(Debug, Clone)]
 pub struct ThreadToCoreTable {
     entries: Vec<Option<T2cEntry>>,
+    /// Reverse index for grid-scale tables: thread ID → bitmask of bound
+    /// cores, giving O(1) [`lookup`](Self::lookup) instead of a scan over
+    /// every core slot. Maintained only when the core count fits one mask
+    /// word; larger tables fall back to the linear CAM walk.
+    by_thread: std::collections::HashMap<u32, u64>,
     max_in_flight: u8,
 }
 
@@ -58,7 +63,20 @@ impl ThreadToCoreTable {
     pub fn new(n_cores: usize) -> ThreadToCoreTable {
         ThreadToCoreTable {
             entries: vec![None; n_cores],
+            by_thread: std::collections::HashMap::new(),
             max_in_flight: 24,
+        }
+    }
+
+    /// Drops `core`'s bit from the reverse index entry of `thread`.
+    fn unindex(&mut self, thread: u32, core: usize) {
+        if core < 64 {
+            if let Some(mask) = self.by_thread.get_mut(&thread) {
+                *mask &= !(1u64 << core);
+                if *mask == 0 {
+                    self.by_thread.remove(&thread);
+                }
+            }
         }
     }
 
@@ -76,6 +94,12 @@ impl ThreadToCoreTable {
     /// Binds `thread` of application `app` to `core` (thread switch-in).
     /// Any previous binding of the core is replaced.
     pub fn bind(&mut self, core: usize, thread: u32, app: u32) {
+        if let Some(old) = self.entries[core] {
+            self.unindex(old.thread, core);
+        }
+        if core < 64 {
+            *self.by_thread.entry(thread).or_insert(0) |= 1u64 << core;
+        }
         self.entries[core] = Some(T2cEntry {
             thread,
             app,
@@ -94,7 +118,8 @@ impl ThreadToCoreTable {
         match self.entries[core] {
             None => Err(T2cError::NotBound),
             Some(e) if e.in_flight > 0 => Err(T2cError::InFlight(e.in_flight)),
-            Some(_) => {
+            Some(e) => {
+                self.unindex(e.thread, core);
                 self.entries[core] = None;
                 Ok(())
             }
@@ -102,8 +127,15 @@ impl ThreadToCoreTable {
     }
 
     /// The core currently running `thread`, if any (the CAM lookup performed
-    /// when an SPL instruction issues).
+    /// when an SPL instruction issues). O(1) through the reverse index; the
+    /// lowest-numbered bound core wins, matching the original CAM scan.
     pub fn lookup(&self, thread: u32) -> Option<usize> {
+        if self.entries.len() <= 64 {
+            return self
+                .by_thread
+                .get(&thread)
+                .map(|mask| mask.trailing_zeros() as usize);
+        }
         self.entries
             .iter()
             .position(|e| matches!(e, Some(x) if x.thread == thread))
@@ -201,6 +233,21 @@ mod tests {
         t.bind(0, 2, 1);
         assert_eq!(t.lookup(1), None);
         assert_eq!(t.lookup(2), Some(0));
+    }
+
+    #[test]
+    fn duplicate_bindings_resolve_to_the_lowest_core() {
+        // The reverse index must keep the original CAM-scan semantics: the
+        // lowest-numbered core bound to the thread wins.
+        let mut t = ThreadToCoreTable::new(8);
+        t.bind(5, 7, 1);
+        t.bind(2, 7, 1);
+        assert_eq!(t.lookup(7), Some(2));
+        t.unbind(2).unwrap();
+        assert_eq!(t.lookup(7), Some(5));
+        t.bind(5, 9, 1); // rebind drops the old thread's index entry
+        assert_eq!(t.lookup(7), None);
+        assert_eq!(t.lookup(9), Some(5));
     }
 
     #[test]

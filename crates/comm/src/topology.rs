@@ -1,0 +1,128 @@
+//! Inter-cluster grid topology for the N-cluster scale-out.
+//!
+//! The paper's system is a single four-core SPL cluster; up to four
+//! clusters the reproduction keeps the paper's flat arrangement, where the
+//! dedicated barrier bus reaches every remote cluster in one fixed-latency
+//! transfer. Beyond that the clusters tile a near-square mesh: barrier
+//! releases and other cross-cluster traffic pay a per-hop charge for every
+//! Manhattan hop past the first (the bus latency itself covers one hop, so
+//! all quad-and-smaller timing is bit-identical to the pre-grid model).
+
+/// Fixed transfer latency of the inter-cluster barrier bus in cycles
+/// (one bus message; covers the first grid hop).
+pub const BARRIER_BUS_LATENCY: u64 = 8;
+
+/// Extra cycles per grid hop beyond the first on cross-cluster traffic.
+pub const CLUSTER_HOP_LATENCY: u64 = 4;
+
+/// Cluster count up to which the interconnect stays the paper's flat quad
+/// arrangement (no hop charges).
+const QUAD_CLUSTERS: usize = 4;
+
+/// A near-square mesh of SPL clusters.
+///
+/// ```
+/// use remap_comm::ClusterGrid;
+/// let g = ClusterGrid::new(9); // 36 cores: 3x3 clusters
+/// assert_eq!(g.side(), 3);
+/// assert_eq!(g.hops(0, 8), 4); // (0,0) -> (2,2)
+/// assert_eq!(g.release_latency(1, 1), 0, "same cluster: no bus transfer");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterGrid {
+    clusters: usize,
+    side: usize,
+}
+
+impl ClusterGrid {
+    /// A grid of `clusters` tiles, `ceil(sqrt(clusters))` per side.
+    pub fn new(clusters: usize) -> ClusterGrid {
+        let clusters = clusters.max(1);
+        let mut side = 1usize;
+        while side * side < clusters {
+            side += 1;
+        }
+        ClusterGrid { clusters, side }
+    }
+
+    /// Number of cluster tiles.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Grid side length.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Manhattan distance between two cluster tiles.
+    pub fn hops(&self, ca: usize, cb: usize) -> usize {
+        let (xa, ya) = (ca % self.side, ca / self.side);
+        let (xb, yb) = (cb % self.side, cb / self.side);
+        xa.abs_diff(xb) + ya.abs_diff(yb)
+    }
+
+    /// Cycles a barrier release broadcast from cluster `from` takes to
+    /// reach a core in cluster `to`: zero within the cluster, one bus
+    /// transfer on quad-and-smaller systems, and a per-hop surcharge past
+    /// the first hop on larger grids.
+    pub fn release_latency(&self, from: usize, to: usize) -> u64 {
+        if from == to {
+            return 0;
+        }
+        if self.clusters <= QUAD_CLUSTERS {
+            return BARRIER_BUS_LATENCY;
+        }
+        let d = self.hops(from, to).max(1) as u64;
+        BARRIER_BUS_LATENCY + CLUSTER_HOP_LATENCY * (d - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_and_smaller_grids_keep_the_flat_bus() {
+        for clusters in 1..=4 {
+            let g = ClusterGrid::new(clusters);
+            for a in 0..clusters {
+                for b in 0..clusters {
+                    let want = if a == b { 0 } else { BARRIER_BUS_LATENCY };
+                    assert_eq!(g.release_latency(a, b), want, "{clusters}: {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nine_clusters_tile_three_by_three() {
+        let g = ClusterGrid::new(9);
+        assert_eq!(g.side(), 3);
+        assert_eq!(g.hops(0, 1), 1);
+        assert_eq!(g.hops(0, 8), 4);
+        assert_eq!(g.release_latency(0, 1), BARRIER_BUS_LATENCY);
+        assert_eq!(
+            g.release_latency(0, 8),
+            BARRIER_BUS_LATENCY + 3 * CLUSTER_HOP_LATENCY
+        );
+    }
+
+    #[test]
+    fn sixteen_clusters_tile_four_by_four() {
+        let g = ClusterGrid::new(16); // 64 cores
+        assert_eq!(g.side(), 4);
+        assert_eq!(g.hops(0, 15), 6);
+        assert_eq!(
+            g.release_latency(0, 15),
+            BARRIER_BUS_LATENCY + 5 * CLUSTER_HOP_LATENCY
+        );
+    }
+
+    #[test]
+    fn zero_clusters_clamp_to_one() {
+        let g = ClusterGrid::new(0);
+        assert_eq!(g.clusters(), 1);
+        assert_eq!(g.release_latency(0, 0), 0);
+    }
+}

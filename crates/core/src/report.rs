@@ -122,6 +122,11 @@ pub struct RunReport {
     ///
     /// [`System::set_mlp`]: crate::System::set_mlp
     pub mlp: remap_mem::MlpStats,
+    /// Coherence-directory accounting (all zeros under `REMAP_NO_DIR` /
+    /// [`System::set_dir`]`(false)`).
+    ///
+    /// [`System::set_dir`]: crate::System::set_dir
+    pub dir: remap_mem::DirStats,
     /// Host wall-clock seconds spent inside [`System::run`](crate::System::run).
     pub wall_seconds: f64,
 }
@@ -191,6 +196,7 @@ mod tests {
             core_stats: vec![a, b],
             faults: FaultReport::default(),
             mlp: remap_mem::MlpStats::default(),
+            dir: remap_mem::DirStats::default(),
             wall_seconds: 0.002,
         };
         assert_eq!(r.total_committed(), 40);

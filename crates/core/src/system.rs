@@ -2,7 +2,8 @@
 
 use crate::report::{RunError, RunReport};
 use remap_comm::{
-    ArriveOutcome, BarrierBus, BarrierTable, HwBarrierNet, HwQueueNet, ThreadToCoreTable,
+    ArriveOutcome, BarrierBus, BarrierTable, ClusterGrid, HwBarrierNet, HwQueueNet,
+    ThreadToCoreTable,
 };
 use remap_cpu::{BlockedOn, Core, CoreConfig, CorePorts, PortPush};
 use remap_fault::{FaultPlan, FaultReport, Roller, SiteCfg, SiteCounters, SITE_BARRIER, SITE_HWQ};
@@ -150,6 +151,9 @@ struct Env {
     hwq: HwQueueNet,
     hwbar: HwBarrierNet,
     bus: BarrierBus,
+    /// Mesh placement of the SPL clusters: barrier releases to remote
+    /// clusters pay the grid's per-hop surcharge beyond the bus latency.
+    grid: ClusterGrid,
     specs: HashMap<u16, BarrierSpec>,
     pending_releases: Vec<PendingRelease>,
     core_thread: Vec<u32>,
@@ -188,6 +192,9 @@ impl CorePorts for Env {
     }
     fn load_wake(&self, core: usize) -> u64 {
         self.hier.load_wake(core, self.cycle)
+    }
+    fn load_blocked_by_dir(&self, core: usize, addr: u64) -> bool {
+        self.hier.load_blocked_by_dir(core, addr, self.cycle)
     }
 
     fn spl_load(&mut self, core: usize, offset: u8, nbytes: u8, value: u64) -> PortPush {
@@ -595,9 +602,11 @@ impl Env {
                     by_cluster.entry(ci).or_default().push(local);
                 }
                 let local_at = self.cycle + delay;
-                let remote_at = local_at + if multi { 8 } else { 0 };
                 for (ci, locals) in by_cluster {
-                    let at = if ci == cluster { local_at } else { remote_at };
+                    // Zero within the releasing cluster, the bus latency to
+                    // a remote one, plus the mesh's per-hop surcharge on
+                    // grids beyond the paper's quad arrangement.
+                    let at = local_at + self.grid.release_latency(cluster, ci);
                     self.pending_releases.push(PendingRelease {
                         cfg,
                         cluster: ci,
@@ -799,6 +808,7 @@ impl SystemBuilder {
         for &(c, r, v) in &self.init_regs {
             cores[c].set_reg(r, v);
         }
+        let n_clusters = clusters.len();
         System {
             running: (0..cores.len()).collect(),
             last_committed: vec![0; cores.len()],
@@ -823,6 +833,7 @@ impl SystemBuilder {
                 hwq: HwQueueNet::new(self.hwq_queues, self.hwq_capacity),
                 hwbar,
                 bus: BarrierBus::new(8),
+                grid: ClusterGrid::new(n_clusters),
                 specs: self.specs,
                 pending_releases: Vec::new(),
                 core_thread,
@@ -1275,6 +1286,7 @@ impl System {
             core_stats: self.cores.iter().map(|c| c.stats().clone()).collect(),
             faults: self.fault_report(),
             mlp: self.env.hier.mlp_stats(),
+            dir: self.env.hier.dir_stats(),
             wall_seconds: wall_start.elapsed().as_secs_f64(),
         })
     }
@@ -1312,6 +1324,14 @@ impl System {
     /// either way. Resets the hierarchy's MLP counters.
     pub fn set_mlp(&mut self, enabled: bool) {
         self.env.hier.set_mlp(enabled);
+    }
+
+    /// Switches the memory hierarchy between the banked coherence directory
+    /// (full misses probe only actual sharers) and the broadcast snoop walk.
+    /// Timing-plus-routing only: architectural results are identical either
+    /// way. Resets the hierarchy's directory counters.
+    pub fn set_dir(&mut self, enabled: bool) {
+        self.env.hier.set_dir(enabled);
     }
 
     /// Aggregated fault accounting across all sites (all zeros when no plan

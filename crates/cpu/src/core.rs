@@ -140,6 +140,12 @@ pub enum BlockedOn {
         /// Address of the held load.
         line: u64,
     },
+    /// Demand load held because the coherence-directory bank serving the
+    /// line has no free lookup port.
+    DirectoryWait {
+        /// Address of the held load.
+        line: u64,
+    },
     /// Ordinary pipeline activity (not parked on an external resource).
     Pipeline,
     /// The core has committed its halt.
@@ -160,6 +166,9 @@ impl std::fmt::Display for BlockedOn {
             BlockedOn::StoreBuffer => write!(f, "store buffer full"),
             BlockedOn::MshrFull { cache, line } => {
                 write!(f, "{cache} MSHRs full (load {line:#x} held)")
+            }
+            BlockedOn::DirectoryWait { line } => {
+                write!(f, "directory bank busy (load {line:#x} held)")
             }
             BlockedOn::Pipeline => write!(f, "pipeline (no external resource)"),
             BlockedOn::Halted => write!(f, "halted"),
@@ -583,8 +592,9 @@ impl Core {
 
     /// Like [`Core::blocked_on`], but additionally consults the environment
     /// so memory-system holds get named: a head load the hierarchy refuses
-    /// (full MSHR file) reports [`BlockedOn::MshrFull`] instead of the
-    /// generic pipeline bucket.
+    /// reports [`BlockedOn::DirectoryWait`] (no free directory-bank port)
+    /// or [`BlockedOn::MshrFull`] (full MSHR file) instead of the generic
+    /// pipeline bucket.
     pub fn blocked_on_with<P: CorePorts + ?Sized>(&self, ports: &P) -> BlockedOn {
         let b = self.blocked_on();
         if b == BlockedOn::Pipeline {
@@ -592,6 +602,9 @@ impl Core {
                 if e.status == Status::Waiting && e.inst.class() == InstClass::Load {
                     if let LoadPath::Memory(addr) = self.load_check(0) {
                         if !ports.load_ready(self.id, addr) {
+                            if ports.load_blocked_by_dir(self.id, addr) {
+                                return BlockedOn::DirectoryWait { line: addr };
+                            }
                             return BlockedOn::MshrFull {
                                 cache: "L1D",
                                 line: addr,

@@ -90,6 +90,12 @@ pub trait CorePorts {
     fn load_wake(&self, _core: usize) -> u64 {
         u64::MAX
     }
+    /// Whether a refused load is held by coherence-directory bank occupancy
+    /// rather than a full MSHR file (deadlock-report attribution only; the
+    /// default covers environments without a directory).
+    fn load_blocked_by_dir(&self, _core: usize, _addr: u64) -> bool {
+        false
+    }
 }
 
 /// A degenerate environment for unit tests: flat memory with fixed latency

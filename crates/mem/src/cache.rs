@@ -308,6 +308,19 @@ impl Cache {
     pub fn resident_lines(&self) -> usize {
         self.states.iter().filter(|&&s| s != Mesi::Invalid).count()
     }
+
+    /// Line-aligned base address of every resident line (used to reseed
+    /// the coherence directory when it is enabled mid-run).
+    pub fn resident_line_addrs(&self) -> impl Iterator<Item = u64> + '_ {
+        let ways = self.cfg.ways;
+        self.states.iter().enumerate().filter_map(move |(i, &st)| {
+            if st == Mesi::Invalid {
+                return None;
+            }
+            let si = (i / ways) as u64;
+            Some((self.tags[i] << self.tag_shift) | (si << self.line_shift))
+        })
+    }
 }
 
 #[cfg(test)]

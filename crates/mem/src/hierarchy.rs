@@ -1,6 +1,7 @@
 //! The full multi-core memory hierarchy with MESI coherence.
 
 use crate::cache::{Cache, CacheConfig, CacheStats, Mesi};
+use crate::directory::{dir_enabled_from_env, DirStats, Directory};
 use crate::flat::FlatMem;
 use crate::memctl::MemCtl;
 use crate::mshr::MshrFile;
@@ -233,6 +234,7 @@ pub struct Hierarchy {
     bus: BusStats,
     fault: Option<Box<CacheFault>>,
     mlp: Option<Box<Mlp>>,
+    dir: Option<Box<Directory>>,
 }
 
 /// Where a full-miss line fill came from (the timing source).
@@ -254,8 +256,11 @@ impl Hierarchy {
             })
             .collect();
         let enabled = mlp_enabled_from_env(std::env::var("REMAP_NO_MLP").ok().as_deref());
+        let dir_on =
+            n_cores <= 64 && dir_enabled_from_env(std::env::var("REMAP_NO_DIR").ok().as_deref());
         Hierarchy {
             mlp: enabled.then(|| Box::new(Mlp::new(n_cores, &cfg))),
+            dir: dir_on.then(|| Box::new(fresh_dir(n_cores, &cfg))),
             cfg,
             cores,
             mem: FlatMem::new(),
@@ -269,6 +274,33 @@ impl Hierarchy {
     /// (counters reset); disabling restores the blocking-latency model.
     pub fn set_mlp(&mut self, enabled: bool) {
         self.mlp = enabled.then(|| Box::new(Mlp::new(self.cores.len(), &self.cfg)));
+    }
+
+    /// Enables or disables the coherence directory, overriding
+    /// `REMAP_NO_DIR`. Enabling reseeds the sharer sets from the lines
+    /// currently resident in every private L2 (so mid-run activation is
+    /// functionally exact); disabling restores the broadcast snoop walk.
+    /// Core counts above 64 always use the broadcast model.
+    pub fn set_dir(&mut self, enabled: bool) {
+        self.dir = (enabled && self.cores.len() <= 64).then(|| {
+            let mut d = Box::new(fresh_dir(self.cores.len(), &self.cfg));
+            for (i, c) in self.cores.iter().enumerate() {
+                for line in c.l2.resident_line_addrs() {
+                    d.add_sharer(line, i);
+                }
+            }
+            d
+        });
+    }
+
+    /// Whether the directory model is active.
+    pub fn dir_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Directory counters so far (all zeros when the model is off).
+    pub fn dir_stats(&self) -> DirStats {
+        self.dir.as_deref().map(|d| d.stats()).unwrap_or_default()
     }
 
     /// Whether MLP modeling is active.
@@ -334,44 +366,92 @@ impl Hierarchy {
         (*c.l1i.stats(), *c.l1d.stats(), *c.l2.stats())
     }
 
-    /// Quiescence probe: the earliest cycle a *blocking* MSHR file drains.
+    /// Non-mutating (L1D, L2) MESI states of the line containing `addr` in
+    /// one core's private caches (state-equivalence checks in tests).
+    pub fn probe_states(&self, core: usize, addr: u64) -> (Mesi, Mesi) {
+        let c = &self.cores[core];
+        (c.l1d.probe(addr), c.l2.probe(addr))
+    }
+
+    /// Quiescence probe: the earliest cycle a *blocking* MSHR file drains
+    /// or a fully busy directory bank frees a port.
     ///
-    /// MSHR entries free purely as a function of time, so the skip engine
-    /// never needs to tick the hierarchy; the only hierarchy state that can
-    /// gate a core's progress is a completely in-flight L1D file (the core's
+    /// MSHR entries and directory ports free purely as a function of time,
+    /// so the skip engine never needs to tick the hierarchy; the only
+    /// hierarchy state that can gate a core's progress is a completely
+    /// in-flight L1D file or an all-ports-busy directory bank (the core's
     /// next load is refused by [`load_ready`](Self::load_ready) until the
-    /// earliest fill lands). Files with a free or reclaimable register — and
-    /// the blocking model entirely — report nothing. Extra wake points are
-    /// parity-safe; missing ones are not, so this errs conservative.
+    /// earliest fill lands or a port frees). Files and banks with a free
+    /// register/port — and the blocking broadcast model entirely — report
+    /// nothing. Extra wake points are parity-safe; missing ones are not,
+    /// so this errs conservative.
     pub fn next_event(&self, now: u64) -> Option<u64> {
-        let m = self.mlp.as_deref()?;
-        m.files_d.iter().filter_map(|f| f.blocking_wake(now)).min()
+        let mshr = self
+            .mlp
+            .as_deref()
+            .and_then(|m| m.files_d.iter().filter_map(|f| f.blocking_wake(now)).min());
+        let dir = self.dir.as_deref().and_then(|d| d.next_event(now));
+        match (mshr, dir) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Pure issue gate for demand loads: false only when the access would
-    /// full-miss and the core's L1D MSHR file can neither merge it nor
+    /// full-miss and either the directory bank serving the line has no
+    /// free port or the core's L1D MSHR file can neither merge it nor
     /// spare a register. The core holds the load and re-probes; in the
-    /// blocking model this is always true.
+    /// blocking broadcast model this is always true.
     pub fn load_ready(&self, core: usize, addr: u64, now: u64) -> bool {
-        let Some(m) = self.mlp.as_deref() else {
+        if self.mlp.is_none() && self.dir.is_none() {
             return true;
-        };
+        }
         let c = &self.cores[core];
         if c.l1d.probe(addr) != Mesi::Invalid || c.l2.probe(addr) != Mesi::Invalid {
             return true;
         }
+        if let Some(d) = self.dir.as_deref() {
+            if !d.bank_ready(addr, now) {
+                return false;
+            }
+        }
+        let Some(m) = self.mlp.as_deref() else {
+            return true;
+        };
         m.files_d[core].can_accept(c.l1d.line_addr(addr), now)
     }
 
+    /// Whether a refused load is held by directory-bank occupancy rather
+    /// than a full MSHR file (deadlock-report attribution).
+    pub fn load_blocked_by_dir(&self, core: usize, addr: u64, now: u64) -> bool {
+        let Some(d) = self.dir.as_deref() else {
+            return false;
+        };
+        let c = &self.cores[core];
+        c.l1d.probe(addr) == Mesi::Invalid
+            && c.l2.probe(addr) == Mesi::Invalid
+            && !d.bank_ready(addr, now)
+    }
+
     /// Wake point paired with [`load_ready`](Self::load_ready): the
-    /// earliest cycle the core's L1D MSHR file frees a register. Exact —
-    /// the file only mutates during the owning core's own accesses and
-    /// frees purely by time, so a refused load can issue no earlier.
+    /// earliest cycle the core's L1D MSHR file frees a register or a
+    /// blocking directory bank frees a port. The MSHR half is exact (the
+    /// file only mutates during the owning core's own accesses and frees
+    /// purely by time); the directory half may undershoot when another
+    /// core claims the freed port first, which is safe — the refused load
+    /// just re-probes.
     pub fn load_wake(&self, core: usize, now: u64) -> u64 {
-        self.mlp
+        let mshr = self
+            .mlp
             .as_deref()
             .and_then(|m| m.files_d[core].min_done(now))
-            .unwrap_or(u64::MAX)
+            .unwrap_or(u64::MAX);
+        let dir = self
+            .dir
+            .as_deref()
+            .and_then(|d| d.next_event(now))
+            .unwrap_or(u64::MAX);
+        mshr.min(dir)
     }
 
     /// Instruction-fetch timing for the line containing `addr`.
@@ -502,11 +582,17 @@ impl Hierarchy {
             }
             Some(Mesi::Shared) => {
                 // Store to a Shared line: bus upgrade, invalidate remotes.
+                // The upgrade consults the directory, so it pays any
+                // bank-port queue delay (zero uncontended).
                 self.bus.upgrades += 1;
+                let extra = match self.dir.as_deref_mut() {
+                    Some(d) => d.occupy(addr, now + lat as u64) as u32,
+                    None => 0,
+                };
                 self.invalidate_remotes(core, addr);
                 self.cores[core].l1d.set_state(addr, Mesi::Modified);
                 self.cores[core].l2.set_state(addr, Mesi::Modified);
-                Some(lat + self.cfg.upgrade_latency)
+                Some(lat + extra + self.cfg.upgrade_latency)
             }
             Some(Mesi::Invalid) | None => None,
         };
@@ -543,7 +629,7 @@ impl Hierarchy {
         // L1D miss: consult the private L2.
         lat += self.cfg.l2.hit_latency;
         let l2_state = self.cores[core].l2.access(addr);
-        let (fill, src) = match l2_state {
+        let (fill, src, hop) = match l2_state {
             Some(st @ (Mesi::Modified | Mesi::Exclusive)) => {
                 let fill = if write {
                     self.cores[core].l2.set_state(addr, Mesi::Modified);
@@ -551,24 +637,41 @@ impl Hierarchy {
                 } else {
                     st
                 };
-                (fill, None)
+                (fill, None, 0)
             }
             Some(Mesi::Shared) => {
                 let fill = if write {
                     lat += self.cfg.upgrade_latency;
                     self.bus.upgrades += 1;
+                    if let Some(d) = self.dir.as_deref_mut() {
+                        lat += d.occupy(addr, now + lat as u64) as u32;
+                    }
                     self.invalidate_remotes(core, addr);
                     self.cores[core].l2.set_state(addr, Mesi::Modified);
                     Mesi::Modified
                 } else {
                     Mesi::Shared
                 };
-                (fill, None)
+                (fill, None, 0)
             }
             Some(Mesi::Invalid) | None => {
-                // Full miss: snoop the other cores, then memory if needed.
+                // Full miss: consult the directory (or broadcast-snoop the
+                // other cores), then memory if needed.
                 self.bus.snoops += 1;
-                let remote = self.snoop_remotes(core, addr, write);
+                let (remote, hop) = match self.dir.take() {
+                    Some(mut dir) => {
+                        lat += dir.occupy(addr, now + lat as u64) as u32;
+                        let (r, supplier) = self.snoop_sharers(&mut dir, core, addr, write);
+                        let hop = if r == SnoopResult::Nobody {
+                            0
+                        } else {
+                            dir.hop_extra(core, supplier) as u32
+                        };
+                        self.dir = Some(dir);
+                        (r, hop)
+                    }
+                    None => (self.snoop_remotes(core, addr, write), 0),
+                };
                 let (fill, src) = match remote {
                     SnoopResult::SuppliedDirty | SnoopResult::SuppliedClean => {
                         self.bus.c2c_transfers += 1;
@@ -586,7 +689,7 @@ impl Hierarchy {
                     }
                 };
                 self.insert_l2_inclusive(core, addr, fill);
-                (fill, Some(src))
+                (fill, Some(src), hop)
             }
         };
         // One fault roll per full-miss fill: the line just crossed the
@@ -627,14 +730,14 @@ impl Hierarchy {
                     None => {
                         // Blocking model: charge the full round trip inline.
                         let src_lat = match src {
-                            FillSrc::C2c => self.cfg.c2c_latency,
+                            FillSrc::C2c => self.cfg.c2c_latency + hop,
                             FillSrc::Dram => self.cfg.dram_latency,
                         };
                         lat + src_lat + scrub
                     }
                     Some(m) => {
                         let line = addr & !(self.cfg.l1d.line_bytes as u64 - 1);
-                        m.demand_fill(core, line, now, lat, src, scrub, &self.cfg)
+                        m.demand_fill(core, line, now, lat, src, hop, scrub, &self.cfg)
                     }
                 };
                 if pc != PC_NONE {
@@ -681,14 +784,32 @@ impl Hierarchy {
         }
     }
 
-    /// Removes the line from every other core (store path).
+    /// Removes the line from every other core (store path). With the
+    /// directory on, only the cores in the sharer mask are probed; the
+    /// broadcast walk touches everyone. Functionally identical: a clear
+    /// mask bit means the line is absent from that core's L2 and (by
+    /// inclusion) its L1D, so skipping it changes nothing.
     fn invalidate_remotes(&mut self, core: usize, addr: u64) {
-        for (i, c) in self.cores.iter_mut().enumerate() {
-            if i != core {
-                c.l1d.invalidate(addr);
-                c.l2.invalidate(addr);
+        let Some(mut dir) = self.dir.take() else {
+            for (i, c) in self.cores.iter_mut().enumerate() {
+                if i != core {
+                    c.l1d.invalidate(addr);
+                    c.l2.invalidate(addr);
+                }
             }
+            return;
+        };
+        let mut mask = dir.sharers(addr) & !(1u64 << core);
+        let probed = mask.count_ones();
+        dir.count_probes(probed, self.cores.len() as u32 - 1 - probed);
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.cores[i].l1d.invalidate(addr);
+            self.cores[i].l2.invalidate(addr);
+            dir.remove_sharer(addr, i);
         }
+        self.dir = Some(dir);
     }
 
     /// Read/write snoop: downgrades or invalidates remote copies and reports
@@ -703,7 +824,10 @@ impl Hierarchy {
             match st {
                 Mesi::Modified => {
                     // Owner writes back (data is already functionally in
-                    // FlatMem); downgrade or invalidate.
+                    // FlatMem); downgrade or invalidate. MESI guarantees a
+                    // Modified copy is the only copy, so the scan can stop:
+                    // every remaining core holds the line Invalid, and
+                    // probes/invalidates of absent lines are no-ops.
                     if write {
                         c.l1d.invalidate(addr);
                         c.l2.invalidate(addr);
@@ -712,6 +836,7 @@ impl Hierarchy {
                         c.l2.set_state(addr, Mesi::Shared);
                     }
                     result = SnoopResult::SuppliedDirty;
+                    break;
                 }
                 Mesi::Exclusive | Mesi::Shared => {
                     if write {
@@ -731,13 +856,115 @@ impl Hierarchy {
         result
     }
 
+    /// Directory-routed snoop: identical protocol actions to
+    /// [`snoop_remotes`](Self::snoop_remotes) but walking only the sharer
+    /// mask. Returns the result plus the supplier core for grid-hop
+    /// charging (the dirty owner, or the nearest clean sharer by hops;
+    /// `core` itself when nobody supplied).
+    fn snoop_sharers(
+        &mut self,
+        dir: &mut Directory,
+        core: usize,
+        addr: u64,
+        write: bool,
+    ) -> (SnoopResult, usize) {
+        let mut result = SnoopResult::Nobody;
+        let mut supplier = core;
+        let mut best_hops = usize::MAX;
+        let mut mask = dir.sharers(addr) & !(1u64 << core);
+        let probed = mask.count_ones();
+        dir.count_probes(probed, self.cores.len() as u32 - 1 - probed);
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let c = &mut self.cores[i];
+            let st = c.l2.probe(addr).max_with(c.l1d.probe(addr));
+            match st {
+                Mesi::Modified => {
+                    if write {
+                        c.l1d.invalidate(addr);
+                        c.l2.invalidate(addr);
+                        dir.remove_sharer(addr, i);
+                    } else {
+                        c.l1d.set_state(addr, Mesi::Shared);
+                        c.l2.set_state(addr, Mesi::Shared);
+                    }
+                    result = SnoopResult::SuppliedDirty;
+                    supplier = i;
+                    break;
+                }
+                Mesi::Exclusive | Mesi::Shared => {
+                    if write {
+                        c.l1d.invalidate(addr);
+                        c.l2.invalidate(addr);
+                        dir.remove_sharer(addr, i);
+                    } else {
+                        c.l1d.set_state(addr, Mesi::Shared);
+                        c.l2.set_state(addr, Mesi::Shared);
+                    }
+                    if result == SnoopResult::Nobody {
+                        result = SnoopResult::SuppliedClean;
+                    }
+                    let h = dir.hops(core / MC_CLUSTER_CORES, i / MC_CLUSTER_CORES);
+                    if h < best_hops {
+                        best_hops = h;
+                        supplier = i;
+                    }
+                }
+                Mesi::Invalid => {}
+            }
+        }
+        (result, supplier)
+    }
+
     /// Inserts into the L2, invalidating the L1 copy of any evicted line to
-    /// preserve inclusion.
+    /// preserve inclusion. The directory tracks exactly this residency: the
+    /// inserted line gains the core's sharer bit, and an evicted line is
+    /// back-invalidated out of the sharer set.
     fn insert_l2_inclusive(&mut self, core: usize, addr: u64, state: Mesi) {
+        if let Some(d) = self.dir.as_deref_mut() {
+            d.add_sharer(addr, core);
+        }
         if let Some((evicted, _)) = self.cores[core].l2.insert(addr, state) {
             self.cores[core].l1d.invalidate(evicted);
             self.cores[core].l1i.invalidate(evicted);
+            if let Some(d) = self.dir.as_deref_mut() {
+                d.back_invalidate(evicted, core);
+            }
         }
+    }
+
+    /// Directory inclusion invariant check (used by property tests): every
+    /// sharer bit must name a core whose private L2 actually holds the
+    /// line, and every resident L2 line must have its owner's bit set —
+    /// i.e. the directory is exactly the union of the L2 tag arrays.
+    /// `Ok(())` when the directory is disabled.
+    pub fn check_directory_residency(&self) -> Result<(), String> {
+        let Some(dir) = self.dir.as_deref() else {
+            return Ok(());
+        };
+        let mut want: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            for line in c.l2.resident_line_addrs() {
+                *want.entry(line).or_insert(0) |= 1u64 << i;
+            }
+        }
+        if want.len() != dir.tracked_lines() {
+            return Err(format!(
+                "directory tracks {} lines but the L2s hold {}",
+                dir.tracked_lines(),
+                want.len()
+            ));
+        }
+        for (line, mask) in want {
+            let got = dir.sharers(line);
+            if got != mask {
+                return Err(format!(
+                    "line {line:#x}: directory mask {got:#b} != L2 residency {mask:#b}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Global MESI invariant check (used by property tests): for every line
@@ -786,6 +1013,7 @@ impl Mlp {
         now: u64,
         pipe_lat: u32,
         src: FillSrc,
+        hop: u32,
         scrub: u32,
         cfg: &HierarchyConfig,
     ) -> u32 {
@@ -802,7 +1030,7 @@ impl Mlp {
             return (mg.done_at - now) as u32;
         }
         let done = match src {
-            FillSrc::C2c => pipe_done + cfg.c2c_latency as u64,
+            FillSrc::C2c => pipe_done + (cfg.c2c_latency + hop) as u64,
             FillSrc::Dram => {
                 self.mcs[core / MC_CLUSTER_CORES].request(pipe_done, line, cfg.dram_latency)
             }
@@ -813,6 +1041,15 @@ impl Mlp {
         self.files_d[core].alloc(line, done, now, false);
         (done - now) as u32
     }
+}
+
+/// A directory pre-sized so the sharer map never reallocates: residency
+/// is bounded by the sum of all private-L2 capacities (entries vanish
+/// when their last sharer bit clears), so `n_cores × l2_lines` keys is a
+/// hard ceiling on the live length.
+fn fresh_dir(n_cores: usize, cfg: &HierarchyConfig) -> Directory {
+    let l2_lines = cfg.l2.sets() * cfg.l2.ways;
+    Directory::new(n_cores, cfg.l2.line_bytes, n_cores * l2_lines)
 }
 
 /// Hit-path MLP accounting shared by L1D, L2, and L1I hits.
@@ -865,9 +1102,12 @@ impl MesiMax for Mesi {
 mod tests {
     use super::*;
 
+    use crate::directory::GRID_HOP_LATENCY;
+
     fn h2() -> Hierarchy {
         let mut h = Hierarchy::new(2, HierarchyConfig::default());
         h.set_mlp(true); // deterministic under REMAP_NO_MLP in the test env
+        h.set_dir(true); // deterministic under REMAP_NO_DIR in the test env
         h
     }
 
@@ -1068,17 +1308,140 @@ mod tests {
 
     #[test]
     fn no_mlp_latencies_match_the_blocking_model() {
-        // The MLP model is timing-only and the blocking path is untouched:
-        // with it disabled, every canonical latency is the pre-MLP value
-        // even with a stale `now`.
+        // The MLP and directory models are timing-only and the blocking
+        // broadcast path is untouched: with both disabled, every canonical
+        // latency is the reference value even with a stale `now` (the
+        // directory would charge bank-port queueing for these overlapped
+        // same-bank lookups; the idealized atomic bus does not).
         let mut h = h2();
         h.set_mlp(false);
+        h.set_dir(false);
         assert_eq!(h.load(0, 0x100, 4, PC_NONE, 0).1, 212, "cold DRAM");
         assert_eq!(h.load(0, 0x104, 4, PC_NONE, 0).1, 2, "L1 hit");
         assert_eq!(h.load(1, 0x2000, 4, PC_NONE, 0).1, 212);
         assert_eq!(h.store(1, 0x2000, 4, 1, 0), 2, "silent E->M");
         assert_eq!(h.load(0, 0x2000, 4, PC_NONE, 0).1, 32, "c2c transfer");
         assert_eq!(h.mlp_stats(), MlpStats::default());
+        assert_eq!(h.dir_stats(), DirStats::default());
+    }
+
+    #[test]
+    fn uncontended_directory_latencies_match_the_broadcast_model() {
+        // A directory lookup is pipelined behind the L1+L2 traversal:
+        // without a bank conflict it costs nothing, so properly sequenced
+        // accesses see the exact pinned latencies of the reference model.
+        let mut h = h2();
+        assert!(h.dir_enabled(), "directory is on by default");
+        let t = h.store(0, 0x100, 4, 7, 0) as u64;
+        assert_eq!(t, 212, "cold store miss");
+        let (v, lat) = h.load(1, 0x100, 4, PC_NONE, t);
+        assert_eq!((v, lat), (7, 32), "c2c supply through the sharer mask");
+        let lat = h.store(0, 0x100, 4, 9, t + lat as u64);
+        assert_eq!(lat, 2 + 10, "upgrade through the directory");
+        let s = h.dir_stats();
+        assert_eq!(s.bank_conflicts, 0);
+        assert_eq!(s.conflict_cycles, 0);
+        assert!(s.lookups >= 3);
+        assert_eq!(s.probes_sent, 2, "one snoop probe + one invalidate");
+        h.check_mesi_invariants(&[0x100]).unwrap();
+    }
+
+    #[test]
+    fn directory_filters_probes_and_matches_broadcast() {
+        // The same access stream through the directory and the broadcast
+        // walk: identical values, identical cache/bus counters, identical
+        // MESI states — the directory only filters who gets probed.
+        let ops: Vec<(usize, u64, bool)> = (0..200u64)
+            .map(|i| {
+                let core = (i % 4) as usize;
+                let addr = 0x1000 + (i * 37 % 23) * 32;
+                (core, addr, i % 3 == 0)
+            })
+            .collect();
+        let run = |dir: bool| {
+            let mut h = Hierarchy::new(4, HierarchyConfig::default());
+            h.set_mlp(true);
+            h.set_dir(dir);
+            let mut t = 0u64;
+            let mut vals = Vec::new();
+            for (i, &(core, addr, write)) in ops.iter().enumerate() {
+                if write {
+                    t += h.store(core, addr, 4, i as u64, t) as u64;
+                } else {
+                    let (v, lat) = h.load(core, addr, 4, PC_NONE, t);
+                    vals.push(v);
+                    t += lat as u64;
+                }
+            }
+            (h, vals)
+        };
+        let (hd, vd) = run(true);
+        let (hb, vb) = run(false);
+        assert_eq!(vd, vb, "loaded values are timing-independent");
+        let addrs: Vec<u64> = (0..23u64).map(|k| 0x1000 + k * 32).collect();
+        hd.check_mesi_invariants(&addrs).unwrap();
+        for c in 0..4 {
+            assert_eq!(hd.cache_stats(c), hb.cache_stats(c), "core {c}");
+        }
+        assert_eq!(hd.bus_stats(), hb.bus_stats());
+        let s = hd.dir_stats();
+        assert!(s.probes_avoided > 0, "the filter actually filtered: {s:?}");
+        assert!(s.probes_sent > 0);
+    }
+
+    #[test]
+    fn enabling_the_directory_mid_run_reseeds_residency() {
+        let mut h = h2();
+        h.set_dir(false);
+        let t = h.store(0, 0x100, 4, 7, 0) as u64;
+        let t = t + h.load(1, 0x100, 4, PC_NONE, t).1 as u64; // both Shared
+        h.set_dir(true);
+        let s0 = h.dir_stats();
+        assert_eq!((s0.lookups, s0.probes_sent), (0, 0), "counters reset");
+        assert_eq!(s0.max_sharers, 2, "reseed found both resident copies");
+        // The reseeded mask routes the upgrade to exactly core 1.
+        let lat = h.store(0, 0x100, 4, 9, t);
+        assert_eq!(lat, 2 + 10);
+        assert_eq!(h.cores[1].l1d.probe(0x100), Mesi::Invalid);
+        assert_eq!(h.dir_stats().probes_sent, 1);
+        h.check_mesi_invariants(&[0x100]).unwrap();
+    }
+
+    #[test]
+    fn directory_bank_conflicts_gate_and_wake_loads() {
+        // Two overlapped full misses to the same directory bank fill both
+        // ports; a third load to that bank is refused until a port frees,
+        // and the wake is published through next_event.
+        let mut h = h2();
+        h.set_mlp(false); // isolate the directory gate from the MSHR gate
+        assert!(h.load_ready(0, 0x1000, 0));
+        h.load(0, 0x1000, 4, PC_NONE, 0); // bank 0, port 0 (t_req 12)
+        h.load(1, 0x2000, 4, PC_NONE, 0); // bank 0, port 1 (t_req 12)
+        assert!(!h.load_ready(0, 0x4000, 12), "bank 0 has no free port");
+        assert!(h.load_blocked_by_dir(0, 0x4000, 12));
+        assert!(h.load_ready(0, 0x4020, 12), "bank 1 is free");
+        let wake = h.load_wake(0, 12);
+        assert_eq!(h.next_event(12), Some(wake));
+        assert!(h.load_ready(0, 0x4000, wake));
+        assert!(!h.load_blocked_by_dir(0, 0x4000, wake));
+        assert_eq!(h.dir_stats().lookups, 2);
+    }
+
+    #[test]
+    fn grid_hops_extend_c2c_transfers() {
+        // 36 cores = 9 clusters on a 3x3 grid: a transfer from cluster 0
+        // to cluster 8 is 4 hops, 3 of them charged beyond the baseline.
+        let mut h = Hierarchy::new(36, HierarchyConfig::default());
+        h.set_mlp(false);
+        h.set_dir(true);
+        let t = h.store(0, 0x100, 4, 7, 0) as u64;
+        let (v, lat) = h.load(35, 0x100, 4, PC_NONE, t);
+        assert_eq!(v, 7);
+        assert_eq!(lat, 32 + 3 * GRID_HOP_LATENCY as u32);
+        assert_eq!(h.dir_stats().hop_cycles, 3 * GRID_HOP_LATENCY);
+        // Same-cluster transfers stay at the baseline.
+        let (_, lat) = h.load(1, 0x100, 4, PC_NONE, t + lat as u64);
+        assert_eq!(lat, 32, "nearest sharer supplies without hop charges");
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! state; `REMAP_NO_MLP=1` or [`Hierarchy::set_mlp`] restore the blocking
 //! latency model exactly.
 //!
+//! Full misses route through a banked sharer [`Directory`] by default, so
+//! only actual sharers are probed instead of every core, with inter-cluster
+//! grid-hop charges beyond 16 cores (see DESIGN.md §17). `REMAP_NO_DIR=1`
+//! or [`Hierarchy::set_dir`] restore the broadcast snoop walk.
+//!
 //! ```
 //! use remap_mem::{Hierarchy, HierarchyConfig, PC_NONE};
 //!
@@ -35,6 +40,7 @@
 //! ```
 
 mod cache;
+mod directory;
 mod flat;
 mod hierarchy;
 mod memctl;
@@ -42,6 +48,10 @@ mod mshr;
 mod prefetch;
 
 pub use cache::{Cache, CacheConfig, CacheStats, Mesi};
+pub use directory::{
+    dir_enabled_from_env, DirStats, Directory, DIR_BANKS, DIR_BANK_BUSY, DIR_PORTS,
+    GRID_HOP_LATENCY,
+};
 pub use flat::FlatMem;
 pub use hierarchy::{
     mlp_enabled_from_env, BusStats, CacheFault, Hierarchy, HierarchyConfig, MlpConfig, MlpStats,

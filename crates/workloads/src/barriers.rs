@@ -185,17 +185,18 @@ impl BarrierBench {
     /// # Panics
     ///
     /// Panics on unsupported shapes (non-power-of-two LL2/LL3 sizes,
-    /// `RemapComp` on LL2/LL6, more than 16 threads).
+    /// `RemapComp` on LL2/LL6 or beyond 16 threads, more than 64 threads).
     pub fn build(self, mode: BarrierMode, n: usize) -> System {
         let p = mode.threads();
-        assert!((1..=16).contains(&p), "1-16 threads supported, got {p}");
+        assert!((1..=64).contains(&p), "1-64 threads supported, got {p}");
         if matches!(mode, BarrierMode::Remap(_) | BarrierMode::RemapComp(_)) {
-            // SPL clusters come in power-of-two shapes; software and ideal
+            // SPL clusters come in power-of-two shapes, and the grid adds
+            // whole quad clusters (16/36/64 cores); software and ideal
             // hardware barriers work for any count (e.g. the 6-core
             // homogeneous cluster of §V-C.2).
             assert!(
-                p.is_power_of_two(),
-                "SPL modes need power-of-two threads, got {p}"
+                p.is_power_of_two() || p.is_multiple_of(4),
+                "SPL modes need power-of-two or whole-cluster threads, got {p}"
             );
         }
         if matches!(mode, BarrierMode::RemapComp(_)) {
@@ -204,6 +205,9 @@ impl BarrierBench {
                 "{} has no Barrier+Comp variant",
                 self.name()
             );
+            // The integrated-computation combining tree is the paper's
+            // 3-stage regional scheme, which tops out at four clusters.
+            assert!(p <= 16, "Barrier+Comp supports at most 16 threads");
         }
         match self {
             BarrierBench::Ll2 | BarrierBench::Ll3 => {
@@ -1035,6 +1039,20 @@ mod tests {
             .run(BarrierMode::RemapComp(16), 32)
             .unwrap();
         assert!(m.cycles > 0);
+    }
+
+    #[test]
+    fn thirty_six_threads_grid_of_nine_clusters() {
+        let m = BarrierBench::Dijkstra
+            .run(BarrierMode::Remap(36), 40)
+            .unwrap();
+        assert!(m.cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 16")]
+    fn comp_rejected_beyond_four_clusters() {
+        let _ = BarrierBench::Dijkstra.build(BarrierMode::RemapComp(36), 40);
     }
 
     #[test]

@@ -102,6 +102,17 @@ pub fn extended() -> Vec<(String, System)> {
         "ll3 [barrier:16]".to_string(),
         BarrierBench::Ll3.build(BarrierMode::Remap(16), 64),
     ));
+    // Mesh grids beyond the paper's quad arrangement: 9 clusters (36
+    // threads) and 16 clusters (64 threads) on the directory-based
+    // hierarchy with inter-cluster hop charges.
+    v.push((
+        "ll3 [barrier:36]".to_string(),
+        BarrierBench::Ll3.build(BarrierMode::Remap(36), 64),
+    ));
+    v.push((
+        "dijkstra [barrier:64]".to_string(),
+        BarrierBench::Dijkstra.build(BarrierMode::Remap(64), 64),
+    ));
     // Queue faults on the communication benchmarks.
     let mut comm_plan = FaultPlan::quiet(0xC0FFEE);
     comm_plan.hwq_drop = SiteCfg::rate(2_000);
@@ -156,6 +167,8 @@ mod tests {
         let labels: BTreeSet<&str> = v.iter().map(|(l, _)| l.as_str()).collect();
         assert_eq!(labels.len(), v.len());
         assert!(labels.contains("ll3 [barrier:16]"));
+        assert!(labels.contains("ll3 [barrier:36]"));
+        assert!(labels.contains("dijkstra [barrier:64]"));
         assert!(labels.iter().any(|l| l.ends_with(", faulted]")));
     }
 }

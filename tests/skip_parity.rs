@@ -95,6 +95,7 @@ fn assert_parity(
         rs.mlp, rt.mlp,
         "{label}: MSHR/prefetch/memory-controller counters diverged"
     );
+    assert_eq!(rs.dir, rt.dir, "{label}: directory counters diverged");
     rs
 }
 
@@ -223,4 +224,65 @@ fn multi_cluster_barrier_skip_parity() {
             assert_parity(&label, b.build(m, n), b.build(m, n));
         }
     }
+}
+
+/// Grid scale-out parity: 36- and 64-core meshes route full misses through
+/// the banked directory (bank-port wake points published via
+/// `quiescent_wake`) and stagger barrier releases by Manhattan hops. The
+/// contract is unchanged: skipping is bit-identical to ticking, and the
+/// directory must actually be filtering (non-vacuous counters).
+#[test]
+fn grid_skip_parity_16_36_64_cores() {
+    let mut total_avoided = 0;
+    for b in [BarrierBench::Ll3, BarrierBench::Dijkstra] {
+        let n = match b {
+            BarrierBench::Dijkstra => 40,
+            _ => 64,
+        };
+        for p in [16, 36, 64] {
+            let m = BarrierMode::Remap(p);
+            let label = format!("{b:?} {m:?}");
+            let rs = assert_parity(&label, b.build(m, n), b.build(m, n));
+            total_avoided += rs.dir.probes_avoided;
+        }
+    }
+    assert!(
+        total_avoided > 0,
+        "directory avoided zero probes across all grid runs; the filter is vacuous"
+    );
+}
+
+/// The directory is timing-plus-routing only, so a dir-off (broadcast
+/// reference) grid run must satisfy the same skip/tick parity — including
+/// under fault injection, where wake points interact with event-indexed
+/// fault draws.
+#[test]
+fn grid_skip_parity_broadcast_reference() {
+    use remap_suite::fault::{FaultPlan, SiteCfg};
+
+    let no_dir = |mut sys: System| {
+        sys.set_dir(false);
+        sys
+    };
+    let b = BarrierBench::Ll3;
+    for p in [16, 36] {
+        let m = BarrierMode::Remap(p);
+        let label = format!("{b:?} {m:?} no-dir");
+        let rs = assert_parity(&label, no_dir(b.build(m, 64)), no_dir(b.build(m, 64)));
+        assert_eq!(rs.dir, Default::default(), "{label}: dir counters not zero");
+    }
+    let mut plan = FaultPlan::quiet(0xFA_17);
+    plan.cache_corrupt = SiteCfg::rate(25_000);
+    plan.barrier_delay = SiteCfg::rate(100_000);
+    let faulted = |mut sys: System| {
+        sys.set_fault_plan(&plan);
+        sys
+    };
+    let m = BarrierMode::Remap(36);
+    let label = "Ll3 Remap(36) faulted";
+    let rs = assert_parity(label, faulted(b.build(m, 64)), faulted(b.build(m, 64)));
+    assert!(
+        rs.faults.total_injected() > 0,
+        "faulted 36-core grid run injected nothing; the check is vacuous"
+    );
 }
