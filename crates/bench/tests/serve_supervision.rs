@@ -1,0 +1,178 @@
+//! Supervision contract of the sweep service, exercised over real
+//! sockets: stalled clients are timed out, a client disconnecting
+//! mid-stream cancels its sweep without poisoning the queue, `health`
+//! answers while a sweep is in flight, per-request budgets trip as
+//! `+err deadline exceeded` on a live connection, and `shutdown` drains.
+
+use remap_bench::serve::{submit, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn start_server(client_timeout: Duration) -> (SocketAddr, JoinHandle<Result<(), String>>) {
+    let server = Server::bind("127.0.0.1:0")
+        .expect("bind ephemeral port")
+        .with_client_timeout(client_timeout);
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run(2)))
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    // A client-side deadline so a supervision bug fails the test instead
+    // of hanging it.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn send(stream: &mut TcpStream, line: &str) {
+    stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+    stream.flush().unwrap();
+}
+
+/// Reads one framed response: a single `+ok`/`+err` line, or a
+/// `+begin`…(`+end`|`+err`) frame.
+fn read_frame(reader: &mut BufReader<TcpStream>) -> Vec<String> {
+    let mut frame = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read frame line");
+        if n == 0 {
+            panic!("connection closed mid-frame: {frame:?}");
+        }
+        let line = line.trim_end().to_string();
+        let done = line.starts_with("+ok") || line.starts_with("+end") || line.starts_with("+err");
+        frame.push(line);
+        if done {
+            return frame;
+        }
+    }
+}
+
+fn shutdown_and_join(addr: SocketAddr, server: JoinHandle<Result<(), String>>, how: &str) {
+    let (mut c, mut r) = connect(addr);
+    send(&mut c, how);
+    let frame = read_frame(&mut r);
+    assert_eq!(frame, vec!["+ok bye".to_string()]);
+    server
+        .join()
+        .expect("server thread")
+        .expect("server run result");
+}
+
+#[test]
+fn stalled_client_is_timed_out_and_the_service_survives() {
+    let (addr, server) = start_server(Duration::from_millis(300));
+    // A client that connects and then says nothing: the read deadline
+    // must close it, not wedge the service.
+    let (stalled, mut stalled_reader) = connect(addr);
+    let mut line = String::new();
+    let n = stalled_reader.read_line(&mut line).expect("server answers");
+    assert!(
+        n == 0 || line.starts_with("+err read deadline"),
+        "stalled client was cut loose, got: {line:?}"
+    );
+    drop(stalled);
+    // The service is still healthy for the next client.
+    let (mut c, mut r) = connect(addr);
+    send(&mut c, "ping");
+    assert_eq!(read_frame(&mut r), vec!["+ok pong".to_string()]);
+    drop((c, r));
+    shutdown_and_join(addr, server, "shutdown");
+}
+
+#[test]
+fn disconnect_mid_sweep_cancels_and_a_queued_request_completes() {
+    let (addr, server) = start_server(Duration::from_secs(10));
+    // Client A starts a sweep, sees the frame open, and vanishes.
+    let (mut a, mut a_reader) = connect(addr);
+    send(&mut a, "sweep ll2 barrier:2 8 16 32 64");
+    let mut line = String::new();
+    a_reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("+begin sweep 4"), "{line:?}");
+    drop((a, a_reader));
+    // Client B's sweep queues behind A's at the turnstile; it can only
+    // complete if A's broken pipe cancelled A's sweep and tore down its
+    // worker pool.
+    let mut out = Vec::new();
+    let ok = submit(&addr.to_string(), "sweep ll2 barrier:2 8", &mut out).expect("submit");
+    let text = String::from_utf8(out).unwrap();
+    assert!(ok, "queued sweep completes after the disconnect: {text}");
+    assert!(text.contains("+end sweep 1"), "{text}");
+    shutdown_and_join(addr, server, "shutdown");
+}
+
+#[test]
+fn health_answers_while_a_sweep_is_in_flight() {
+    let (addr, server) = start_server(Duration::from_secs(10));
+    let (mut a, mut a_reader) = connect(addr);
+    send(&mut a, "sweep ll2 barrier:2 8 16 32");
+    let mut line = String::new();
+    a_reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("+begin"), "{line:?}");
+    // On a second connection, health must answer immediately — it never
+    // waits at the sweep turnstile.
+    let (mut h, mut h_reader) = connect(addr);
+    send(&mut h, "health");
+    let frame = read_frame(&mut h_reader);
+    assert_eq!(frame.len(), 1, "{frame:?}");
+    assert!(frame[0].starts_with("+ok health queue="), "{frame:?}");
+    assert!(frame[0].contains("uptime="), "{frame:?}");
+    drop((h, h_reader));
+    // A's frame still completes in order.
+    let frame = read_frame(&mut a_reader);
+    assert!(
+        frame.last().unwrap().starts_with("+end sweep 3"),
+        "{frame:?}"
+    );
+    drop((a, a_reader));
+    shutdown_and_join(addr, server, "shutdown");
+}
+
+#[test]
+fn request_budget_trips_and_the_connection_survives() {
+    let (addr, server) = start_server(Duration::from_secs(10));
+    let (mut c, mut r) = connect(addr);
+    // A zero-second budget trips at the first item boundary.
+    send(&mut c, "sweep ll2 barrier:2 8 16 timeout=0");
+    let frame = read_frame(&mut r);
+    assert!(frame[0].starts_with("+begin sweep 2"), "{frame:?}");
+    assert_eq!(frame.last().unwrap(), "+err deadline exceeded", "{frame:?}");
+    // Same connection, next request: the queue was preserved.
+    send(&mut c, "ping");
+    assert_eq!(read_frame(&mut r), vec!["+ok pong".to_string()]);
+    send(&mut c, "sweep ll2 barrier:2 8");
+    let frame = read_frame(&mut r);
+    assert!(
+        frame.last().unwrap().starts_with("+end sweep 1"),
+        "{frame:?}"
+    );
+    drop((c, r));
+    shutdown_and_join(addr, server, "shutdown");
+}
+
+#[test]
+fn shutdown_now_returns_immediately() {
+    let (addr, server) = start_server(Duration::from_secs(10));
+    let (mut c, mut r) = connect(addr);
+    send(&mut c, "ping");
+    assert_eq!(read_frame(&mut r), vec!["+ok pong".to_string()]);
+    drop((c, r));
+    shutdown_and_join(addr, server, "shutdown now");
+}
+
+#[test]
+fn submit_retries_connect_to_a_dead_address_in_bounded_time() {
+    // Bind-then-drop yields a port that refuses connections.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let mut out = Vec::new();
+    let e = submit(&format!("127.0.0.1:{port}"), "ping", &mut out).unwrap_err();
+    assert!(e.contains("after 3 attempts"), "{e}");
+}

@@ -48,11 +48,15 @@ fn print_usage() {
     println!("  remap list                          list benchmarks and modes");
     println!("  remap table1                        print Table I (relative area/power)");
     println!("  remap run <bench> <mode> [size]     run one validated workload");
+    println!("      --checkpoint <file>  snapshot the run at least every --every cycles");
+    println!("      --every <cycles>     checkpoint cadence (default 1000000)");
+    println!("      --resume <file>      restore from a snapshot (or its .prev) first");
     println!("  remap sweep <bench> <mode> [sizes]  sweep a barrier workload");
     println!("  remap bench <target>                regenerate a paper figure (parallel sweep)");
     println!("  remap serve <addr>                  run the sweep service on a local socket");
     println!("  remap submit <addr> <request...>    send one request to a running service");
-    println!("      requests: ping | faultsweep | sweep <bench> <mode> <sizes...> | shutdown");
+    println!("      requests: ping | health | faultsweep |");
+    println!("                sweep <bench> <mode> <sizes...> [timeout=<secs>] | shutdown [now]");
     println!("  remap verify [bench] [options]      statically verify workload programs");
     println!("      --all             also check multi-cluster grids and faulted plans");
     println!("      --format <f>      output format: text (default) or json");
@@ -138,15 +142,92 @@ fn report(name: &str, mode: &str, n: usize, m: &Measurement) {
     println!("  energy*delay {:.3e} pJ*cycles", m.ed());
 }
 
+/// Parsed `remap run` arguments beyond `<bench> <mode>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RunOpts {
+    n: Option<usize>,
+    /// Write a snapshot here at least every `every` simulated cycles.
+    checkpoint: Option<std::path::PathBuf>,
+    every: u64,
+    /// Restore from this snapshot (or its `.prev` generation) before running.
+    resume: Option<std::path::PathBuf>,
+}
+
+const RUN_USAGE: &str = "usage: remap run <bench> <mode> [size] \
+    [--checkpoint <file>] [--every <cycles>] [--resume <file>]";
+
+/// Default checkpoint cadence in simulated cycles when `--every` is omitted.
+const DEFAULT_CKPT_EVERY: u64 = 1_000_000;
+
+fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
+    let mut o = RunOpts {
+        n: None,
+        checkpoint: None,
+        every: DEFAULT_CKPT_EVERY,
+        resume: None,
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--checkpoint" => match it.next() {
+                Some(p) => o.checkpoint = Some(p.into()),
+                None => return Err("--checkpoint needs a file".into()),
+            },
+            "--every" => match it.next() {
+                Some(v) => {
+                    o.every =
+                        v.parse::<u64>().ok().filter(|&e| e > 0).ok_or_else(|| {
+                            format!("--every needs a positive cycle count, got `{v}`")
+                        })?
+                }
+                None => return Err("--every needs a cycle count".into()),
+            },
+            "--resume" => match it.next() {
+                Some(p) => o.resume = Some(p.into()),
+                None => return Err("--resume needs a file".into()),
+            },
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{RUN_USAGE}"))
+            }
+            s => {
+                if o.n.is_some() {
+                    return Err("at most one size argument".into());
+                }
+                o.n = Some(s.parse().map_err(|_| format!("bad size `{s}`"))?);
+            }
+        }
+    }
+    Ok(o)
+}
+
+/// Runs a built system under the checkpoint/resume options and validates it,
+/// producing the same [`Measurement`] a plain bench run would. The plain
+/// path (no options) goes through the bench's own `run` instead.
+fn run_supervised(
+    mut sys: remap::System,
+    max_cycles: u64,
+    opts: &RunOpts,
+    check: impl FnOnce(&remap::System) -> Result<(), String>,
+) -> Result<Measurement, String> {
+    if let Some(path) = &opts.resume {
+        let snap = remap::Snapshot::read_with_fallback(path).map_err(|e| e.to_string())?;
+        sys.restore(&snap).map_err(|e| e.to_string())?;
+        println!("resumed from {} at cycle {}", path.display(), sys.cycle());
+    }
+    let report = match &opts.checkpoint {
+        Some(path) => sys.run_with_checkpoints(max_cycles, opts.every, path),
+        None => sys.run(max_cycles),
+    }
+    .map_err(|e| e.to_string())?;
+    remap_workloads::measure_checked(&sys, &report, check)
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let [bench, mode, rest @ ..] = args else {
-        return Err("usage: remap run <bench> <mode> [size]".into());
+        return Err(RUN_USAGE.into());
     };
-    let n: Option<usize> = match rest {
-        [] => None,
-        [s] => Some(s.parse().map_err(|_| format!("bad size `{s}`"))?),
-        _ => return Err("too many arguments".into()),
-    };
+    let opts = parse_run_opts(rest)?;
+    let supervised = opts.checkpoint.is_some() || opts.resume.is_some();
     if let Some(b) = CompBench::ALL.iter().find(|b| b.name() == bench) {
         let m = match mode.as_str() {
             "seq" => CompMode::SeqOoo1,
@@ -154,8 +235,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "spl" => CompMode::Spl,
             other => return Err(format!("unknown computation mode `{other}`")),
         };
-        let n = n.unwrap_or(2048);
-        let meas = b.run(m, n)?;
+        let n = opts.n.unwrap_or(2048);
+        let meas = if supervised {
+            run_supervised(b.build(m, n), 80_000_000, &opts, |s| b.check(s, n))
+                .map_err(|e| format!("{} [{mode}]: {e}", b.name()))?
+        } else {
+            b.run(m, n)?
+        };
         report(b.name(), mode, n, &meas);
         return Ok(());
     }
@@ -170,8 +256,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "swq" => CommMode::SwQueue2T,
             other => return Err(format!("unknown communication mode `{other}`")),
         };
-        let n = n.unwrap_or(2048);
-        let meas = b.run(m, n)?;
+        let n = opts.n.unwrap_or(2048);
+        let meas = if supervised {
+            run_supervised(b.build(m, n), 200_000_000, &opts, |s| b.check(s, n))
+                .map_err(|e| format!("{} [{mode}]: {e}", b.name()))?
+        } else {
+            b.run(m, n)?
+        };
         report(b.name(), mode, n, &meas);
         return Ok(());
     }
@@ -180,11 +271,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .find(|b| b.name().eq_ignore_ascii_case(bench))
     {
         let m = parse_barrier_mode(mode)?;
-        let n = n.unwrap_or(match b {
+        let n = opts.n.unwrap_or(match b {
             BarrierBench::Dijkstra => 120,
             _ => 128,
         });
-        let meas = b.run(m, n)?;
+        let meas = if supervised {
+            run_supervised(b.build(m, n), 400_000_000, &opts, |s| b.check(s, n))
+                .map_err(|e| format!("{} [{mode}] n={n}: {e}", b.name()))?
+        } else {
+            b.run(m, n)?
+        };
         report(b.name(), mode, n, &meas);
         println!(
             "  per-iteration {:.0} cycles ({} iterations)",
@@ -273,7 +369,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let server = remap_bench::serve::Server::bind(addr)?;
     println!(
         "remap sweep service listening on {} ({jobs} jobs); requests: \
-         ping | faultsweep | sweep <bench> <mode> <sizes...> | shutdown",
+         ping | health | faultsweep | sweep <bench> <mode> <sizes...> \
+         [timeout=<secs>] | shutdown [now]",
         server.local_addr()
     );
     server.run(jobs)
@@ -524,6 +621,94 @@ mod tests {
         assert!(err(&["--format", "yaml"]).contains("yaml"));
         assert!(err(&["--nope"]).contains("--nope"));
         assert!(err(&["a", "b"]).contains("at most one"));
+    }
+
+    #[test]
+    fn run_opts_parsing() {
+        let ok = |v: &[&str]| {
+            parse_run_opts(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+        };
+        let err = |v: &[&str]| {
+            parse_run_opts(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
+        };
+        let p = ok(&[]);
+        assert_eq!(p.n, None);
+        assert!(p.checkpoint.is_none() && p.resume.is_none());
+        assert_eq!(p.every, DEFAULT_CKPT_EVERY);
+        let p = ok(&[
+            "64",
+            "--checkpoint",
+            "c.snap",
+            "--every",
+            "5000",
+            "--resume",
+            "r.snap",
+        ]);
+        assert_eq!(p.n, Some(64));
+        assert_eq!(
+            p.checkpoint.as_deref(),
+            Some(std::path::Path::new("c.snap"))
+        );
+        assert_eq!(p.every, 5000);
+        assert_eq!(p.resume.as_deref(), Some(std::path::Path::new("r.snap")));
+        assert!(err(&["--checkpoint"]).contains("needs a file"));
+        assert!(err(&["--every", "0"]).contains("positive"));
+        assert!(err(&["--every", "x"]).contains('x'));
+        assert!(err(&["--bogus"]).contains("--bogus"));
+        assert!(err(&["1", "2"]).contains("at most one"));
+    }
+
+    #[test]
+    fn run_command_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("remap-cli-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("wc.snap");
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // A tight cadence guarantees at least one snapshot lands on disk.
+        cmd_run(&s(&[
+            "wc",
+            "seq",
+            "64",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--every",
+            "500",
+        ]))
+        .expect("checkpointed run validates");
+        assert!(ckpt.exists(), "a checkpoint file was written");
+        // Resuming from the final snapshot must re-validate cleanly.
+        cmd_run(&s(&["wc", "seq", "64", "--resume", ckpt.to_str().unwrap()]))
+            .expect("resumed run validates");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_command_refuses_foreign_snapshot() {
+        let dir = std::env::temp_dir().join(format!("remap-cli-foreign-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("wc.snap");
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        cmd_run(&s(&[
+            "wc",
+            "seq",
+            "64",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--every",
+            "500",
+        ]))
+        .unwrap();
+        // A different size is a different configuration: refuse the snapshot.
+        let e = cmd_run(&s(&[
+            "wc",
+            "seq",
+            "128",
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ]))
+        .expect_err("foreign snapshot must be refused");
+        assert!(e.contains("snapshot"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Crash/restore contract of `remap run --checkpoint`: a run SIGKILLed
+//! mid-flight leaves a restorable snapshot behind, and resuming from it
+//! reproduces the uninterrupted run's report byte for byte — including
+//! when the kill tore the newest snapshot and the previous generation
+//! (`<ckpt>.prev`) must be used instead.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+// Long enough (~300k cycles) that a SIGKILL reliably lands mid-run while
+// checkpoints are being written every 1000 cycles.
+const BENCH: [&str; 4] = ["run", "dijkstra", "barrier:2", "120"];
+
+fn remap() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_remap"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("remap-ckpt-crash-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The architectural report lines of a run's stdout: everything except
+/// the `resumed from …` banner, which only a resumed run prints.
+fn report_lines(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| !l.starts_with("resumed from"))
+        .map(str::to_string)
+        .collect()
+}
+
+fn reference_report() -> Vec<String> {
+    let out = remap().args(BENCH).output().expect("reference run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    report_lines(&out.stdout)
+}
+
+/// Starts a checkpointing run, SIGKILLs it once snapshots are appearing,
+/// and returns the checkpoint path. Panics if the child finished before
+/// the kill landed (the workload is sized so it cannot).
+fn crash_a_checkpointing_run(dir: &Path, want_prev: bool) -> PathBuf {
+    let ckpt = dir.join("run.snap");
+    let mut child = remap()
+        .args(BENCH)
+        .args(["--checkpoint", ckpt.to_str().unwrap(), "--every", "1000"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn checkpointing run");
+    // Wait until the generation we need exists, then kill mid-run.
+    let needed = if want_prev {
+        dir.join("run.snap.prev")
+    } else {
+        ckpt.clone()
+    };
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !needed.exists() {
+        assert!(Instant::now() < deadline, "no snapshot appeared in time");
+        assert!(
+            child.try_wait().expect("poll child").is_none(),
+            "child finished before the kill could land mid-run"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().expect("SIGKILL the run");
+    child.wait().expect("reap the child");
+    ckpt
+}
+
+fn resume_report(ckpt: &Path) -> Vec<String> {
+    let out = remap()
+        .args(BENCH)
+        .args(["--resume", ckpt.to_str().unwrap()])
+        .output()
+        .expect("resumed run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("resumed from"),
+        "resume banner present: {text}"
+    );
+    report_lines(&out.stdout)
+}
+
+#[test]
+fn sigkilled_run_resumes_to_an_identical_report() {
+    let reference = reference_report();
+    let dir = temp_dir("clean");
+    let ckpt = crash_a_checkpointing_run(&dir, false);
+    assert_eq!(
+        resume_report(&ckpt),
+        reference,
+        "resumed report must be byte-identical to the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_snapshot_tail_falls_back_to_the_previous_generation() {
+    let reference = reference_report();
+    let dir = temp_dir("torn");
+    // Require a .prev generation so the fallback has somewhere to land.
+    let ckpt = crash_a_checkpointing_run(&dir, true);
+    // Tear the newest snapshot the way a kill mid-write would.
+    let bytes = std::fs::read(&ckpt).expect("primary snapshot");
+    std::fs::write(&ckpt, &bytes[..bytes.len() / 2]).expect("tear primary");
+    assert_eq!(
+        resume_report(&ckpt),
+        reference,
+        "resume over a torn snapshot must heal from .prev byte-identically"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

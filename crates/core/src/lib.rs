@@ -45,6 +45,7 @@
 
 mod hetero;
 mod report;
+mod snapshot;
 mod system;
 
 pub use hetero::{CoreCalibration, RegionMeasurement, WholeProgram, WholeProgramResult};
@@ -52,4 +53,5 @@ pub use remap_cpu::BlockedOn;
 pub use remap_fault::{FaultPlan, FaultReport, SiteCfg, SiteCounters};
 pub use remap_power::CoreKind;
 pub use report::{RunError, RunReport};
+pub use snapshot::Snapshot;
 pub use system::{BarrierSpec, System, SystemBuilder, SPL_CLOCK_DIVISOR};

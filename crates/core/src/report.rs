@@ -22,8 +22,11 @@ pub enum RunError {
         cycle: u64,
         /// Cores that had not halted.
         running: Vec<usize>,
-        /// What each still-running core's ROB head was parked on.
-        blocked: Vec<(usize, BlockedOn)>,
+        /// For each still-running core: what its ROB head was parked on and
+        /// the cycle at which it last committed an instruction (0 if never)
+        /// — hung-job postmortems can tell a core that stalled early from
+        /// one that ran until just before the window closed.
+        blocked: Vec<(usize, BlockedOn, u64)>,
     },
     /// A core issued a request against a configuration the system does not
     /// know: an unregistered SPL function, an unconfigured barrier, or a
@@ -48,6 +51,13 @@ pub enum RunError {
         /// Cycle of escalation.
         cycle: u64,
     },
+    /// A checkpoint snapshot could not be written, read, or applied: torn
+    /// or foreign file, version mismatch, or a payload inconsistent with
+    /// this system's geometry.
+    BadSnapshot {
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -71,8 +81,11 @@ impl fmt::Display for RunError {
                     f,
                     "no forward progress by cycle {cycle}; cores {running:?} stuck"
                 )?;
-                for (core, on) in blocked {
-                    write!(f, "; core {core}: {on}")?;
+                for (core, on, last_commit) in blocked {
+                    write!(
+                        f,
+                        "; core {core}: {on} (last commit at cycle {last_commit})"
+                    )?;
                 }
                 Ok(())
             }
@@ -94,6 +107,9 @@ impl fmt::Display for RunError {
                     "fault escalation at cycle {cycle}: core {core} hwq_send to queue \
                      {queue} dropped {attempts} consecutive times"
                 )
+            }
+            RunError::BadSnapshot { reason } => {
+                write!(f, "snapshot error: {reason}")
             }
         }
     }
@@ -216,12 +232,16 @@ mod tests {
         let e = RunError::Deadlock {
             cycle: 5,
             running: vec![1],
-            blocked: vec![(1, BlockedOn::HwqRecv { q: 3 })],
+            blocked: vec![(1, BlockedOn::HwqRecv { q: 3 }, 2)],
         };
         assert!(e.to_string().contains("cycle 5"));
         assert!(
             e.to_string().contains("hwq_recv queue 3"),
             "deadlock names the blocking resource: {e}"
+        );
+        assert!(
+            e.to_string().contains("last commit at cycle 2"),
+            "deadlock names each core's last commit: {e}"
         );
         let t = RunError::Timeout {
             max_cycles: 9,
@@ -241,5 +261,9 @@ mod tests {
             cycle: 400,
         };
         assert!(esc.to_string().contains("12 consecutive"));
+        let s = RunError::BadSnapshot {
+            reason: "snapshot truncated".into(),
+        };
+        assert!(s.to_string().contains("snapshot error"));
     }
 }

@@ -1,6 +1,7 @@
 //! System assembly and the cycle loop.
 
 use crate::report::{RunError, RunReport};
+use crate::snapshot::Snapshot;
 use remap_comm::{
     ArriveOutcome, BarrierBus, BarrierTable, ClusterGrid, HwBarrierNet, HwQueueNet,
     ThreadToCoreTable,
@@ -10,6 +11,7 @@ use remap_fault::{FaultPlan, FaultReport, Roller, SiteCfg, SiteCounters, SITE_BA
 use remap_isa::{Program, Reg};
 use remap_mem::{CacheFault, FlatMem, Hierarchy, HierarchyConfig};
 use remap_power::{CoreKind, EnergyBreakdown, PowerModel};
+use remap_snap::{Reader, SnapError, Writer};
 use remap_spl::{
     Dest, FunctionKind, RequestError, Spl, SplConfig, SplFault, SplFunction, SplStats,
 };
@@ -129,6 +131,135 @@ impl FaultCtl {
         }
         self.next_wake = wake;
     }
+
+    /// Serializes the dynamic fault-control state (checkpoint support). The
+    /// plan-derived configuration fields are not written: restore rebuilds
+    /// the struct from the serialized [`FaultPlan`] first, then overlays
+    /// this state.
+    fn save_state(&self, w: &mut Writer) {
+        w.put_u64(self.hwq.roller.event());
+        save_counters(&self.hwq.counters, w);
+        w.put_u64(self.hwq.retries);
+        w.put_len(self.hwq.blocked_until.len());
+        for &b in &self.hwq.blocked_until {
+            w.put_u64(b);
+        }
+        for &a in &self.hwq.attempts {
+            w.put_u32(a);
+        }
+        w.put_u64(self.bar.roller.event());
+        save_counters(&self.bar.counters, w);
+        w.put_u64(self.bar.demotions);
+        w.put_len(self.bar.demoted.len());
+        for &c in &self.bar.demoted {
+            w.put_u16(c);
+        }
+        w.put_u64(self.next_wake);
+    }
+
+    /// Restores state written by [`FaultCtl::save_state`] over a freshly
+    /// rebuilt plan.
+    fn load_state(&mut self, r: &mut Reader) -> Result<(), SnapError> {
+        let event = r.get_u64()?;
+        self.hwq.roller.set_event(event);
+        load_counters(&mut self.hwq.counters, r)?;
+        self.hwq.retries = r.get_u64()?;
+        r.get_exact_len(self.hwq.blocked_until.len())?;
+        for b in &mut self.hwq.blocked_until {
+            *b = r.get_u64()?;
+        }
+        for a in &mut self.hwq.attempts {
+            *a = r.get_u32()?;
+        }
+        let event = r.get_u64()?;
+        self.bar.roller.set_event(event);
+        load_counters(&mut self.bar.counters, r)?;
+        self.bar.demotions = r.get_u64()?;
+        let n = r.get_len(u16::MAX as usize)?;
+        self.bar.demoted.clear();
+        for _ in 0..n {
+            self.bar.demoted.push(r.get_u16()?);
+        }
+        self.next_wake = r.get_u64()?;
+        Ok(())
+    }
+}
+
+fn save_counters(c: &SiteCounters, w: &mut Writer) {
+    w.put_u64(c.injected);
+    w.put_u64(c.detected);
+    w.put_u64(c.recovered);
+    w.put_u64(c.silent);
+}
+
+fn load_counters(c: &mut SiteCounters, r: &mut Reader) -> Result<(), SnapError> {
+    c.injected = r.get_u64()?;
+    c.detected = r.get_u64()?;
+    c.recovered = r.get_u64()?;
+    c.silent = r.get_u64()?;
+    Ok(())
+}
+
+fn save_site(s: &SiteCfg, w: &mut Writer) {
+    w.put_u32(s.rate_ppm);
+    w.put_u64(s.from_event);
+    w.put_u64(s.until_event);
+}
+
+fn load_site(r: &mut Reader) -> Result<SiteCfg, SnapError> {
+    Ok(SiteCfg {
+        rate_ppm: r.get_u32()?,
+        from_event: r.get_u64()?,
+        until_event: r.get_u64()?,
+    })
+}
+
+/// Serializes a [`FaultPlan`] so restore can rebuild the seeded fault
+/// streams on a fresh system before overlaying their dynamic state.
+fn save_fault_plan(p: &FaultPlan, w: &mut Writer) {
+    w.put_u64(p.seed);
+    save_site(&p.spl_bitflip, w);
+    w.put_bool(p.spl_parity);
+    w.put_u64(p.spl_replay_ticks);
+    save_site(&p.hwq_drop, w);
+    save_site(&p.hwq_dup, w);
+    save_site(&p.hwq_delay, w);
+    w.put_bool(p.hwq_seqno);
+    w.put_u64(p.hwq_ack_timeout);
+    w.put_u64(p.hwq_backoff_base);
+    w.put_u32(p.hwq_max_attempts);
+    w.put_u64(p.hwq_delay_cycles);
+    save_site(&p.barrier_delay, w);
+    w.put_u64(p.barrier_delay_cycles);
+    w.put_u64(p.barrier_watchdog);
+    w.put_u64(p.barrier_sw_cost);
+    save_site(&p.cache_corrupt, w);
+    w.put_bool(p.cache_parity);
+    w.put_u32(p.cache_scrub_cycles);
+}
+
+fn load_fault_plan(r: &mut Reader) -> Result<FaultPlan, SnapError> {
+    Ok(FaultPlan {
+        seed: r.get_u64()?,
+        spl_bitflip: load_site(r)?,
+        spl_parity: r.get_bool()?,
+        spl_replay_ticks: r.get_u64()?,
+        hwq_drop: load_site(r)?,
+        hwq_dup: load_site(r)?,
+        hwq_delay: load_site(r)?,
+        hwq_seqno: r.get_bool()?,
+        hwq_ack_timeout: r.get_u64()?,
+        hwq_backoff_base: r.get_u64()?,
+        hwq_max_attempts: r.get_u32()?,
+        hwq_delay_cycles: r.get_u64()?,
+        barrier_delay: load_site(r)?,
+        barrier_delay_cycles: r.get_u64()?,
+        barrier_watchdog: r.get_u64()?,
+        barrier_sw_cost: r.get_u64()?,
+        cache_corrupt: load_site(r)?,
+        cache_parity: r.get_bool()?,
+        cache_scrub_cycles: r.get_u32()?,
+    })
 }
 
 /// Records the first structured error of a run; later errors are dropped
@@ -812,7 +943,9 @@ impl SystemBuilder {
         System {
             running: (0..cores.len()).collect(),
             last_committed: vec![0; cores.len()],
+            last_commit_cycle: vec![0; cores.len()],
             committed_total: 0,
+            fault_plan: None,
             spl_events: Vec::new(),
             skip_enabled: skip_enabled_from_env(),
             skipped_cycles: 0,
@@ -862,8 +995,15 @@ pub struct System {
     /// Per-core committed-instruction count at the last step, used to
     /// maintain `committed_total` incrementally.
     last_committed: Vec<u64>,
+    /// Cycle at which each core last committed an instruction (0 if never).
+    /// Feeds the deadlock diagnostics and keeps the stall window exact
+    /// across a checkpoint/restore boundary.
+    last_commit_cycle: Vec<u64>,
     /// Instructions committed across all cores since construction.
     committed_total: u64,
+    /// The installed fault-injection plan, retained so snapshots can carry
+    /// it (restore rebuilds the seeded streams from it).
+    fault_plan: Option<FaultPlan>,
     /// Reused SPL delivery-event buffer (cleared each SPL cycle).
     spl_events: Vec<remap_spl::SplEvent>,
     /// Whether the quiescence skip engine is enabled (default on; disabled by
@@ -1034,6 +1174,9 @@ impl System {
             let progressed = committed != self.last_committed[id];
             self.committed_total += committed - self.last_committed[id];
             self.last_committed[id] = committed;
+            if progressed {
+                self.last_commit_cycle[id] = self.env.cycle;
+            }
             if still_running {
                 self.running[w] = id;
                 w += 1;
@@ -1197,7 +1340,46 @@ impl System {
     /// no core commits an instruction for 200 000 consecutive cycles. Both
     /// fire at exactly the same cycle whether or not skipping is enabled: a
     /// bulk jump is clamped so the detection step itself is always executed.
+    ///
+    /// Setting `REMAP_CKPT_EVERY=<cycles>` makes the run write a crash-safe
+    /// checkpoint snapshot at least every that many simulated cycles, to
+    /// `REMAP_CKPT_PATH` (default `remap.ckpt`); see
+    /// [`System::run_with_checkpoints`].
     pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, RunError> {
+        match ckpt_from_env() {
+            Some((every, path)) => self.run_ckpt(max_cycles, Some((every, path.as_path()))),
+            None => self.run_ckpt(max_cycles, None),
+        }
+    }
+
+    /// [`System::run`], writing a checkpoint [`Snapshot`] to `path` at least
+    /// every `every` simulated cycles (plus once at the end state if the run
+    /// errors). Writes are crash-safe: the previous checkpoint generation
+    /// survives as `<path>.prev` until the new one is fully on disk
+    /// ([`Snapshot::write_to`]), so a kill at any moment leaves a restorable
+    /// file behind.
+    ///
+    /// Checkpointing never perturbs the simulation: results are bit-identical
+    /// to an uncheckpointed run.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::run`], plus [`RunError::BadSnapshot`] if a checkpoint
+    /// cannot be written.
+    pub fn run_with_checkpoints(
+        &mut self,
+        max_cycles: u64,
+        every: u64,
+        path: &std::path::Path,
+    ) -> Result<RunReport, RunError> {
+        self.run_ckpt(max_cycles, Some((every.max(1), path)))
+    }
+
+    fn run_ckpt(
+        &mut self,
+        max_cycles: u64,
+        ckpt: Option<(u64, &std::path::Path)>,
+    ) -> Result<RunReport, RunError> {
         const STALL_WINDOW: u64 = 200_000;
         // Debug builds run the static verifier before simulating and report
         // (but do not fail on) protocol errors: some tests intentionally
@@ -1224,9 +1406,14 @@ impl System {
         // skip, never what a skip does, so bit-parity is unaffected.
         const PROBE_BACKOFF: u64 = 4;
         let wall_start = std::time::Instant::now();
-        let mut last_progress = self.env.cycle;
+        // The stall window counts from the most recent commit anywhere, not
+        // from run() entry: a run resumed from a snapshot (or continued
+        // after run_until) declares a deadlock at exactly the same cycle an
+        // uninterrupted run would.
+        let mut last_progress = self.last_commit_cycle.iter().copied().max().unwrap_or(0);
         let mut last_committed = self.committed_total;
         let mut next_probe = self.env.cycle;
+        let mut next_ckpt = ckpt.map_or(u64::MAX, |(every, _)| self.env.cycle + every);
         while !self.all_halted() {
             if self.env.cycle >= max_cycles {
                 return Err(RunError::Timeout {
@@ -1279,6 +1466,20 @@ impl System {
                     blocked: self.blocked_cores(),
                 });
             }
+            // Checkpoint after the step's bookkeeping so the snapshot sees a
+            // consistent between-cycles state. A bulk skip may jump past the
+            // due point; the next real step catches up (cadence is "at least
+            // every N simulated cycles", never a perturbation of the run).
+            if self.env.cycle >= next_ckpt {
+                if let Some((every, path)) = ckpt {
+                    self.snapshot()
+                        .write_to(path)
+                        .map_err(|e| RunError::BadSnapshot {
+                            reason: format!("checkpoint write to {}: {e}", path.display()),
+                        })?;
+                    next_ckpt = self.env.cycle + every;
+                }
+            }
         }
         Ok(RunReport {
             cycles: self.env.cycle,
@@ -1289,6 +1490,19 @@ impl System {
             dir: self.env.hier.dir_stats(),
             wall_seconds: wall_start.elapsed().as_secs_f64(),
         })
+    }
+
+    /// Advances to cycle `target` (or until every core halts, or a port
+    /// operation records a structured error), using the skip engine when
+    /// enabled. Returns `true` while cores are still running. Checkpoint
+    /// tests use this to park a system at an exact cycle — including in the
+    /// middle of a stretch the skip engine would otherwise jump over — then
+    /// [`System::snapshot`] it.
+    pub fn run_until(&mut self, target: u64) -> bool {
+        while !self.all_halted() && self.env.cycle < target && self.env.run_error.is_none() {
+            self.step_or_skip(target);
+        }
+        !self.all_halted()
     }
 
     /// Installs a seeded fault-injection plan: per-cluster SPL bit-flip
@@ -1316,6 +1530,18 @@ impl System {
         )));
         let nq = self.env.hwq.n_queues();
         self.env.fault = Some(Box::new(FaultCtl::new(plan, nq)));
+        self.fault_plan = Some(*plan);
+    }
+
+    /// Removes any installed fault plan and its per-subsystem streams (the
+    /// restore path uses this when the snapshot was taken without one).
+    fn clear_fault_plan(&mut self) {
+        for cl in &mut self.env.clusters {
+            cl.spl.set_fault(None);
+        }
+        self.env.hier.set_fault(None);
+        self.env.fault = None;
+        self.fault_plan = None;
     }
 
     /// Switches the memory hierarchy between the non-blocking latency model
@@ -1351,12 +1577,19 @@ impl System {
         rep
     }
 
-    /// Per-core blocked-on diagnostics for the still-running cores. Consults
-    /// the environment so memory-system holds (full MSHR files) get named.
-    fn blocked_cores(&self) -> Vec<(usize, BlockedOn)> {
+    /// Per-core blocked-on diagnostics for the still-running cores, each
+    /// with the cycle of the core's last commit. Consults the environment so
+    /// memory-system holds (full MSHR files) get named.
+    fn blocked_cores(&self) -> Vec<(usize, BlockedOn, u64)> {
         self.running
             .iter()
-            .map(|&id| (id, self.cores[id].blocked_on_with(&self.env)))
+            .map(|&id| {
+                (
+                    id,
+                    self.cores[id].blocked_on_with(&self.env),
+                    self.last_commit_cycle[id],
+                )
+            })
             .collect()
     }
 
@@ -1468,6 +1701,289 @@ impl System {
         total.add(model.barrier_bus_energy(self.env.bus.messages));
         total
     }
+
+    /// FNV-1a fingerprint of everything a [`Snapshot`] does *not* carry:
+    /// core count, kinds, pipeline configurations and programs, cluster
+    /// topology and registered SPL functions, queue/barrier geometry,
+    /// hierarchy configuration, and the mlp/dir model switches. Two systems
+    /// with equal fingerprints accept each other's snapshots; a mismatch is
+    /// refused as a foreign file before any state is touched.
+    ///
+    /// Dynamic state (thread bindings, installed fault plan, skip-engine
+    /// setting) is deliberately excluded: it either travels in the payload
+    /// or — for the skip engine — provably does not affect results.
+    fn config_fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "remap-system-v1;cores={};", self.cores.len());
+        for (i, c) in self.cores.iter().enumerate() {
+            let _ = write!(
+                s,
+                "core{i}:{:?}:{:?}:{:?};",
+                self.kinds[i],
+                c.config(),
+                c.program()
+            );
+        }
+        for (ci, cl) in self.env.clusters.iter().enumerate() {
+            let _ = write!(s, "cluster{ci}:{:?}:{:?};", cl.spl.config(), cl.cores);
+            let mut fns: Vec<(u16, &SplFunction)> = cl.spl.functions().collect();
+            fns.sort_by_key(|&(id, _)| id);
+            for (id, f) in fns {
+                let _ = write!(s, "fn{id}:{}:{}:{};", f.name(), f.rows(), f.is_barrier());
+            }
+        }
+        let _ = write!(
+            s,
+            "hwq:{}x{};hwbars:{:?};",
+            self.env.hwq.n_queues(),
+            self.env.hwq.capacity(),
+            self.hwbars
+        );
+        let mut specs: Vec<(u16, BarrierSpec)> =
+            self.env.specs.iter().map(|(&k, &v)| (k, v)).collect();
+        specs.sort_by_key(|&(k, _)| k);
+        let _ = write!(s, "specs:{specs:?};grid:{};", self.env.clusters.len());
+        let _ = write!(
+            s,
+            "hier:{:?}:mlp={}:dir={};",
+            self.env.hier.config(),
+            self.env.hier.mlp_enabled(),
+            self.env.hier.dir_enabled()
+        );
+        let mut h = remap_snap::Fnv::new();
+        h.update(s.as_bytes());
+        h.finish()
+    }
+
+    /// Captures the complete dynamic state of the run — every core's
+    /// pipeline, the cache hierarchy down to LRU order and MSHR slots, the
+    /// SPL fabrics with their in-flight rows, all communication tables, the
+    /// fault streams, the skip-engine bookkeeping, and every statistics
+    /// counter — as a versioned, checksummed [`Snapshot`].
+    ///
+    /// Restoring it into a freshly built system of identical configuration
+    /// ([`System::restore`]) continues the run bit-identically: same
+    /// results, same cycle counts, same statistics, same fault sequence.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut w = Writer::new();
+        // The fault plan travels first: restore rebuilds the seeded streams
+        // from it before overlaying their dynamic state.
+        match &self.fault_plan {
+            None => w.put_bool(false),
+            Some(p) => {
+                w.put_bool(true);
+                save_fault_plan(p, &mut w);
+            }
+        }
+        w.put_u64(self.env.cycle);
+        w.put_u64(self.env.epoch);
+        w.put_u32(self.env.app_id);
+        w.put_u64(self.committed_total);
+        w.put_u64(self.skipped_cycles);
+        w.put_usize(self.probe_hint);
+        w.put_len(self.running.len());
+        for &id in &self.running {
+            w.put_usize(id);
+        }
+        for &c in &self.last_committed {
+            w.put_u64(c);
+        }
+        for &c in &self.last_commit_cycle {
+            w.put_u64(c);
+        }
+        for &(ep, wake) in &self.core_quiet {
+            w.put_u64(ep);
+            w.put_u64(wake);
+        }
+        for &st in &self.core_streak {
+            w.put_u32(st);
+        }
+        for &p in &self.core_next_probe {
+            w.put_u64(p);
+        }
+        for c in &self.cores {
+            c.save_state(&mut w);
+        }
+        for &t in &self.env.core_thread {
+            w.put_u32(t);
+        }
+        self.env.t2c.save_state(&mut w);
+        self.env.btable.save_state(&mut w);
+        self.env.hwq.save_state(&mut w);
+        self.env.hwbar.save_state(&mut w);
+        self.env.bus.save_state(&mut w);
+        w.put_len(self.env.pending_releases.len());
+        for p in &self.env.pending_releases {
+            w.put_u16(p.cfg);
+            w.put_usize(p.cluster);
+            w.put_u64(p.at);
+            w.put_len(p.local_cores.len());
+            for &lc in &p.local_cores {
+                w.put_usize(lc);
+            }
+        }
+        w.put_len(self.env.clusters.len());
+        for cl in &self.env.clusters {
+            cl.spl.save_state(&mut w);
+        }
+        self.env.hier.save_state(&mut w);
+        match self.env.fault.as_deref() {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                f.save_state(&mut w);
+            }
+        }
+        Snapshot::from_payload(self.config_fingerprint(), &w.into_vec())
+    }
+
+    /// Applies a [`Snapshot`] onto this system, which must be freshly built
+    /// (or otherwise hold) the identical configuration: same cores,
+    /// programs, clusters, functions, geometry, and mlp/dir switches. The
+    /// subsequent run continues bit-identically from the captured point.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::BadSnapshot`] when the snapshot is torn, of a foreign
+    /// format version or configuration fingerprint, or its payload is
+    /// inconsistent with this system's geometry. On error the system may be
+    /// partially overwritten and must not be run further — rebuild it.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), RunError> {
+        let expected = self.config_fingerprint();
+        let payload = snap
+            .payload(expected)
+            .map_err(|e| RunError::BadSnapshot {
+                reason: e.to_string(),
+            })?
+            .to_vec();
+        let mut r = Reader::new(&payload);
+        self.load_state(&mut r)
+            .and_then(|()| {
+                if r.is_done() {
+                    Ok(())
+                } else {
+                    Err(SnapError::Corrupt(format!(
+                        "{} trailing payload bytes",
+                        r.remaining()
+                    )))
+                }
+            })
+            .map_err(|e| RunError::BadSnapshot {
+                reason: e.to_string(),
+            })
+    }
+
+    fn load_state(&mut self, r: &mut Reader) -> Result<(), SnapError> {
+        let n = self.cores.len();
+        if r.get_bool()? {
+            let plan = load_fault_plan(r)?;
+            self.set_fault_plan(&plan);
+        } else {
+            self.clear_fault_plan();
+        }
+        self.env.cycle = r.get_u64()?;
+        self.env.epoch = r.get_u64()?;
+        self.env.app_id = r.get_u32()?;
+        self.committed_total = r.get_u64()?;
+        self.skipped_cycles = r.get_u64()?;
+        self.probe_hint = r.get_usize()?;
+        if self.probe_hint >= n.max(1) {
+            return Err(SnapError::Corrupt(format!(
+                "probe hint {} out of range",
+                self.probe_hint
+            )));
+        }
+        let n_running = r.get_len(n)?;
+        self.running.clear();
+        let mut seen = vec![false; n];
+        for _ in 0..n_running {
+            let id = r.get_usize()?;
+            if id >= n || seen[id] {
+                return Err(SnapError::Corrupt(format!("bad running core id {id}")));
+            }
+            seen[id] = true;
+            self.running.push(id);
+        }
+        for c in &mut self.last_committed {
+            *c = r.get_u64()?;
+        }
+        for c in &mut self.last_commit_cycle {
+            *c = r.get_u64()?;
+        }
+        for q in &mut self.core_quiet {
+            *q = (r.get_u64()?, r.get_u64()?);
+        }
+        for st in &mut self.core_streak {
+            *st = r.get_u32()?;
+        }
+        for p in &mut self.core_next_probe {
+            *p = r.get_u64()?;
+        }
+        for c in &mut self.cores {
+            c.load_state(r)?;
+        }
+        for t in &mut self.env.core_thread {
+            *t = r.get_u32()?;
+        }
+        self.env.t2c.load_state(r)?;
+        self.env.btable.load_state(r)?;
+        self.env.hwq.load_state(r)?;
+        self.env.hwbar.load_state(r)?;
+        self.env.bus.load_state(r)?;
+        let n_rel = r.get_len(1 << 16)?;
+        self.env.pending_releases.clear();
+        for _ in 0..n_rel {
+            let cfg = r.get_u16()?;
+            let cluster = r.get_usize()?;
+            let at = r.get_u64()?;
+            if cluster >= self.env.clusters.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "pending release on cluster {cluster} of {}",
+                    self.env.clusters.len()
+                )));
+            }
+            let k = r.get_len(n)?;
+            let mut local_cores = Vec::with_capacity(k);
+            for _ in 0..k {
+                local_cores.push(r.get_usize()?);
+            }
+            self.env.pending_releases.push(PendingRelease {
+                cfg,
+                cluster,
+                at,
+                local_cores,
+            });
+        }
+        r.get_exact_len(self.env.clusters.len())?;
+        for cl in &mut self.env.clusters {
+            cl.spl.load_state(r)?;
+        }
+        self.env.hier.load_state(r)?;
+        match (r.get_bool()?, self.env.fault.as_deref_mut()) {
+            (true, Some(f)) => f.load_state(r)?,
+            (false, None) => {}
+            _ => return Err(SnapError::Corrupt("fault-control presence mismatch".into())),
+        }
+        // Transients: the delivery scratch buffer is cleared each SPL edge
+        // and a structured error never survives into a snapshot (run()
+        // takes it before the checkpoint hook sees the state).
+        self.spl_events.clear();
+        self.env.run_error = None;
+        Ok(())
+    }
+}
+
+/// Reads the `REMAP_CKPT_EVERY` / `REMAP_CKPT_PATH` checkpoint knobs: a
+/// positive cycle cadence enables checkpointing in every [`System::run`],
+/// to the given path (default `remap.ckpt`).
+fn ckpt_from_env() -> Option<(u64, std::path::PathBuf)> {
+    let every: u64 = std::env::var("REMAP_CKPT_EVERY").ok()?.parse().ok()?;
+    if every == 0 {
+        return None;
+    }
+    let path = std::env::var("REMAP_CKPT_PATH").unwrap_or_else(|_| "remap.ckpt".into());
+    Some((every, std::path::PathBuf::from(path)))
 }
 
 #[cfg(test)]
@@ -1723,8 +2239,9 @@ mod tests {
                 assert_eq!(running, vec![0]);
                 assert_eq!(
                     blocked,
-                    vec![(0, BlockedOn::SplResult)],
-                    "the diagnostic names the resource the core is parked on"
+                    vec![(0, BlockedOn::SplResult, 0)],
+                    "the diagnostic names the resource the core is parked on \
+                     and its last-commit cycle (never committed here)"
                 );
             }
             other => panic!("expected deadlock, got {other:?}"),
@@ -1763,6 +2280,116 @@ mod tests {
         assert_eq!(ticked.skipped_cycles(), 0);
         // Per-cycle wait statistics were replicated across the jump.
         assert_eq!(skipped.core_stats(0), ticked.core_stats(0));
+    }
+
+    /// Builds the Figure 1(b) producer→consumer system (used by the
+    /// snapshot tests: it exercises cores, the fabric, and the T2C table).
+    fn pc_build() -> System {
+        let mut p = Asm::new("producer");
+        p.li(R1, 0);
+        p.li(R2, 10);
+        p.label("loop");
+        p.spl_load(R1, 0, 4);
+        p.spl_init(1);
+        p.addi(R1, R1, 1);
+        p.bne(R1, R2, "loop");
+        p.halt();
+        let mut c = Asm::new("consumer");
+        c.li(R1, 0);
+        c.li(R2, 10);
+        c.li(R5, 0);
+        c.label("loop");
+        c.spl_store(R3);
+        c.add(R5, R5, R3);
+        c.addi(R1, R1, 1);
+        c.bne(R1, R2, "loop");
+        c.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, p.assemble().unwrap());
+        b.add_core(CoreKind::Ooo1, c.assemble().unwrap());
+        b.add_spl_cluster(SplConfig::paper(2), vec![0, 1]);
+        b.register_spl(
+            1,
+            SplFunction::compute("2x+1", 5, Dest::Thread(1), |e| (2 * e.u32(0) + 1) as u64),
+        );
+        b.build()
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let ref_report = pc_build().run(200_000).unwrap();
+        let mut first = pc_build();
+        assert!(first.run_until(100), "system must still be running");
+        let snap = first.snapshot();
+        let mut resumed = pc_build();
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.cycle(), 100);
+        let resumed_report = resumed.run(200_000).unwrap();
+        assert_eq!(ref_report.cycles, resumed_report.cycles);
+        assert_eq!(ref_report.core_stats, resumed_report.core_stats);
+        assert_eq!(resumed.reg(1, R5), 100);
+        // The donor continues identically too (snapshot() is non-mutating).
+        let donor_report = first.run(200_000).unwrap();
+        assert_eq!(ref_report.cycles, donor_report.cycles);
+        assert_eq!(ref_report.core_stats, donor_report.core_stats);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_bytes() {
+        let mut sys = pc_build();
+        sys.run_until(64);
+        let snap = sys.snapshot();
+        let back = crate::Snapshot::from_bytes(snap.as_bytes().to_vec()).unwrap();
+        let mut resumed = pc_build();
+        resumed.restore(&back).unwrap();
+        assert_eq!(resumed.cycle(), 64);
+    }
+
+    #[test]
+    fn foreign_snapshot_is_refused() {
+        let mut donor = pc_build();
+        donor.run_until(32);
+        let snap = donor.snapshot();
+        // A structurally different system must refuse the fingerprint.
+        let mut a = Asm::new("t");
+        a.li(R1, 1);
+        a.halt();
+        let mut b = SystemBuilder::new();
+        b.add_core(CoreKind::Ooo1, a.assemble().unwrap());
+        let mut other = b.build();
+        match other.restore(&snap) {
+            Err(RunError::BadSnapshot { reason }) => {
+                assert!(
+                    reason.contains("different configuration"),
+                    "unexpected reason: {reason}"
+                );
+            }
+            other => panic!("expected BadSnapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_carries_the_fault_plan() {
+        let plan = FaultPlan {
+            seed: 7,
+            hwq_drop: SiteCfg::rate(100_000),
+            ..FaultPlan::default()
+        };
+        let mut donor = pc_build();
+        donor.set_fault_plan(&plan);
+        donor.run_until(64);
+        let snap = donor.snapshot();
+        let mut resumed = pc_build();
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.cycle(), 64);
+        // A faultless twin refuses the faulted snapshot's dynamic state?
+        // No: the plan travels in the payload, so restore installs it.
+        let mut r2 = pc_build();
+        r2.restore(&snap).unwrap();
+        let a = resumed.run(400_000).unwrap();
+        let b = r2.run(400_000).unwrap();
+        assert_eq!(a.core_stats, b.core_stats);
+        assert_eq!(a.faults, b.faults);
     }
 
     /// A skip must never overshoot `max_cycles` either: a quiescent-but-live

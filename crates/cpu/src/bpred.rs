@@ -170,6 +170,74 @@ impl Predictor {
         self.stats.ras_ops += 1;
         self.ras.pop()
     }
+
+    /// Serializes all predictor state (checkpoint support).
+    pub fn save_state(&self, w: &mut remap_snap::Writer) {
+        w.put_len(self.gshare.len());
+        for &c in &self.gshare {
+            w.put_u8(c);
+        }
+        for &c in &self.bimodal {
+            w.put_u8(c);
+        }
+        for &c in &self.chooser {
+            w.put_u8(c);
+        }
+        w.put_u32(self.history);
+        w.put_len(self.btb.len());
+        for e in &self.btb {
+            match e {
+                None => w.put_bool(false),
+                Some((pc, tgt)) => {
+                    w.put_bool(true);
+                    w.put_u32(*pc);
+                    w.put_u32(*tgt);
+                }
+            }
+        }
+        w.put_len(self.ras.len());
+        for &a in &self.ras {
+            w.put_u32(a);
+        }
+        w.put_u64(self.stats.lookups);
+        w.put_u64(self.stats.dir_mispredicts);
+        w.put_u64(self.stats.target_mispredicts);
+        w.put_u64(self.stats.ras_ops);
+    }
+
+    /// Restores state written by [`Predictor::save_state`] onto a
+    /// predictor of identical geometry.
+    pub fn load_state(&mut self, r: &mut remap_snap::Reader) -> Result<(), remap_snap::SnapError> {
+        r.get_exact_len(self.gshare.len())?;
+        for c in &mut self.gshare {
+            *c = r.get_u8()?;
+        }
+        for c in &mut self.bimodal {
+            *c = r.get_u8()?;
+        }
+        for c in &mut self.chooser {
+            *c = r.get_u8()?;
+        }
+        self.history = r.get_u32()?;
+        r.get_exact_len(self.btb.len())?;
+        for e in &mut self.btb {
+            *e = if r.get_bool()? {
+                Some((r.get_u32()?, r.get_u32()?))
+            } else {
+                None
+            };
+        }
+        let n = r.get_len(self.ras_max)?;
+        self.ras.clear();
+        for _ in 0..n {
+            self.ras.push(r.get_u32()?);
+        }
+        self.stats.lookups = r.get_u64()?;
+        self.stats.dir_mispredicts = r.get_u64()?;
+        self.stats.target_mispredicts = r.get_u64()?;
+        self.stats.ras_ops = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -220,6 +220,14 @@ impl Roller {
         self.event
     }
 
+    /// Repositions the stream at `event` (the index the next draw will
+    /// use). Used by checkpoint restore: a roller rebuilt from the same
+    /// `(seed, site)` and repositioned draws exactly the stream the
+    /// original would have continued with.
+    pub fn set_event(&mut self, event: u64) {
+        self.event = event;
+    }
+
     /// Consumes the next event index and returns its deterministic draw.
     pub fn draw(&mut self) -> Draw {
         let event = self.event;

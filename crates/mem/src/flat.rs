@@ -253,6 +253,46 @@ impl FlatMem {
     pub fn resident_pages(&self) -> usize {
         self.data.len()
     }
+
+    /// Serializes all resident pages, sorted by page id so the encoding is
+    /// independent of hash-map iteration order (arena slot numbers are an
+    /// internal detail and are renumbered on load).
+    pub fn save_state(&self, w: &mut remap_snap::Writer) {
+        let mut ids: Vec<(u64, u32)> = self.index.iter().map(|(&id, &s)| (id, s)).collect();
+        ids.sort_unstable_by_key(|&(id, _)| id);
+        w.put_len(ids.len());
+        for (id, slot) in ids {
+            w.put_u64(id);
+            w.put_bytes(&self.data[slot as usize][..]);
+        }
+    }
+
+    /// Replaces the entire memory contents with state written by
+    /// [`FlatMem::save_state`]. The MRU handle cache is reset (it is a pure
+    /// lookup shortcut and carries no architectural state).
+    pub fn load_state(&mut self, r: &mut remap_snap::Reader) -> Result<(), remap_snap::SnapError> {
+        let n = r.get_len(1 << 28)?;
+        self.index.clear();
+        self.data.clear();
+        for slot in self.mru.iter() {
+            slot.set((NO_PAGE, 0));
+        }
+        self.mru_next.set(0);
+        for i in 0..n {
+            let id = r.get_u64()?;
+            let bytes = r.get_bytes(PAGE_SIZE)?;
+            let s = u32::try_from(i).expect("page count bounded above");
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            page.copy_from_slice(bytes);
+            self.data.push(page);
+            if self.index.insert(id, s).is_some() {
+                return Err(remap_snap::SnapError::Corrupt(format!(
+                    "duplicate page id {id:#x}"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,424 @@
+//! Binary snapshot codec: a tiny, dependency-free byte-level writer/reader
+//! pair plus the framed on-disk snapshot format.
+//!
+//! Every simulator crate serializes its run state through [`Writer`] /
+//! [`Reader`] (`save_state` / `load_state` methods live next to the types
+//! they capture, so private fields stay private). The encoding is
+//! deliberately dumb: fixed-width little-endian integers, length-prefixed
+//! sequences, no schema, no varints, no serde. Robustness comes from the
+//! outer frame ([`encode_file`] / [`decode_file`]): magic, format version,
+//! a configuration fingerprint, a payload length, and a trailing FNV-1a
+//! checksum over everything before it. Torn tails, foreign files, and
+//! fingerprint mismatches are all refused with a typed [`SnapError`]
+//! before a single payload byte is interpreted.
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: &[u8; 8] = b"RMAPSNAP";
+
+/// Current snapshot format version. Bump on any payload layout change:
+/// old files must be refused, never misread.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be decoded or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The buffer ended before the value being read (torn file).
+    Truncated,
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The file is a snapshot, but of an unknown format version.
+    BadVersion { found: u32 },
+    /// The snapshot was taken under a different system configuration.
+    BadFingerprint { expected: u64, found: u64 },
+    /// The frame checksum does not match (torn or bit-rotted tail).
+    BadChecksum,
+    /// A payload value is inconsistent with the restoring system's
+    /// geometry (wrong vector length, out-of-range index, bad discriminant).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Truncated => write!(f, "snapshot truncated"),
+            SnapError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapError::BadVersion { found } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads {FORMAT_VERSION})"
+            ),
+            SnapError::BadFingerprint { expected, found } => write!(
+                f,
+                "snapshot was taken under a different configuration \
+                 (fingerprint {found:#018x}, this system is {expected:#018x})"
+            ),
+            SnapError::BadChecksum => {
+                write!(f, "snapshot checksum mismatch (torn or corrupt file)")
+            }
+            SnapError::Corrupt(why) => write!(f, "snapshot payload corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+// --- FNV-1a -----------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming 64-bit FNV-1a hasher (fingerprints and frame checksums).
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    pub fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.update(bytes);
+    h.finish()
+}
+
+// --- Writer -----------------------------------------------------------------
+
+/// Append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` values travel as `u64` so 32- and 64-bit hosts interoperate.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Length prefix for a following sequence.
+    pub fn put_len(&mut self, n: usize) {
+        self.put_u64(n as u64);
+    }
+}
+
+// --- Reader -----------------------------------------------------------------
+
+/// Cursor over a snapshot payload; every read is bounds-checked.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.get_bytes(1)?[0])
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, SnapError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapError::Corrupt(format!("bad bool byte {b}"))),
+        }
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16, SnapError> {
+        Ok(u16::from_le_bytes(self.get_bytes(2)?.try_into().unwrap()))
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.get_bytes(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.get_bytes(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, SnapError> {
+        Ok(i64::from_le_bytes(self.get_bytes(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| SnapError::Corrupt(format!("usize overflow: {v}")))
+    }
+
+    /// Reads a length prefix and checks it against a sanity bound so a
+    /// corrupt length cannot trigger a huge allocation.
+    pub fn get_len(&mut self, max: usize) -> Result<usize, SnapError> {
+        let n = self.get_usize()?;
+        if n > max {
+            return Err(SnapError::Corrupt(format!(
+                "sequence length {n} exceeds bound {max}"
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length prefix that must equal `expected` (fixed-geometry
+    /// vectors: per-core arrays, cache ways, bank tables).
+    pub fn get_exact_len(&mut self, expected: usize) -> Result<(), SnapError> {
+        let n = self.get_usize()?;
+        if n != expected {
+            return Err(SnapError::Corrupt(format!(
+                "sequence length {n}, expected {expected}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+// --- file frame -------------------------------------------------------------
+
+/// Frames `payload` into a self-validating snapshot file image:
+/// `MAGIC | version | fingerprint | payload_len | payload | fnv1a(all prior)`.
+pub fn encode_file(fingerprint: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 36);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Validates a snapshot file image and returns its payload slice.
+///
+/// Refusal order matters for diagnostics: magic first (is this even a
+/// snapshot?), then version, then the checksum (torn tail), then the
+/// fingerprint (right file, wrong system).
+pub fn decode_file(bytes: &[u8], expected_fingerprint: u64) -> Result<&[u8], SnapError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(SnapError::Truncated);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let mut r = Reader::new(&bytes[MAGIC.len()..]);
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapError::BadVersion { found: version });
+    }
+    let fingerprint = r.get_u64()?;
+    let payload_len = r.get_usize()?;
+    let header = MAGIC.len() + 4 + 8 + 8;
+    let body_end = header
+        .checked_add(payload_len)
+        .ok_or(SnapError::Truncated)?;
+    if bytes.len() != body_end + 8 {
+        return Err(SnapError::Truncated);
+    }
+    let sum = fnv1a(&bytes[..body_end]);
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    if sum != stored {
+        return Err(SnapError::BadChecksum);
+    }
+    if fingerprint != expected_fingerprint {
+        return Err(SnapError::BadFingerprint {
+            expected: expected_fingerprint,
+            found: fingerprint,
+        });
+    }
+    Ok(&bytes[header..body_end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_scalar() {
+        let mut w = Writer::new();
+        w.put_u8(0xAB);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_i64(-42);
+        w.put_usize(12345);
+        w.put_bytes(b"tail");
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_usize().unwrap(), 12345);
+        assert_eq!(r.get_bytes(4).unwrap(), b"tail");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn reads_past_end_are_truncated_not_panics() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.get_u64(), Err(SnapError::Truncated));
+        // Failed reads consume nothing.
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.get_u16().unwrap(), 0x0201);
+        assert_eq!(r.get_u32(), Err(SnapError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool_is_corrupt() {
+        let mut r = Reader::new(&[7]);
+        assert!(matches!(r.get_bool(), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn length_bounds_are_enforced() {
+        let mut w = Writer::new();
+        w.put_len(10);
+        w.put_len(4);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.get_len(8), Err(SnapError::Corrupt(_))));
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_len(16).unwrap(), 10);
+        assert!(matches!(r.get_exact_len(5), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_frame_round_trip() {
+        let img = encode_file(0x1234, b"payload bytes");
+        assert_eq!(decode_file(&img, 0x1234).unwrap(), b"payload bytes");
+    }
+
+    #[test]
+    fn file_frame_refuses_foreign_and_torn_files() {
+        let img = encode_file(0x1234, b"payload");
+        // Foreign fingerprint.
+        assert_eq!(
+            decode_file(&img, 0x9999),
+            Err(SnapError::BadFingerprint {
+                expected: 0x9999,
+                found: 0x1234
+            })
+        );
+        // Torn tail: every strict prefix must be refused.
+        for cut in 0..img.len() {
+            let e = decode_file(&img[..cut], 0x1234).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    SnapError::Truncated | SnapError::BadMagic | SnapError::BadChecksum
+                ),
+                "cut at {cut}: {e:?}"
+            );
+        }
+        // Flipped payload bit: checksum catches it.
+        let mut bad = img.clone();
+        bad[30] ^= 1;
+        assert!(matches!(
+            decode_file(&bad, 0x1234),
+            Err(SnapError::BadChecksum) | Err(SnapError::BadMagic) | Err(SnapError::Truncated)
+        ));
+        // Wrong version.
+        let mut wrongver = img.clone();
+        wrongver[8] = 0xFE;
+        assert!(matches!(
+            decode_file(&wrongver, 0x1234),
+            Err(SnapError::BadVersion { .. })
+        ));
+        // Not a snapshot at all.
+        assert_eq!(
+            decode_file(b"definitely-not-a-snapshot", 0x1234),
+            Err(SnapError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -48,6 +48,27 @@ impl SplFault {
     pub fn counters(&self) -> SiteCounters {
         self.counters
     }
+
+    /// Serializes the dynamic fault-stream state (checkpoint support). The
+    /// site configuration is rebuilt from the fault plan on restore.
+    pub fn save_state(&self, w: &mut remap_snap::Writer) {
+        w.put_u64(self.roller.event());
+        w.put_u64(self.counters.injected);
+        w.put_u64(self.counters.detected);
+        w.put_u64(self.counters.recovered);
+        w.put_u64(self.counters.silent);
+    }
+
+    /// Restores state written by [`SplFault::save_state`] onto a stream
+    /// freshly built from the same fault plan.
+    pub fn load_state(&mut self, r: &mut remap_snap::Reader) -> Result<(), remap_snap::SnapError> {
+        self.roller.set_event(r.get_u64()?);
+        self.counters.injected = r.get_u64()?;
+        self.counters.detected = r.get_u64()?;
+        self.counters.recovered = r.get_u64()?;
+        self.counters.silent = r.get_u64()?;
+        Ok(())
+    }
 }
 
 /// Fabric geometry and sharing configuration.
@@ -545,6 +566,146 @@ impl Spl {
             barrier: false,
             rows,
         });
+    }
+
+    /// Serializes all dynamic fabric state (checkpoint support). The
+    /// function registry and geometry are static and are not written —
+    /// a restored fabric must be built with the same configuration and
+    /// registrations.
+    pub fn save_state(&self, w: &mut remap_snap::Writer) {
+        w.put_len(self.inputs.len());
+        for q in &self.inputs {
+            q.save_state(w);
+        }
+        for q in &self.outputs {
+            q.save_state(w);
+        }
+        w.put_len(self.parts.len());
+        for p in &self.parts {
+            w.put_u64(p.next_issue_at);
+            w.put_len(p.inflight.len());
+            for op in &p.inflight {
+                w.put_u64(op.done_at);
+                w.put_u64(op.result);
+                match &op.dests {
+                    Dests::One(d) => {
+                        w.put_u8(0);
+                        w.put_usize(*d);
+                    }
+                    Dests::Many(v) => {
+                        w.put_u8(1);
+                        w.put_len(v.len());
+                        for &d in v {
+                            w.put_usize(d);
+                        }
+                    }
+                }
+                w.put_usize(op.from);
+                w.put_u16(op.cfg);
+                w.put_bool(op.barrier);
+                w.put_u32(op.rows);
+            }
+        }
+        w.put_len(self.released.len());
+        for rb in &self.released {
+            w.put_u16(rb.cfg);
+            w.put_len(rb.participants.len());
+            for &p in &rb.participants {
+                w.put_usize(p);
+            }
+        }
+        w.put_usize(self.rr);
+        w.put_u64(self.stats.compute_ops);
+        w.put_u64(self.stats.barrier_ops);
+        w.put_u64(self.stats.row_activations);
+        w.put_u64(self.stats.stall_rows);
+        w.put_u64(self.stats.stall_output_full);
+        w.put_u64(self.stats.results_delivered);
+        match &self.fault {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                f.save_state(w);
+            }
+        }
+    }
+
+    /// Restores state written by [`Spl::save_state`] onto a fabric freshly
+    /// built with identical configuration, registrations, and fault plan.
+    pub fn load_state(&mut self, r: &mut remap_snap::Reader) -> Result<(), remap_snap::SnapError> {
+        r.get_exact_len(self.inputs.len())?;
+        for q in &mut self.inputs {
+            q.load_state(r)?;
+        }
+        for q in &mut self.outputs {
+            q.load_state(r)?;
+        }
+        r.get_exact_len(self.parts.len())?;
+        let n_cores = self.cfg.n_cores;
+        for p in &mut self.parts {
+            p.next_issue_at = r.get_u64()?;
+            // In-flight count is bounded by the reserved output slots.
+            let n = r.get_len(n_cores * self.cfg.output_capacity)?;
+            p.inflight.clear();
+            for _ in 0..n {
+                let done_at = r.get_u64()?;
+                let result = r.get_u64()?;
+                let dests = match r.get_u8()? {
+                    0 => Dests::One(r.get_usize()?),
+                    1 => {
+                        let k = r.get_len(n_cores)?;
+                        let mut v = Vec::with_capacity(k);
+                        for _ in 0..k {
+                            v.push(r.get_usize()?);
+                        }
+                        Dests::Many(v)
+                    }
+                    other => {
+                        return Err(remap_snap::SnapError::Corrupt(format!(
+                            "bad SPL destination tag {other}"
+                        )))
+                    }
+                };
+                p.inflight.push(Inflight {
+                    done_at,
+                    result,
+                    dests,
+                    from: r.get_usize()?,
+                    cfg: r.get_u16()?,
+                    barrier: r.get_bool()?,
+                    rows: r.get_u32()?,
+                });
+            }
+        }
+        let n = r.get_len(1 << 16)?;
+        self.released.clear();
+        for _ in 0..n {
+            let cfg = r.get_u16()?;
+            let k = r.get_len(n_cores)?;
+            let mut participants = Vec::with_capacity(k);
+            for _ in 0..k {
+                participants.push(r.get_usize()?);
+            }
+            self.released.push(ReleasedBarrier { cfg, participants });
+        }
+        self.rr = r.get_usize()?;
+        self.stats.compute_ops = r.get_u64()?;
+        self.stats.barrier_ops = r.get_u64()?;
+        self.stats.row_activations = r.get_u64()?;
+        self.stats.stall_rows = r.get_u64()?;
+        self.stats.stall_output_full = r.get_u64()?;
+        self.stats.results_delivered = r.get_u64()?;
+        let has_fault = r.get_bool()?;
+        if has_fault != self.fault.is_some() {
+            return Err(remap_snap::SnapError::Corrupt(format!(
+                "SPL fault stream presence mismatch (snapshot {has_fault}, fabric {})",
+                self.fault.is_some()
+            )));
+        }
+        if let Some(f) = self.fault.as_deref_mut() {
+            f.load_state(r)?;
+        }
+        Ok(())
     }
 
     fn try_issue_barrier(&mut self, idx: usize, now: u64) -> bool {

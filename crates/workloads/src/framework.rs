@@ -136,7 +136,23 @@ pub fn run_checked(
     check: impl FnOnce(&System) -> Result<(), String>,
 ) -> Result<Measurement, String> {
     let report = sys.run(max_cycles).map_err(|e: RunError| e.to_string())?;
-    check(&sys)?;
+    measure_checked(&sys, &report, check)
+}
+
+/// Validates an already-run system with `check` and derives its
+/// [`Measurement`]. The tail of [`run_checked`], split out so drivers that
+/// run the system themselves (checkpointing, resuming) share the same
+/// validation and measurement path.
+///
+/// # Errors
+///
+/// Propagates check failures as strings.
+pub fn measure_checked(
+    sys: &System,
+    report: &remap::RunReport,
+    check: impl FnOnce(&System) -> Result<(), String>,
+) -> Result<Measurement, String> {
+    check(sys)?;
     let energy = sys.energy(&PowerModel::new());
     Ok(Measurement {
         cycles: report.cycles,

@@ -32,5 +32,6 @@ mod framework;
 mod pipeline;
 
 pub use framework::{
-    run_checked, sw_barrier, CommMode, CompMode, Measurement, ADDR_IN, ADDR_OUT, ADDR_SHARED,
+    measure_checked, run_checked, sw_barrier, CommMode, CompMode, Measurement, ADDR_IN, ADDR_OUT,
+    ADDR_SHARED,
 };

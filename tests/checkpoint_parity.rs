@@ -1,0 +1,256 @@
+//! Tier-1 gate for deterministic checkpoint/restore: running a workload
+//! to an arbitrary cycle, snapshotting, restoring into a FRESH system of
+//! identical configuration, and continuing must be bit-identical to the
+//! uninterrupted run — across the canonical configuration matrix, under
+//! fault injection, and on the 16/36/64-core grids with the directory on
+//! and off.
+//!
+//! Cut points land wherever the cycle fraction falls: `run_until` clamps
+//! bulk skips at the target, so on barrier workloads the snapshot is
+//! routinely taken *inside* a quiescence window, and on busy workloads
+//! outside one — both must restore exactly.
+//!
+//! "Bit-identical" covers everything a run can report except
+//! `skipped_cycles` (a resumed run re-plans its bulk skips from the
+//! restore point, so skip *accounting* legitimately differs while every
+//! architectural statistic must not) and `wall_seconds` (host timing).
+
+use remap_suite::system::{RunReport, System};
+use remap_suite::workloads::barriers::{BarrierBench, BarrierMode};
+use remap_suite::workloads::comm::CommBench;
+use remap_suite::workloads::comp::CompBench;
+use remap_suite::workloads::{CommMode, CompMode};
+
+const MAX_CYCLES: u64 = 50_000_000;
+
+const COMP_MODES: [CompMode; 3] = [CompMode::SeqOoo1, CompMode::SeqOoo2, CompMode::Spl];
+const COMM_MODES: [CommMode; 7] = [
+    CommMode::SeqOoo1,
+    CommMode::SeqOoo2,
+    CommMode::Comp1T,
+    CommMode::Comm2T,
+    CommMode::CompComm2T,
+    CommMode::Ooo2Comm,
+    CommMode::SwQueue2T,
+];
+
+fn barrier_modes(b: BarrierBench) -> Vec<BarrierMode> {
+    let mut m = vec![
+        BarrierMode::Seq,
+        BarrierMode::Sw(4),
+        BarrierMode::Remap(4),
+        BarrierMode::HwIdeal(4),
+    ];
+    if b.supports_comp() {
+        m.push(BarrierMode::RemapComp(4));
+    }
+    m
+}
+
+/// Asserts every architectural observable of two completed runs matches.
+fn assert_same_observables(label: &str, a: &System, ra: &RunReport, b: &System, rb: &RunReport) {
+    assert_eq!(ra.cycles, rb.cycles, "{label}: cycle count diverged");
+    for c in 0..a.n_cores() {
+        assert_eq!(
+            ra.core_stats[c], rb.core_stats[c],
+            "{label}: core {c} stats diverged"
+        );
+        assert_eq!(
+            a.pred_stats(c),
+            b.pred_stats(c),
+            "{label}: core {c} predictor stats diverged"
+        );
+        assert_eq!(
+            a.hierarchy().cache_stats(c),
+            b.hierarchy().cache_stats(c),
+            "{label}: core {c} cache stats diverged"
+        );
+    }
+    assert_eq!(
+        a.hierarchy().bus_stats(),
+        b.hierarchy().bus_stats(),
+        "{label}: coherence-bus stats diverged"
+    );
+    for cl in 0..a.n_clusters() {
+        assert_eq!(
+            a.spl_stats(cl),
+            b.spl_stats(cl),
+            "{label}: cluster {cl} SPL stats diverged"
+        );
+    }
+    assert_eq!(ra.faults, rb.faults, "{label}: fault counters diverged");
+    assert_eq!(ra.mlp, rb.mlp, "{label}: MLP counters diverged");
+    assert_eq!(ra.dir, rb.dir, "{label}: directory counters diverged");
+}
+
+/// The checkpoint contract for one configuration. `reference` runs
+/// uninterrupted; `donor` runs to each cut cycle and is snapshotted; each
+/// snapshot restores into one of the `fresh` (never-run) systems, which
+/// then continues to completion. Finally the donor itself continues —
+/// snapshotting must not perturb it. Returns the total `skipped_cycles`
+/// of the resumed runs (for vacuity checks at the call sites).
+fn assert_checkpoint_parity(
+    label: &str,
+    mut reference: System,
+    mut donor: System,
+    fresh: Vec<System>,
+) -> u64 {
+    let rr = reference
+        .run(MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{label} (reference) failed: {e:?}"));
+    let slices = fresh.len() as u64 + 1;
+    let mut resumed_skipped = 0;
+    for (k, mut f) in fresh.into_iter().enumerate() {
+        let cut = (rr.cycles * (k as u64 + 1) / slices).max(1);
+        assert!(
+            donor.run_until(cut),
+            "{label}: donor halted before cut cycle {cut}"
+        );
+        assert_eq!(
+            donor.cycle(),
+            cut,
+            "{label}: run_until must clamp bulk skips exactly at the cut"
+        );
+        let snap = donor.snapshot();
+        f.restore(&snap)
+            .unwrap_or_else(|e| panic!("{label}: restore at cycle {cut} refused: {e}"));
+        let rf = f
+            .run(MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("{label} (resumed from {cut}) failed: {e:?}"));
+        resumed_skipped += rf.skipped_cycles;
+        assert_same_observables(&format!("{label} cut@{cut}"), &reference, &rr, &f, &rf);
+    }
+    let rd = donor
+        .run(MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{label} (donor continue) failed: {e:?}"));
+    assert_same_observables(&format!("{label} donor"), &reference, &rr, &donor, &rd);
+    resumed_skipped
+}
+
+#[test]
+fn computation_workloads_checkpoint_parity() {
+    for b in CompBench::ALL {
+        for m in COMP_MODES {
+            let label = format!("{} {m:?}", b.name());
+            let build = || b.build(m, 64);
+            assert_checkpoint_parity(&label, build(), build(), vec![build(), build()]);
+        }
+    }
+}
+
+#[test]
+fn communication_workloads_checkpoint_parity() {
+    for b in CommBench::ALL {
+        for m in COMM_MODES {
+            let label = format!("{} {m:?}", b.name());
+            let build = || b.build(m, 64);
+            assert_checkpoint_parity(&label, build(), build(), vec![build(), build()]);
+        }
+    }
+}
+
+#[test]
+fn barrier_workloads_checkpoint_parity_including_mid_skip_cuts() {
+    let mut resumed_skipped = 0;
+    for b in BarrierBench::ALL {
+        let n = match b {
+            BarrierBench::Dijkstra => 20,
+            _ => 32,
+        };
+        for m in barrier_modes(b) {
+            let label = format!("{b:?} {m:?}");
+            let build = || b.build(m, n);
+            resumed_skipped +=
+                assert_checkpoint_parity(&label, build(), build(), vec![build(), build()]);
+        }
+    }
+    // Barrier workloads spend most of their time quiescent; resumed runs
+    // must keep bulk-skipping, or the mid-skip claim is vacuous.
+    assert!(
+        resumed_skipped > 0,
+        "resumed barrier runs bulk-advanced zero cycles"
+    );
+}
+
+/// Restoring must rebuild the event-indexed fault streams exactly: the
+/// resumed half of the run draws the same injections the uninterrupted
+/// run does, and the restored counters carry the pre-cut half.
+#[test]
+fn faulted_workloads_checkpoint_parity() {
+    use remap_suite::fault::{FaultPlan, SiteCfg};
+
+    let mut plan = FaultPlan::quiet(0xFA_17);
+    plan.spl_bitflip = SiteCfg::rate(50_000);
+    plan.hwq_drop = SiteCfg::rate(50_000);
+    plan.hwq_dup = SiteCfg::rate(25_000);
+    plan.hwq_delay = SiteCfg::rate(25_000);
+    plan.barrier_delay = SiteCfg::rate(100_000);
+    plan.cache_corrupt = SiteCfg::rate(50_000);
+
+    let mut total_injected = 0;
+    let mut run = |label: String, build: &dyn Fn() -> System| {
+        let faulted = || {
+            let mut sys = build();
+            sys.set_fault_plan(&plan);
+            sys
+        };
+        let mut reference = faulted();
+        let rr = reference
+            .run(MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("{label} failed: {e:?}"));
+        total_injected += rr.faults.total_injected();
+        assert_checkpoint_parity(&label, faulted(), faulted(), vec![faulted(), faulted()]);
+    };
+    for b in [CompBench::ALL[0], CompBench::ALL[3]] {
+        run(format!("{} Spl faulted", b.name()), &|| {
+            b.build(CompMode::Spl, 64)
+        });
+    }
+    for (b, m) in [
+        (CommBench::ALL[0], CommMode::CompComm2T),
+        (CommBench::ALL[2], CommMode::Ooo2Comm),
+    ] {
+        run(format!("{} {m:?} faulted", b.name()), &|| b.build(m, 64));
+    }
+    for b in [BarrierBench::Ll2, BarrierBench::Dijkstra] {
+        let n = match b {
+            BarrierBench::Dijkstra => 20,
+            _ => 32,
+        };
+        run(format!("{b:?} Remap(4) faulted"), &|| {
+            b.build(BarrierMode::Remap(4), n)
+        });
+    }
+    assert!(
+        total_injected > 0,
+        "faulted checkpoint grid injected zero faults; the check is vacuous"
+    );
+}
+
+/// Grid scale-out: snapshots must carry the banked sharer directory,
+/// per-bank busy windows, and staggered cross-cluster releases of the
+/// 16/36/64-core meshes — with the directory on and (broadcast
+/// reference) off.
+#[test]
+fn grid_checkpoint_parity_16_36_64_cores() {
+    let b = BarrierBench::Ll3;
+    for p in [16, 36, 64] {
+        let m = BarrierMode::Remap(p);
+        let build = || b.build(m, 64);
+        assert_checkpoint_parity(&format!("{b:?} {m:?}"), build(), build(), vec![build()]);
+    }
+    for p in [16, 36] {
+        let m = BarrierMode::Remap(p);
+        let build = || {
+            let mut sys = b.build(m, 64);
+            sys.set_dir(false);
+            sys
+        };
+        assert_checkpoint_parity(
+            &format!("{b:?} {m:?} no-dir"),
+            build(),
+            build(),
+            vec![build()],
+        );
+    }
+}
